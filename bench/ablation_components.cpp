@@ -1,0 +1,126 @@
+// Ablation bench — the design choices DESIGN.md §6 calls out, measured on
+// ML_300 at Given5/10/20:
+//
+//   1. fusion components (SUR' alone, +SIR', +SUIR', all)
+//   2. smoothed ratings in the fused values on/off
+//   3. item-mean anchoring of SIR'/SUIR' (Eq. 12 verbatim vs anchored)
+//   4. candidate-pool size for the top-K selection
+//   5. per-user neighbour cache on/off (accuracy must be identical; the
+//      timing effect is measured by fig5_response_time)
+//   6. Eq. 8 deviation shrinkage on/off
+//   7. SCBPCC cluster pre-selection vs full scan (baseline fidelity bound)
+#include <cstdio>
+#include <exception>
+
+#include "baselines/scbpcc.hpp"
+#include "bench/bench_common.hpp"
+#include "core/cfsf.hpp"
+#include "eval/evaluate.hpp"
+#include "util/string_utils.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace cfsf;
+  util::ArgParser args(argc, argv);
+  auto ctx = bench::MakeContext(args);
+  args.RejectUnknown();
+
+  std::vector<data::EvalSplit> splits;
+  for (const std::size_t given : data::Catalogue::GivenValues()) {
+    splits.push_back(ctx.catalogue->Split(300, given));
+  }
+
+  util::Table table({"Variant", "MAE Given5", "MAE Given10", "MAE Given20"});
+  auto run = [&](const std::string& label, const core::CfsfConfig& config) {
+    std::vector<std::string> row{label};
+    for (const auto& split : splits) {
+      core::CfsfModel model(config);
+      row.push_back(util::FormatFixed(eval::Evaluate(model, split).mae, 4));
+    }
+    table.AddRow(std::move(row));
+  };
+
+  core::CfsfConfig base;
+  run("CFSF (paper defaults)", base);
+
+  {
+    core::CfsfConfig c = base;
+    c.use_sir = false;
+    c.use_suir = false;
+    run("SUR' only", c);
+  }
+  {
+    core::CfsfConfig c = base;
+    c.use_suir = false;
+    run("SUR' + SIR' (delta=0 effect)", c);
+  }
+  {
+    core::CfsfConfig c = base;
+    c.use_sir = false;
+    run("SUR' + SUIR'", c);
+  }
+  {
+    core::CfsfConfig c = base;
+    c.sur_uses_smoothed = false;
+    run("SUR' without smoothed values", c);
+  }
+  {
+    core::CfsfConfig c = base;
+    c.local_matrix_smoothed = true;
+    run("SIR'/SUIR' read smoothed cells", c);
+  }
+  {
+    core::CfsfConfig c = base;
+    c.center_on_item_means = false;
+    run("Eq. 12 verbatim (no item anchoring)", c);
+  }
+  {
+    core::CfsfConfig c = base;
+    c.candidate_pool_factor = 1;
+    run("candidate pool = K", c);
+  }
+  {
+    core::CfsfConfig c = base;
+    c.candidate_pool_factor = 20;
+    run("candidate pool = 20K", c);
+  }
+  {
+    core::CfsfConfig c = base;
+    c.use_cache = false;
+    run("neighbour cache off (same MAE)", c);
+  }
+  {
+    core::CfsfConfig c = base;
+    c.deviation_shrinkage = 3.0;
+    run("Eq. 8 shrinkage m=3", c);
+  }
+  {
+    core::CfsfConfig c = base;
+    c.gis.kernel = sim::ItemKernel::kCosine;
+    run("GIS with pure cosine (PCS)", c);
+  }
+
+  std::printf("CFSF component/design ablations on ML_300\n\n");
+  bench::EmitTable(ctx, table);
+
+  // SCBPCC candidate-scan variants: the default full scan (accuracy upper
+  // bound, the paper's Fig. 5 cost profile) vs Xue et al.'s cluster
+  // pre-selection optimisation.
+  util::Table scb({"SCBPCC variant", "MAE Given5", "MAE Given10", "MAE Given20"});
+  for (const bool preselect : {false, true}) {
+    baselines::ScbpccConfig config;
+    config.preselect_clusters = preselect ? 9 : 0;
+    std::vector<std::string> row{preselect
+                                     ? "cluster pre-selection (9 of 30)"
+                                     : "full user scan (default)"};
+    for (const auto& split : splits) {
+      baselines::ScbpccPredictor predictor(config);
+      row.push_back(util::FormatFixed(eval::Evaluate(predictor, split).mae, 4));
+    }
+    scb.AddRow(std::move(row));
+  }
+  std::printf("\n%s", scb.ToAligned().c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,48 @@
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Every bench accepts:
+//   --data=<u.data path>   run on the real MovieLens subset instead of the
+//                          synthetic substitute
+//   --seed=<n>             synthetic dataset seed (default: paper catalogue)
+//   --csv=<path>           additionally write the table as CSV
+//   --log=<level>          debug/info/warn/error (default warn: keep the
+//                          timed sections quiet)
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "data/catalogue.hpp"
+#include "util/args.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace cfsf::bench {
+
+struct BenchContext {
+  std::unique_ptr<data::Catalogue> catalogue;
+  std::string csv_path;
+};
+
+inline BenchContext MakeContext(util::ArgParser& args) {
+  BenchContext ctx;
+  const std::string data_path = args.GetString("data", "");
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 20090101));
+  ctx.csv_path = args.GetString("csv", "");
+  util::SetLogLevel(util::ParseLogLevel(args.GetString("log", "warn")));
+  ctx.catalogue = data_path.empty()
+                      ? std::make_unique<data::Catalogue>(seed)
+                      : std::make_unique<data::Catalogue>(data_path);
+  return ctx;
+}
+
+inline void EmitTable(const BenchContext& ctx, const util::Table& table) {
+  std::printf("%s", table.ToAligned().c_str());
+  if (!ctx.csv_path.empty()) {
+    table.WriteCsv(ctx.csv_path);
+    std::printf("(csv written to %s)\n", ctx.csv_path.c_str());
+  }
+}
+
+}  // namespace cfsf::bench

@@ -1,0 +1,32 @@
+// Fig. 3 — accuracy with K like-minded users over ML_300.
+//
+// Paper shape: U-curve — low MAE for K in 20–40, rising beyond 40 as
+// "ratings from less related users are considered too much".
+#include <cstdio>
+#include <exception>
+
+#include "bench/sweep_common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace cfsf;
+  util::ArgParser args(argc, argv);
+  auto ctx = bench::MakeContext(args);
+  args.RejectUnknown();
+
+  std::vector<std::pair<std::string, core::CfsfConfig>> points;
+  for (std::size_t k = 10; k <= 100; k += 10) {
+    core::CfsfConfig config;
+    config.top_k_users = k;
+    points.emplace_back(std::to_string(k), config);
+  }
+  std::printf("Fig. 3 — MAE vs K (top like-minded users), ML_300\n\n");
+  bench::EmitTable(ctx, bench::SweepCfsf(ctx, "K", points));
+  std::printf("\nshape check: U-curve — steep improvement up to K ~ 30, a "
+              "flat minimum, then degradation at large K (paper's minimum "
+              "sits at 20-40; on the synthetic substitute it sits slightly "
+              "right of that, see EXPERIMENTS.md).\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

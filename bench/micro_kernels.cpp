@@ -1,0 +1,158 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: pairwise
+// similarities, GIS construction, K-means steps, smoothing, user
+// selection and single online predictions.
+#include <benchmark/benchmark.h>
+
+#include "clustering/kmeans.hpp"
+#include "clustering/smoothing.hpp"
+#include "core/cfsf.hpp"
+#include "data/synthetic.hpp"
+#include "similarity/item_similarity.hpp"
+#include "similarity/kernels.hpp"
+#include "similarity/user_similarity.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace cfsf;
+
+const matrix::RatingMatrix& World() {
+  static const matrix::RatingMatrix m = [] {
+    util::SetLogLevel(util::LogLevel::kWarn);
+    data::SyntheticConfig config;  // the full 500x1000 paper-scale matrix
+    return data::GenerateSynthetic(config);
+  }();
+  return m;
+}
+
+void BM_PearsonSparseUsers(benchmark::State& state) {
+  const auto& m = World();
+  matrix::UserId a = 0;
+  matrix::UserId b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::PearsonSparse(
+        m.UserRow(a), m.UserRow(b), m.UserMean(a), m.UserMean(b)));
+    b = static_cast<matrix::UserId>((b + 1) % m.num_users());
+    if (b == a) b = static_cast<matrix::UserId>(b + 1);
+  }
+}
+BENCHMARK(BM_PearsonSparseUsers);
+
+void BM_PearsonSparseItems(benchmark::State& state) {
+  const auto& m = World();
+  matrix::ItemId a = 0;
+  matrix::ItemId b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::PearsonSparse(
+        m.ItemCol(a), m.ItemCol(b), m.ItemMean(a), m.ItemMean(b)));
+    b = static_cast<matrix::ItemId>((b + 1) % m.num_items());
+    if (b == a) b = static_cast<matrix::ItemId>(b + 1);
+  }
+}
+BENCHMARK(BM_PearsonSparseItems);
+
+void BM_GisBuild(benchmark::State& state) {
+  const auto& m = World();
+  sim::GisConfig config;
+  config.parallel = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::GlobalItemSimilarity::Build(m, config));
+  }
+}
+BENCHMARK(BM_GisBuild)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_GisRefreshOneItem(benchmark::State& state) {
+  const auto& m = World();
+  auto gis = sim::GlobalItemSimilarity::Build(m);
+  const matrix::ItemId touched[] = {42};
+  for (auto _ : state) {
+    gis.RefreshItems(m, touched);
+  }
+}
+BENCHMARK(BM_GisRefreshOneItem)->Unit(benchmark::kMillisecond);
+
+void BM_UserSimilarityBuild(benchmark::State& state) {
+  const auto& m = World();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::UserSimilarityMatrix::Build(m));
+  }
+}
+BENCHMARK(BM_UserSimilarityBuild)->Unit(benchmark::kMillisecond);
+
+void BM_KMeans(benchmark::State& state) {
+  const auto& m = World();
+  cluster::KMeansConfig config;
+  config.num_clusters = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::RunKMeans(m, config));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(10)->Arg(30)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_SmoothingBuild(benchmark::State& state) {
+  const auto& m = World();
+  cluster::KMeansConfig config;
+  config.num_clusters = 30;
+  const auto kmeans = cluster::RunKMeans(m, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::ClusterModel::Build(m, kmeans.assignments, 30));
+  }
+}
+BENCHMARK(BM_SmoothingBuild)->Unit(benchmark::kMillisecond);
+
+const core::CfsfModel& FittedModel() {
+  static const core::CfsfModel& model = []() -> const core::CfsfModel& {
+    static core::CfsfModel m;
+    m.Fit(World());
+    return m;
+  }();
+  return model;
+}
+
+void BM_SelectTopKUsers(benchmark::State& state) {
+  const auto& model = FittedModel();
+  matrix::UserId user = 0;
+  for (auto _ : state) {
+    model.ClearCache();
+    benchmark::DoNotOptimize(model.SelectTopKUsers(user));
+    user = static_cast<matrix::UserId>((user + 1) % model.train().num_users());
+  }
+}
+BENCHMARK(BM_SelectTopKUsers);
+
+void BM_PredictColdCache(benchmark::State& state) {
+  const auto& model = FittedModel();
+  matrix::UserId user = 0;
+  for (auto _ : state) {
+    model.ClearCache();
+    benchmark::DoNotOptimize(model.Predict(user, 13));
+    user = static_cast<matrix::UserId>((user + 1) % model.train().num_users());
+  }
+}
+BENCHMARK(BM_PredictColdCache);
+
+void BM_PredictWarmCache(benchmark::State& state) {
+  const auto& model = FittedModel();
+  model.Predict(7, 13);  // warm the cache for user 7
+  matrix::ItemId item = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(7, item));
+    item = static_cast<matrix::ItemId>((item + 1) % model.train().num_items());
+  }
+}
+BENCHMARK(BM_PredictWarmCache);
+
+void BM_OfflinePhase(benchmark::State& state) {
+  const auto& m = World();
+  for (auto _ : state) {
+    core::CfsfModel model;
+    model.Fit(m);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_OfflinePhase)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

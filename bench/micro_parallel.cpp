@@ -1,0 +1,94 @@
+// Micro-benchmarks for the parallel substrate: thread-pool dispatch
+// overhead and parallel_for/reduce scaling against their serial paths.
+// (On a single-core host the parallel variants show the dispatch overhead
+// rather than speedup — both numbers are the point of this bench.)
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace cfsf;
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  par::ThreadPool pool(2);
+  for (auto _ : state) {
+    pool.Submit([] {});
+    pool.Wait();
+  }
+}
+BENCHMARK(BM_ThreadPoolDispatch);
+
+void BM_ThreadPoolBatchOf64(benchmark::State& state) {
+  par::ThreadPool pool(2);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) pool.Submit([] {});
+    pool.Wait();
+  }
+}
+BENCHMARK(BM_ThreadPoolBatchOf64);
+
+void HeavyBody(std::size_t i, double& out) {
+  double acc = 0.0;
+  for (int k = 1; k <= 200; ++k) {
+    acc += std::sqrt(static_cast<double>(i + k));
+  }
+  out = acc;
+}
+
+void BM_ParallelForStatic(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> sink(n);
+  par::ForOptions options;
+  options.serial = state.range(1) == 0;
+  for (auto _ : state) {
+    par::ParallelFor(0, n, [&](std::size_t i) { HeavyBody(i, sink[i]); },
+                     options);
+    benchmark::DoNotOptimize(sink.data());
+  }
+}
+BENCHMARK(BM_ParallelForStatic)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelForDynamic(benchmark::State& state) {
+  const std::size_t n = 4096;
+  std::vector<double> sink(n);
+  par::ForOptions options;
+  options.schedule = par::Schedule::kDynamic;
+  options.grain = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    par::ParallelFor(0, n, [&](std::size_t i) { HeavyBody(i, sink[i]); },
+                     options);
+    benchmark::DoNotOptimize(sink.data());
+  }
+}
+BENCHMARK(BM_ParallelForDynamic)->Arg(16)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelReduceSum(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  par::ForOptions options;
+  options.serial = state.range(1) == 0;
+  for (auto _ : state) {
+    const double sum = par::ParallelReduce<double>(
+        0, n, [] { return 0.0; },
+        [](double& acc, std::size_t i) {
+          acc += std::sqrt(static_cast<double>(i));
+        },
+        [](double& total, double& partial) { total += partial; }, 0.0,
+        options);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ParallelReduceSum)
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

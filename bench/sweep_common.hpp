@@ -1,0 +1,40 @@
+// Shared sweep driver for the Figure 2/3/4/6/7/8 binaries: evaluate CFSF
+// over ML_300 at Given5/10/20 for a list of (label, config) points and
+// tabulate the MAE series, exactly the curves the paper plots.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/cfsf.hpp"
+#include "eval/evaluate.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+namespace cfsf::bench {
+
+inline util::Table SweepCfsf(
+    const BenchContext& ctx, const std::string& param_name,
+    const std::vector<std::pair<std::string, core::CfsfConfig>>& points,
+    std::size_t train_users = 300) {
+  util::Table table({param_name, "MAE Given5", "MAE Given10", "MAE Given20"});
+  // One split per GivenN, shared across all sweep points.
+  std::vector<data::EvalSplit> splits;
+  for (const std::size_t given : data::Catalogue::GivenValues()) {
+    splits.push_back(ctx.catalogue->Split(train_users, given));
+  }
+  for (const auto& [label, config] : points) {
+    std::vector<std::string> row{label};
+    for (const auto& split : splits) {
+      core::CfsfModel model(config);
+      const auto result = eval::Evaluate(model, split);
+      row.push_back(util::FormatFixed(result.mae, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace cfsf::bench

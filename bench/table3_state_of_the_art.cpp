@@ -1,0 +1,98 @@
+// Table III — MAE on MovieLens for the state-of-the-art CF approaches:
+// CFSF vs AM, EMDP, SCBPCC, SF and PD on the full ML grid.
+#include <array>
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "baselines/aspect_model.hpp"
+#include "baselines/emdp.hpp"
+#include "baselines/pd.hpp"
+#include "baselines/scbpcc.hpp"
+#include "baselines/sf.hpp"
+#include "bench/bench_common.hpp"
+#include "core/cfsf.hpp"
+#include "eval/evaluate.hpp"
+#include "util/string_utils.hpp"
+
+namespace {
+const std::map<std::string, std::map<std::string, std::array<double, 3>>>
+    kPaperTable3 = {
+        {"ML_300", {{"CFSF", {0.743, 0.721, 0.705}},
+                    {"AM", {0.820, 0.822, 0.796}},
+                    {"EMDP", {0.788, 0.754, 0.746}},
+                    {"SCBPCC", {0.822, 0.810, 0.778}},
+                    {"SF", {0.804, 0.761, 0.769}},
+                    {"PD", {0.827, 0.815, 0.789}}}},
+        {"ML_200", {{"CFSF", {0.769, 0.734, 0.713}},
+                    {"AM", {0.849, 0.837, 0.815}},
+                    {"EMDP", {0.793, 0.760, 0.751}},
+                    {"SCBPCC", {0.831, 0.813, 0.784}},
+                    {"SF", {0.827, 0.773, 0.783}},
+                    {"PD", {0.836, 0.815, 0.792}}}},
+        {"ML_100", {{"CFSF", {0.781, 0.758, 0.746}},
+                    {"AM", {0.963, 0.922, 0.887}},
+                    {"EMDP", {0.807, 0.769, 0.765}},
+                    {"SCBPCC", {0.848, 0.819, 0.789}},
+                    {"SF", {0.847, 0.774, 0.792}},
+                    {"PD", {0.849, 0.817, 0.808}}}},
+};
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace cfsf;
+  util::ArgParser args(argc, argv);
+  auto ctx = bench::MakeContext(args);
+  args.RejectUnknown();
+
+  const std::vector<std::pair<std::string,
+                              std::function<std::unique_ptr<eval::Predictor>()>>>
+      methods = {
+          {"CFSF", [] { return std::make_unique<core::CfsfModel>(); }},
+          {"AM", [] { return std::make_unique<baselines::AspectModelPredictor>(); }},
+          {"EMDP", [] { return std::make_unique<baselines::EmdpPredictor>(); }},
+          {"SCBPCC", [] { return std::make_unique<baselines::ScbpccPredictor>(); }},
+          {"SF", [] { return std::make_unique<baselines::SfPredictor>(); }},
+          {"PD", [] { return std::make_unique<baselines::PdPredictor>(); }},
+      };
+
+  std::printf("Table III — MAE for the state-of-the-art CF approaches\n\n");
+  util::Table table({"Training set", "Method", "Given5", "Given10", "Given20",
+                     "paper(5/10/20)"});
+
+  for (auto it = data::Catalogue::TrainSizes().rbegin();
+       it != data::Catalogue::TrainSizes().rend(); ++it) {
+    const std::size_t train = *it;
+    const std::string label = data::TrainSetLabel(train);
+
+    std::map<std::string, std::array<double, 3>> measured;
+    for (std::size_t g = 0; g < 3; ++g) {
+      const auto split =
+          ctx.catalogue->Split(train, data::Catalogue::GivenValues()[g]);
+      for (const auto& [name, make] : methods) {
+        auto predictor = make();
+        measured[name][g] = eval::Evaluate(*predictor, split).mae;
+      }
+    }
+    for (const auto& [name, make] : methods) {
+      (void)make;
+      const auto& paper = kPaperTable3.at(label).at(name);
+      table.AddRow({label, name,
+                    util::FormatFixed(measured[name][0], 3),
+                    util::FormatFixed(measured[name][1], 3),
+                    util::FormatFixed(measured[name][2], 3),
+                    util::FormatFixed(paper[0], 3) + "/" +
+                        util::FormatFixed(paper[1], 3) + "/" +
+                        util::FormatFixed(paper[2], 3)});
+    }
+  }
+  bench::EmitTable(ctx, table);
+  std::printf("\nshape check: CFSF lowest everywhere; MAE falls with larger "
+              "training sets and with more given ratings.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,63 @@
+// Top-N ranking quality (extension bench — the paper evaluates MAE only;
+// Herlocker et al. [22], its metrics reference, motivates ranking
+// metrics for the recommendation task the introduction describes).
+//
+// Compares CFSF against representative baselines on Precision/Recall/
+// NDCG/HitRate@10 over ML_300 Given10.
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <memory>
+
+#include "baselines/mf.hpp"
+#include "baselines/scbpcc.hpp"
+#include "baselines/sir.hpp"
+#include "baselines/slope_one.hpp"
+#include "baselines/sur.hpp"
+#include "bench/bench_common.hpp"
+#include "core/cfsf.hpp"
+#include "eval/ranking.hpp"
+#include "util/string_utils.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace cfsf;
+  util::ArgParser args(argc, argv);
+  auto ctx = bench::MakeContext(args);
+  const auto n = static_cast<std::size_t>(args.GetInt("n", 10));
+  const auto max_users = static_cast<std::size_t>(args.GetInt("users", 60));
+  args.RejectUnknown();
+
+  const auto split = ctx.catalogue->Split(300, 10);
+  eval::RankingOptions options;
+  options.n = n;
+  options.max_users = max_users;
+
+  const std::vector<std::pair<std::string,
+                              std::function<std::unique_ptr<eval::Predictor>()>>>
+      methods = {
+          {"CFSF", [] { return std::make_unique<core::CfsfModel>(); }},
+          {"SUR", [] { return std::make_unique<baselines::SurPredictor>(); }},
+          {"SIR", [] { return std::make_unique<baselines::SirPredictor>(); }},
+          {"SCBPCC", [] { return std::make_unique<baselines::ScbpccPredictor>(); }},
+          {"SlopeOne", [] { return std::make_unique<baselines::SlopeOnePredictor>(); }},
+          {"MF", [] { return std::make_unique<baselines::MfPredictor>(); }},
+      };
+
+  std::printf("Top-%zu ranking quality on ML_300/Given10 (%zu users)\n\n", n,
+              max_users);
+  util::Table table({"Method", "Precision@N", "Recall@N", "NDCG@N", "HitRate@N"});
+  for (const auto& [name, make] : methods) {
+    auto predictor = make();
+    predictor->Fit(split.train);
+    const auto r = eval::EvaluateTopN(*predictor, split, options);
+    table.AddRow({name, util::FormatFixed(r.precision_at_n, 3),
+                  util::FormatFixed(r.recall_at_n, 3),
+                  util::FormatFixed(r.ndcg_at_n, 3),
+                  util::FormatFixed(r.hit_rate_at_n, 3)});
+  }
+  bench::EmitTable(ctx, table);
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,77 @@
+// Batch throughput: serving a recommendation queue with PredictBatch —
+// the paper's "improve its scalability in a parallel manner" future-work
+// item.  PredictBatch groups queries by user (one top-K selection per
+// user, reused for all their items) and fans the groups out over the
+// shared thread pool; set CFSF_NUM_THREADS to control the pool.
+//
+//   ./batch_throughput [--repeat=3]
+#include <cstdio>
+#include <exception>
+#include <vector>
+
+#include "core/cfsf.hpp"
+#include "util/args.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace cfsf;
+  util::ArgParser args(argc, argv);
+  const auto repeat = static_cast<std::size_t>(args.GetInt("repeat", 3));
+  args.RejectUnknown();
+
+  const data::Catalogue catalogue;
+  const data::EvalSplit split = catalogue.Split(300, 20);
+  core::CfsfModel model;
+  model.Fit(split.train);
+
+  std::vector<std::pair<matrix::UserId, matrix::ItemId>> queue;
+  queue.reserve(split.test.size());
+  for (const auto& t : split.test) queue.emplace_back(t.user, t.item);
+  std::printf("request queue: %zu predictions for %zu users\n", queue.size(),
+              split.active_users.size());
+
+  // One-at-a-time serving (cold cache each round, like fresh traffic).
+  double loop_seconds = 0.0;
+  for (std::size_t r = 0; r < repeat; ++r) {
+    model.ClearCache();
+    util::Stopwatch watch;
+    double checksum = 0.0;
+    for (const auto& [user, item] : queue) checksum += model.Predict(user, item);
+    loop_seconds += watch.ElapsedSeconds();
+    (void)checksum;
+  }
+  loop_seconds /= static_cast<double>(repeat);
+
+  // Batched serving.
+  double batch_seconds = 0.0;
+  std::vector<double> batch_results;
+  for (std::size_t r = 0; r < repeat; ++r) {
+    model.ClearCache();
+    util::Stopwatch watch;
+    batch_results = model.PredictBatch(queue);
+    batch_seconds += watch.ElapsedSeconds();
+  }
+  batch_seconds /= static_cast<double>(repeat);
+
+  // The two paths must agree exactly.
+  model.ClearCache();
+  std::size_t mismatches = 0;
+  for (std::size_t k = 0; k < queue.size(); ++k) {
+    if (batch_results[k] != model.Predict(queue[k].first, queue[k].second)) {
+      ++mismatches;
+    }
+  }
+
+  const double n = static_cast<double>(queue.size());
+  std::printf("one-at-a-time: %.0f ms (%.1f us/query)\n", loop_seconds * 1e3,
+              loop_seconds * 1e6 / n);
+  std::printf("PredictBatch:  %.0f ms (%.1f us/query, %zu mismatches)\n",
+              batch_seconds * 1e3, batch_seconds * 1e6 / n, mismatches);
+  std::printf("note: on a single-core host the batch path shows dispatch "
+              "overhead instead of speedup; the grouping still saves one "
+              "top-K selection per repeated user either way.\n");
+  return mismatches == 0 ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,70 @@
+// Method shootout: run every predictor in the repository on one split and
+// print an accuracy/latency league table — a minimal Table II/III in one
+// binary.
+//
+//   ./method_shootout [--train=300] [--given=10] [--data=u.data]
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "baselines/aspect_model.hpp"
+#include "baselines/emdp.hpp"
+#include "baselines/means.hpp"
+#include "baselines/mf.hpp"
+#include "baselines/pd.hpp"
+#include "baselines/scbpcc.hpp"
+#include "baselines/sf.hpp"
+#include "baselines/sir.hpp"
+#include "baselines/slope_one.hpp"
+#include "baselines/sur.hpp"
+#include "core/cfsf.hpp"
+#include "util/args.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace cfsf;
+  util::ArgParser args(argc, argv);
+  const auto train_users = static_cast<std::size_t>(args.GetInt("train", 300));
+  const auto given = static_cast<std::size_t>(args.GetInt("given", 10));
+  const std::string data_path = args.GetString("data", "");
+  args.RejectUnknown();
+
+  const data::Catalogue catalogue =
+      data_path.empty() ? data::Catalogue() : data::Catalogue(data_path);
+  const data::EvalSplit split = catalogue.Split(train_users, given);
+
+  std::vector<std::unique_ptr<eval::Predictor>> predictors;
+  predictors.push_back(std::make_unique<core::CfsfModel>());
+  predictors.push_back(std::make_unique<baselines::SurPredictor>());
+  predictors.push_back(std::make_unique<baselines::SirPredictor>());
+  predictors.push_back(std::make_unique<baselines::SfPredictor>());
+  predictors.push_back(std::make_unique<baselines::ScbpccPredictor>());
+  predictors.push_back(std::make_unique<baselines::EmdpPredictor>());
+  predictors.push_back(std::make_unique<baselines::PdPredictor>());
+  predictors.push_back(std::make_unique<baselines::AspectModelPredictor>());
+  predictors.push_back(std::make_unique<baselines::SlopeOnePredictor>());
+  predictors.push_back(std::make_unique<baselines::MfPredictor>());
+  predictors.push_back(std::make_unique<baselines::UserMeanPredictor>());
+  predictors.push_back(std::make_unique<baselines::ItemMeanPredictor>());
+  predictors.push_back(std::make_unique<baselines::GlobalMeanPredictor>());
+
+  util::Table table({"Method", "MAE", "RMSE", "Fit (s)", "Predict (s)"});
+  std::printf("split: %s / %s — %zu test ratings\n\n",
+              data::TrainSetLabel(train_users).c_str(),
+              data::GivenLabel(given).c_str(), split.test.size());
+  for (auto& predictor : predictors) {
+    const eval::EvalResult r = eval::Evaluate(*predictor, split);
+    table.AddRow({predictor->Name(), util::FormatFixed(r.mae, 3),
+                  util::FormatFixed(r.rmse, 3),
+                  util::FormatFixed(r.fit_seconds, 2),
+                  util::FormatFixed(r.predict_seconds, 2)});
+    std::printf("done: %s\n", predictor->Name().c_str());
+  }
+  std::printf("\n%s", table.ToAligned().c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,136 @@
+#include "baselines/aspect_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace cfsf::baselines {
+
+namespace {
+inline double LogNormalPdf(double x, double mu, double sigma) {
+  const double z = (x - mu) / sigma;
+  return -0.5 * z * z - std::log(sigma) - 0.9189385332046727;  // −½log(2π)
+}
+}  // namespace
+
+AspectModelPredictor::AspectModelPredictor(const AspectModelConfig& config)
+    : config_(config) {
+  CFSF_REQUIRE(config.num_aspects > 0, "AM needs at least one aspect");
+  CFSF_REQUIRE(config.em_iterations > 0, "AM needs at least one EM iteration");
+  CFSF_REQUIRE(config.sigma_floor > 0.0, "AM sigma floor must be positive");
+}
+
+void AspectModelPredictor::Fit(const matrix::RatingMatrix& train) {
+  train_ = train;
+  num_users_ = train.num_users();
+  num_items_ = train.num_items();
+  const std::size_t z_count = config_.num_aspects;
+
+  util::Rng rng(config_.seed);
+
+  // Init: p(z|u) ~ normalised uniform noise; μ_{z,i} = item mean + noise.
+  p_z_u_.assign(num_users_ * z_count, 0.0);
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    double sum = 0.0;
+    for (std::size_t z = 0; z < z_count; ++z) {
+      const double v = 0.5 + rng.NextDouble();
+      p_z_u_[u * z_count + z] = v;
+      sum += v;
+    }
+    for (std::size_t z = 0; z < z_count; ++z) p_z_u_[u * z_count + z] /= sum;
+  }
+  mu_.assign(z_count * num_items_, 0.0);
+  sigma_.assign(z_count * num_items_, 1.0);
+  for (std::size_t i = 0; i < num_items_; ++i) {
+    const double base = train.ItemMean(static_cast<matrix::ItemId>(i));
+    for (std::size_t z = 0; z < z_count; ++z) {
+      mu_[z * num_items_ + i] = base + 0.25 * rng.NextGaussian();
+    }
+  }
+
+  const auto triples = train.ToTriples();
+  std::vector<double> resp(z_count);
+
+  for (std::size_t iter = 0; iter < config_.em_iterations; ++iter) {
+    // M-step accumulators.
+    std::vector<double> user_resp(num_users_ * z_count, config_.dirichlet_alpha);
+    std::vector<double> item_w(z_count * num_items_, 0.0);
+    std::vector<double> item_wr(z_count * num_items_, 0.0);
+    std::vector<double> item_wrr(z_count * num_items_, 0.0);
+    double log_likelihood = 0.0;
+
+    for (const auto& t : triples) {
+      // E-step for this observation, in log space.
+      double max_log = -1e300;
+      for (std::size_t z = 0; z < z_count; ++z) {
+        const std::size_t zi = z * num_items_ + t.item;
+        const double lp = std::log(p_z_u_[t.user * z_count + z] + 1e-300) +
+                          LogNormalPdf(t.value, mu_[zi], sigma_[zi]);
+        resp[z] = lp;
+        max_log = std::max(max_log, lp);
+      }
+      double sum = 0.0;
+      for (std::size_t z = 0; z < z_count; ++z) {
+        resp[z] = std::exp(resp[z] - max_log);
+        sum += resp[z];
+      }
+      log_likelihood += max_log + std::log(sum);
+      for (std::size_t z = 0; z < z_count; ++z) {
+        const double r = resp[z] / sum;
+        user_resp[t.user * z_count + z] += r;
+        const std::size_t zi = z * num_items_ + t.item;
+        item_w[zi] += r;
+        item_wr[zi] += r * t.value;
+        item_wrr[zi] += r * t.value * t.value;
+      }
+    }
+    last_log_likelihood_ =
+        triples.empty() ? 0.0
+                        : log_likelihood / static_cast<double>(triples.size());
+
+    // M-step: p(z|u).
+    for (std::size_t u = 0; u < num_users_; ++u) {
+      double sum = 0.0;
+      for (std::size_t z = 0; z < z_count; ++z) sum += user_resp[u * z_count + z];
+      for (std::size_t z = 0; z < z_count; ++z) {
+        p_z_u_[u * z_count + z] = user_resp[u * z_count + z] / sum;
+      }
+    }
+    // M-step: μ, σ with the item-mean prior.
+    for (std::size_t i = 0; i < num_items_; ++i) {
+      const double prior_mean = train.ItemMean(static_cast<matrix::ItemId>(i));
+      for (std::size_t z = 0; z < z_count; ++z) {
+        const std::size_t zi = z * num_items_ + i;
+        const double w = item_w[zi] + config_.mu_prior_strength;
+        const double wr =
+            item_wr[zi] + config_.mu_prior_strength * prior_mean;
+        const double mean = wr / w;
+        mu_[zi] = mean;
+        const double wrr = item_wrr[zi] +
+                           config_.mu_prior_strength *
+                               (prior_mean * prior_mean + 1.0);
+        const double var = std::max(wrr / w - mean * mean, 0.0);
+        sigma_[zi] = std::max(std::sqrt(var), config_.sigma_floor);
+      }
+    }
+    CFSF_LOG_DEBUG << "AM EM iter " << iter + 1 << ": mean log-lik "
+                   << last_log_likelihood_;
+  }
+}
+
+double AspectModelPredictor::Predict(matrix::UserId user,
+                                     matrix::ItemId item) const {
+  CFSF_REQUIRE(!p_z_u_.empty(), "AM Predict before Fit");
+  const std::size_t z_count = config_.num_aspects;
+  double expected = 0.0;
+  for (std::size_t z = 0; z < z_count; ++z) {
+    expected += p_z_u_[user * z_count + z] * mu_[z * num_items_ + item];
+  }
+  return expected;
+}
+
+}  // namespace cfsf::baselines

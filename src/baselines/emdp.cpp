@@ -1,0 +1,84 @@
+#include "baselines/emdp.hpp"
+
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace cfsf::baselines {
+
+EmdpPredictor::EmdpPredictor(const EmdpConfig& config) : config_(config) {
+  CFSF_REQUIRE(config.lambda >= 0.0 && config.lambda <= 1.0,
+               "EMDP lambda must be in [0,1]");
+  CFSF_REQUIRE(config.eta >= 0.0 && config.eta <= 1.0, "EMDP eta out of range");
+  CFSF_REQUIRE(config.theta >= 0.0 && config.theta <= 1.0,
+               "EMDP theta out of range");
+}
+
+void EmdpPredictor::Fit(const matrix::RatingMatrix& train) {
+  train_ = train;
+  // Similarities carry significance weighting (the original's γ device) so
+  // the η/θ thresholds act on shrunk values, as in the paper.
+  sim::GisConfig gis_config;
+  gis_config.significance_weighting = true;
+  gis_config.significance_cutoff = config_.significance_cutoff;
+  gis_config.min_similarity = 0.0;
+  gis_ = sim::GlobalItemSimilarity::Build(train_, gis_config);
+
+  sim::UserSimilarityConfig user_config;
+  user_config.significance_weighting = true;
+  user_config.significance_cutoff = config_.significance_cutoff;
+  user_config.min_similarity = 0.0;
+  usm_ = sim::UserSimilarityMatrix::Build(train_, user_config);
+}
+
+double EmdpPredictor::Predict(matrix::UserId user, matrix::ItemId item) const {
+  // User-based estimate over neighbours with sim > η.
+  std::optional<double> user_part;
+  {
+    double num = 0.0;
+    double den = 0.0;
+    std::size_t used = 0;
+    for (const auto& n : usm_.Neighbors(user)) {
+      if (n.similarity <= config_.eta) break;  // rows are sorted descending
+      if (config_.max_neighbors != 0 && used >= config_.max_neighbors) break;
+      const auto rating = train_.GetRating(n.index, item);
+      if (!rating) continue;
+      num += static_cast<double>(n.similarity) *
+             (*rating - train_.UserMean(n.index));
+      den += n.similarity;
+      ++used;
+    }
+    if (den > 0.0) user_part = train_.UserMean(user) + num / den;
+  }
+
+  // Item-based estimate over neighbours with sim > θ, mean-centred on item
+  // means as in the original.
+  std::optional<double> item_part;
+  {
+    double num = 0.0;
+    double den = 0.0;
+    std::size_t used = 0;
+    for (const auto& n : gis_.Neighbors(item)) {
+      if (n.similarity <= config_.theta) break;
+      if (config_.max_neighbors != 0 && used >= config_.max_neighbors) break;
+      const auto rating = train_.GetRating(user, n.index);
+      if (!rating) continue;
+      num += static_cast<double>(n.similarity) *
+             (*rating - train_.ItemMean(n.index));
+      den += n.similarity;
+      ++used;
+    }
+    if (den > 0.0) item_part = train_.ItemMean(item) + num / den;
+  }
+
+  if (user_part && item_part) {
+    return config_.lambda * *user_part + (1.0 - config_.lambda) * *item_part;
+  }
+  if (user_part) return *user_part;
+  if (item_part) return *item_part;
+  // Ma et al.'s final fallback: blend of the two means.
+  return config_.lambda * train_.UserMean(user) +
+         (1.0 - config_.lambda) * train_.ItemMean(item);
+}
+
+}  // namespace cfsf::baselines

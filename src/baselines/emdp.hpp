@@ -1,0 +1,46 @@
+// EMDP — Effective Missing Data Prediction [Ma, King & Lyu, SIGIR 2007].
+//
+// EMDP blends a user-based and an item-based estimate, but only admits
+// neighbours whose significance-weighted similarity passes the thresholds
+// η (users) and θ (items); when neither side has qualified neighbours it
+// falls back to a λ-blend of the user and item means.  This is the
+// threshold behaviour the paper discusses ("inappropriate thresholds may
+// lead to few results").
+//
+// Simplification vs. the original (documented in DESIGN.md): Ma et al.
+// first run the same predictor over the training matrix to fill missing
+// cells, then predict the test set from the densified matrix.  We predict
+// directly; on the paper's ~9 % density data the fill step's effect is
+// secondary to the threshold/blend mechanics that Table III exercises.
+#pragma once
+
+#include "eval/predictor.hpp"
+#include "similarity/item_similarity.hpp"
+#include "similarity/user_similarity.hpp"
+
+namespace cfsf::baselines {
+
+struct EmdpConfig {
+  double lambda = 0.6;       // weight of the user-based estimate
+  double eta = 0.25;         // user-similarity admission threshold (η)
+  double theta = 0.25;       // item-similarity admission threshold (θ)
+  std::size_t significance_cutoff = 30;  // γ in the original
+  std::size_t max_neighbors = 0;         // 0 = all qualified neighbours
+};
+
+class EmdpPredictor : public eval::Predictor {
+ public:
+  explicit EmdpPredictor(const EmdpConfig& config = {});
+
+  std::string Name() const override { return "EMDP"; }
+  void Fit(const matrix::RatingMatrix& train) override;
+  double Predict(matrix::UserId user, matrix::ItemId item) const override;
+
+ private:
+  EmdpConfig config_;
+  matrix::RatingMatrix train_;
+  sim::GlobalItemSimilarity gis_;
+  sim::UserSimilarityMatrix usm_;
+};
+
+}  // namespace cfsf::baselines

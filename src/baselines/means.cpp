@@ -1,0 +1,28 @@
+#include "baselines/means.hpp"
+
+namespace cfsf::baselines {
+
+void GlobalMeanPredictor::Fit(const matrix::RatingMatrix& train) {
+  mean_ = train.GlobalMean();
+}
+
+double GlobalMeanPredictor::Predict(matrix::UserId /*user*/,
+                                    matrix::ItemId /*item*/) const {
+  return mean_;
+}
+
+void UserMeanPredictor::Fit(const matrix::RatingMatrix& train) { train_ = train; }
+
+double UserMeanPredictor::Predict(matrix::UserId user,
+                                  matrix::ItemId /*item*/) const {
+  return train_.UserMean(user);
+}
+
+void ItemMeanPredictor::Fit(const matrix::RatingMatrix& train) { train_ = train; }
+
+double ItemMeanPredictor::Predict(matrix::UserId /*user*/,
+                                  matrix::ItemId item) const {
+  return train_.ItemMean(item);
+}
+
+}  // namespace cfsf::baselines

@@ -1,0 +1,38 @@
+// Trivial mean predictors — sanity floors every CF approach must beat.
+#pragma once
+
+#include "eval/predictor.hpp"
+
+namespace cfsf::baselines {
+
+class GlobalMeanPredictor : public eval::Predictor {
+ public:
+  std::string Name() const override { return "GlobalMean"; }
+  void Fit(const matrix::RatingMatrix& train) override;
+  double Predict(matrix::UserId user, matrix::ItemId item) const override;
+
+ private:
+  double mean_ = 0.0;
+};
+
+class UserMeanPredictor : public eval::Predictor {
+ public:
+  std::string Name() const override { return "UserMean"; }
+  void Fit(const matrix::RatingMatrix& train) override;
+  double Predict(matrix::UserId user, matrix::ItemId item) const override;
+
+ private:
+  matrix::RatingMatrix train_;
+};
+
+class ItemMeanPredictor : public eval::Predictor {
+ public:
+  std::string Name() const override { return "ItemMean"; }
+  void Fit(const matrix::RatingMatrix& train) override;
+  double Predict(matrix::UserId user, matrix::ItemId item) const override;
+
+ private:
+  matrix::RatingMatrix train_;
+};
+
+}  // namespace cfsf::baselines

@@ -1,0 +1,73 @@
+#include "baselines/mf.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace cfsf::baselines {
+
+MfPredictor::MfPredictor(const MfConfig& config) : config_(config) {
+  CFSF_REQUIRE(config.latent_dim > 0, "MF needs a positive latent dimension");
+  CFSF_REQUIRE(config.epochs > 0, "MF needs at least one epoch");
+  CFSF_REQUIRE(config.learning_rate > 0.0, "MF learning rate must be positive");
+  CFSF_REQUIRE(config.regularization >= 0.0, "MF regularization must be >= 0");
+}
+
+void MfPredictor::Fit(const matrix::RatingMatrix& train) {
+  num_users_ = train.num_users();
+  num_items_ = train.num_items();
+  mu_ = train.GlobalMean();
+  const std::size_t d = config_.latent_dim;
+
+  util::Rng rng(config_.seed);
+  user_bias_.assign(num_users_, 0.0);
+  item_bias_.assign(num_items_, 0.0);
+  p_.resize(num_users_ * d);
+  q_.resize(num_items_ * d);
+  for (auto& x : p_) x = config_.init_scale * rng.NextGaussian();
+  for (auto& x : q_) x = config_.init_scale * rng.NextGaussian();
+
+  auto triples = train.ToTriples();
+  double lr = config_.learning_rate;
+  const double reg = config_.regularization;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(triples);
+    double sq_err = 0.0;
+    for (const auto& t : triples) {
+      double* pu = &p_[t.user * d];
+      double* qi = &q_[t.item * d];
+      double dot = 0.0;
+      for (std::size_t k = 0; k < d; ++k) dot += pu[k] * qi[k];
+      const double err =
+          t.value - (mu_ + user_bias_[t.user] + item_bias_[t.item] + dot);
+      sq_err += err * err;
+      user_bias_[t.user] += lr * (err - reg * user_bias_[t.user]);
+      item_bias_[t.item] += lr * (err - reg * item_bias_[t.item]);
+      for (std::size_t k = 0; k < d; ++k) {
+        const double pk = pu[k];
+        pu[k] += lr * (err * qi[k] - reg * pk);
+        qi[k] += lr * (err * pk - reg * qi[k]);
+      }
+    }
+    train_rmse_ = triples.empty()
+                      ? 0.0
+                      : std::sqrt(sq_err / static_cast<double>(triples.size()));
+    lr *= config_.lr_decay;
+    CFSF_LOG_DEBUG << "MF epoch " << epoch + 1 << ": train RMSE "
+                   << train_rmse_;
+  }
+}
+
+double MfPredictor::Predict(matrix::UserId user, matrix::ItemId item) const {
+  CFSF_REQUIRE(!p_.empty(), "MF Predict before Fit");
+  CFSF_REQUIRE(user < num_users_ && item < num_items_, "MF ids out of range");
+  const std::size_t d = config_.latent_dim;
+  double dot = 0.0;
+  for (std::size_t k = 0; k < d; ++k) dot += p_[user * d + k] * q_[item * d + k];
+  return mu_ + user_bias_[user] + item_bias_[item] + dot;
+}
+
+}  // namespace cfsf::baselines

@@ -1,0 +1,79 @@
+#include "baselines/pd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cfsf::baselines {
+
+PdPredictor::PdPredictor(const PdConfig& config) : config_(config) {
+  CFSF_REQUIRE(config.sigma > 0.0, "PD sigma must be positive");
+  CFSF_REQUIRE(config.significance_cutoff > 0, "PD cutoff must be positive");
+}
+
+void PdPredictor::Fit(const matrix::RatingMatrix& train) { train_ = train; }
+
+double PdPredictor::Predict(matrix::UserId user, matrix::ItemId item) const {
+  const auto active_row = train_.UserRow(user);
+  const double inv_two_sigma_sq = 1.0 / (2.0 * config_.sigma * config_.sigma);
+
+  // Candidate personalities: only raters of the active item can vote.
+  const auto raters = train_.ItemCol(item);
+  std::vector<double> log_like(raters.size(),
+                               -std::numeric_limits<double>::infinity());
+  std::vector<double> votes(raters.size(), 0.0);
+
+  double max_log = -std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < raters.size(); ++k) {
+    const auto candidate = static_cast<matrix::UserId>(raters[k].index);
+    if (candidate == user) continue;
+    const auto candidate_row = train_.UserRow(candidate);
+
+    // Merge the two sorted rows; accumulate squared differences.
+    double sq_diff = 0.0;
+    std::size_t overlap = 0;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < active_row.size() && j < candidate_row.size()) {
+      if (active_row[i].index < candidate_row[j].index) {
+        ++i;
+      } else if (active_row[i].index > candidate_row[j].index) {
+        ++j;
+      } else {
+        const double d = active_row[i].value - candidate_row[j].value;
+        sq_diff += d * d;
+        ++overlap;
+        ++i;
+        ++j;
+      }
+    }
+    if (overlap < config_.min_overlap) continue;
+    // Geometric-mean log-likelihood, scaled by the significance factor.
+    const double mean_ll = -(sq_diff / static_cast<double>(overlap)) *
+                           inv_two_sigma_sq;
+    const double significance =
+        static_cast<double>(std::min(overlap, config_.significance_cutoff)) /
+        static_cast<double>(config_.significance_cutoff);
+    log_like[k] = mean_ll * (2.0 - significance);  // low overlap → harsher
+    votes[k] = raters[k].value;
+    max_log = std::max(max_log, log_like[k]);
+  }
+
+  if (!std::isfinite(max_log)) return train_.UserMean(user);
+
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t k = 0; k < raters.size(); ++k) {
+    if (!std::isfinite(log_like[k])) continue;
+    const double w = std::exp(log_like[k] - max_log);
+    num += w * votes[k];
+    den += w;
+  }
+  if (den <= 0.0) return train_.UserMean(user);
+  return num / den;
+}
+
+}  // namespace cfsf::baselines

@@ -1,0 +1,40 @@
+// PD — Personality Diagnosis [Pennock, Horvitz, Lawrence & Giles, UAI 2000].
+//
+// A hybrid memory/model approach: each training user's profile is a
+// possible "personality"; the active user's observed ratings are noisy
+// Gaussian observations of their true personality.  The posterior over
+// personalities weights each training user's rating of the active item;
+// we return the posterior-expected rating.
+//
+// Numerical handling: likelihoods are computed in log space and
+// max-normalised before exponentiation.  Per-user log-likelihoods are
+// averaged over the overlap (geometric mean) and then significance-scaled
+// by min(overlap, cutoff)/cutoff, so personalities sharing only one or
+// two items cannot dominate through having fewer (<1) factors — a
+// standard correction for sparse data.
+#pragma once
+
+#include "eval/predictor.hpp"
+
+namespace cfsf::baselines {
+
+struct PdConfig {
+  double sigma = 1.0;            // Gaussian rating-noise std-dev
+  std::size_t significance_cutoff = 10;
+  std::size_t min_overlap = 1;   // personalities below this are skipped
+};
+
+class PdPredictor : public eval::Predictor {
+ public:
+  explicit PdPredictor(const PdConfig& config = {});
+
+  std::string Name() const override { return "PD"; }
+  void Fit(const matrix::RatingMatrix& train) override;
+  double Predict(matrix::UserId user, matrix::ItemId item) const override;
+
+ private:
+  PdConfig config_;
+  matrix::RatingMatrix train_;
+};
+
+}  // namespace cfsf::baselines

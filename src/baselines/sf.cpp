@@ -1,0 +1,102 @@
+#include "baselines/sf.hpp"
+
+#include <optional>
+
+#include "similarity/kernels.hpp"
+#include "util/error.hpp"
+
+namespace cfsf::baselines {
+
+SfPredictor::SfPredictor(const SfConfig& config) : config_(config) {
+  CFSF_REQUIRE(config.lambda >= 0.0 && config.lambda <= 1.0,
+               "SF lambda must be in [0,1]");
+  CFSF_REQUIRE(config.delta >= 0.0 && config.delta <= 1.0,
+               "SF delta must be in [0,1]");
+}
+
+void SfPredictor::Fit(const matrix::RatingMatrix& train) {
+  train_ = train;
+  gis_ = sim::GlobalItemSimilarity::Build(train_, config_.gis);
+  usm_ = sim::UserSimilarityMatrix::Build(train_, config_.user_sim);
+}
+
+double SfPredictor::Predict(matrix::UserId user, matrix::ItemId item) const {
+  // Item-based source (SIR over the full matrix).
+  std::optional<double> sir;
+  {
+    double num = 0.0;
+    double den = 0.0;
+    std::size_t used = 0;
+    for (const auto& n : gis_.Neighbors(item)) {
+      if (config_.max_neighbors != 0 && used >= config_.max_neighbors) break;
+      const auto rating = train_.GetRating(user, n.index);
+      if (!rating) continue;
+      num += static_cast<double>(n.similarity) * *rating;
+      den += n.similarity;
+      ++used;
+    }
+    if (den > 0.0) sir = num / den;
+  }
+
+  // User-based source (SUR, mean-centred).
+  std::optional<double> sur;
+  {
+    double num = 0.0;
+    double den = 0.0;
+    std::size_t used = 0;
+    for (const auto& n : usm_.Neighbors(user)) {
+      if (config_.max_neighbors != 0 && used >= config_.max_neighbors) break;
+      const auto rating = train_.GetRating(n.index, item);
+      if (!rating) continue;
+      num += static_cast<double>(n.similarity) *
+             (*rating - train_.UserMean(n.index));
+      den += n.similarity;
+      ++used;
+    }
+    if (den > 0.0) sur = train_.UserMean(user) + num / den;
+  }
+
+  // Cross source (SUIR): ratings the like-minded users made on the
+  // similar items, weighted by Eq. 13's combined similarity.
+  std::optional<double> suir;
+  {
+    const auto items = gis_.TopM(item, config_.cross_items);
+    const auto users = usm_.TopK(user, config_.cross_users);
+    double num = 0.0;
+    double den = 0.0;
+    for (const auto& iu : users) {
+      for (const auto& in : items) {
+        const auto rating = train_.GetRating(iu.index, in.index);
+        if (!rating) continue;
+        const double w = sim::CrossWeight(in.similarity, iu.similarity);
+        if (w <= 0.0) continue;
+        num += w * *rating;
+        den += w;
+      }
+    }
+    if (den > 0.0) suir = num / den;
+  }
+
+  // Convex fusion with renormalisation over the sources that produced a
+  // value; the user mean is the final fallback.
+  double weight_sum = 0.0;
+  double value = 0.0;
+  if (sir) {
+    const double w = (1.0 - config_.delta) * (1.0 - config_.lambda);
+    value += w * *sir;
+    weight_sum += w;
+  }
+  if (sur) {
+    const double w = (1.0 - config_.delta) * config_.lambda;
+    value += w * *sur;
+    weight_sum += w;
+  }
+  if (suir) {
+    value += config_.delta * *suir;
+    weight_sum += config_.delta;
+  }
+  if (weight_sum <= 0.0) return train_.UserMean(user);
+  return value / weight_sum;
+}
+
+}  // namespace cfsf::baselines

@@ -1,0 +1,29 @@
+#include "baselines/sir.hpp"
+
+namespace cfsf::baselines {
+
+void SirPredictor::Fit(const matrix::RatingMatrix& train) {
+  train_ = train;
+  gis_ = sim::GlobalItemSimilarity::Build(train_, config_.gis);
+}
+
+double SirPredictor::Predict(matrix::UserId user, matrix::ItemId item) const {
+  // Eq. 1: Σ sim(i_a, i_c) · r_{u,i_c} / Σ sim(i_a, i_c) over the similar
+  // items i_c the user has rated.  GIS rows are similarity-descending, so
+  // the neighbour cap takes the most similar rated items first.
+  double num = 0.0;
+  double den = 0.0;
+  std::size_t used = 0;
+  for (const auto& n : gis_.Neighbors(item)) {
+    if (config_.max_neighbors != 0 && used >= config_.max_neighbors) break;
+    const auto rating = train_.GetRating(user, n.index);
+    if (!rating) continue;
+    num += static_cast<double>(n.similarity) * *rating;
+    den += n.similarity;
+    ++used;
+  }
+  if (den <= 0.0) return train_.UserMean(user);
+  return num / den;
+}
+
+}  // namespace cfsf::baselines

@@ -1,0 +1,36 @@
+// SIR — the traditional item-based CF baseline of Table II (Eq. 1).
+//
+// Offline: the full item–item PCC matrix.  Online: for an active
+// (user, item), the weighted average of the user's own ratings on the
+// items most similar to the active item, searched over the whole matrix.
+#pragma once
+
+#include "eval/predictor.hpp"
+#include "similarity/item_similarity.hpp"
+
+namespace cfsf::baselines {
+
+struct SirConfig {
+  /// Cap on neighbours actually used per prediction (0 = every similar
+  /// item the user rated).
+  std::size_t max_neighbors = 0;
+  sim::GisConfig gis;  // min_similarity 0, min_overlap 2 by default
+};
+
+class SirPredictor : public eval::Predictor {
+ public:
+  explicit SirPredictor(const SirConfig& config = {}) : config_(config) {}
+
+  std::string Name() const override { return "SIR"; }
+  void Fit(const matrix::RatingMatrix& train) override;
+  double Predict(matrix::UserId user, matrix::ItemId item) const override;
+
+  const sim::GlobalItemSimilarity& similarities() const { return gis_; }
+
+ private:
+  SirConfig config_;
+  matrix::RatingMatrix train_;
+  sim::GlobalItemSimilarity gis_;
+};
+
+}  // namespace cfsf::baselines

@@ -1,0 +1,73 @@
+#include "baselines/slope_one.hpp"
+
+#include "parallel/parallel_for.hpp"
+#include "util/error.hpp"
+
+namespace cfsf::baselines {
+
+SlopeOnePredictor::SlopeOnePredictor(const SlopeOneConfig& config)
+    : config_(config) {}
+
+std::size_t SlopeOnePredictor::Index(matrix::ItemId j, matrix::ItemId i) const {
+  return static_cast<std::size_t>(j) * num_items_ + i;
+}
+
+void SlopeOnePredictor::Fit(const matrix::RatingMatrix& train) {
+  train_ = train;
+  num_items_ = train.num_items();
+  // Accumulate pairwise difference sums in one pass over users (the same
+  // single-pass trick as the GIS build).
+  std::vector<double> diff_sum(num_items_ * num_items_, 0.0);
+  count_.assign(num_items_ * num_items_, 0);
+  for (std::size_t u = 0; u < train.num_users(); ++u) {
+    const auto row = train.UserRow(static_cast<matrix::UserId>(u));
+    for (std::size_t a = 0; a < row.size(); ++a) {
+      for (std::size_t b = 0; b < row.size(); ++b) {
+        if (a == b) continue;
+        const std::size_t k = Index(row[a].index, row[b].index);
+        diff_sum[k] += static_cast<double>(row[a].value) - row[b].value;
+        ++count_[k];
+      }
+    }
+  }
+  dev_.assign(num_items_ * num_items_, 0.0F);
+  par::ForOptions options;
+  options.serial = !config_.parallel;
+  par::ParallelFor(
+      0, num_items_ * num_items_,
+      [&](std::size_t k) {
+        if (count_[k] >= config_.min_overlap) {
+          dev_[k] = static_cast<float>(diff_sum[k] / count_[k]);
+        } else {
+          count_[k] = 0;  // filtered pairs contribute nothing online
+        }
+      },
+      options);
+}
+
+double SlopeOnePredictor::Predict(matrix::UserId user, matrix::ItemId item) const {
+  CFSF_REQUIRE(num_items_ > 0, "SlopeOne Predict before Fit");
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& e : train_.UserRow(user)) {
+    if (e.index == item) continue;
+    const std::size_t k = Index(item, e.index);
+    if (count_[k] == 0) continue;
+    num += (static_cast<double>(dev_[k]) + e.value) * count_[k];
+    den += count_[k];
+  }
+  if (den <= 0.0) return train_.UserMean(user);
+  return num / den;
+}
+
+double SlopeOnePredictor::Deviation(matrix::ItemId j, matrix::ItemId i) const {
+  CFSF_REQUIRE(j < num_items_ && i < num_items_, "item id out of range");
+  return dev_[Index(j, i)];
+}
+
+std::uint32_t SlopeOnePredictor::Overlap(matrix::ItemId j, matrix::ItemId i) const {
+  CFSF_REQUIRE(j < num_items_ && i < num_items_, "item id out of range");
+  return count_[Index(j, i)];
+}
+
+}  // namespace cfsf::baselines

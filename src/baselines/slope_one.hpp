@@ -1,0 +1,47 @@
+// Slope One [Lemire & Maclachlan, SDM 2005] — the classic "frighteningly
+// simple" item-based scheme.  Not part of the paper's Table III, but a
+// standard reference point any CF library ships; included in the
+// method-shootout example.
+//
+// Offline: for every item pair (j, i), the average difference
+// dev(j, i) = avg over co-raters of (r_j − r_i) and the co-rater count.
+// Online (weighted Slope One):
+//   r̂(u, j) = Σ_i count(j,i)·(dev(j,i) + r_{u,i}) / Σ_i count(j,i)
+// over the items i the user rated.
+#pragma once
+
+#include <vector>
+
+#include "eval/predictor.hpp"
+
+namespace cfsf::baselines {
+
+struct SlopeOneConfig {
+  /// Pairs with fewer co-raters than this are ignored.
+  std::size_t min_overlap = 2;
+  bool parallel = true;
+};
+
+class SlopeOnePredictor : public eval::Predictor {
+ public:
+  explicit SlopeOnePredictor(const SlopeOneConfig& config = {});
+
+  std::string Name() const override { return "SlopeOne"; }
+  void Fit(const matrix::RatingMatrix& train) override;
+  double Predict(matrix::UserId user, matrix::ItemId item) const override;
+
+  /// dev(j, i) and the supporting co-rater count (0 if filtered).
+  double Deviation(matrix::ItemId j, matrix::ItemId i) const;
+  std::uint32_t Overlap(matrix::ItemId j, matrix::ItemId i) const;
+
+ private:
+  std::size_t Index(matrix::ItemId j, matrix::ItemId i) const;
+
+  SlopeOneConfig config_;
+  matrix::RatingMatrix train_;
+  std::size_t num_items_ = 0;
+  std::vector<float> dev_;        // num_items² (row j, col i)
+  std::vector<std::uint32_t> count_;
+};
+
+}  // namespace cfsf::baselines

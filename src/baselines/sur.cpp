@@ -1,0 +1,28 @@
+#include "baselines/sur.hpp"
+
+namespace cfsf::baselines {
+
+void SurPredictor::Fit(const matrix::RatingMatrix& train) {
+  train_ = train;
+  usm_ = sim::UserSimilarityMatrix::Build(train_, config_.user_sim);
+}
+
+double SurPredictor::Predict(matrix::UserId user, matrix::ItemId item) const {
+  double num = 0.0;
+  double den = 0.0;
+  std::size_t used = 0;
+  for (const auto& n : usm_.Neighbors(user)) {
+    if (config_.max_neighbors != 0 && used >= config_.max_neighbors) break;
+    const auto rating = train_.GetRating(n.index, item);
+    if (!rating) continue;
+    const double contribution =
+        config_.mean_center ? *rating - train_.UserMean(n.index) : *rating;
+    num += static_cast<double>(n.similarity) * contribution;
+    den += n.similarity;
+    ++used;
+  }
+  if (den <= 0.0) return train_.UserMean(user);
+  return config_.mean_center ? train_.UserMean(user) + num / den : num / den;
+}
+
+}  // namespace cfsf::baselines

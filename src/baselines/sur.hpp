@@ -1,0 +1,39 @@
+// SUR — the traditional user-based CF baseline of Table II (Eq. 2).
+//
+// Offline: the full user–user PCC matrix (Eq. 6).  Online: the weighted
+// average of the like-minded users' ratings of the active item, searched
+// over the whole matrix.  Eq. 2 as printed is a *raw* weighted average —
+// no mean-centring — and that is the default here; `mean_center` switches
+// to Resnick's variant (which the paper's own SUR′ component, Eq. 12,
+// uses) for comparison.
+#pragma once
+
+#include "eval/predictor.hpp"
+#include "similarity/user_similarity.hpp"
+
+namespace cfsf::baselines {
+
+struct SurConfig {
+  std::size_t max_neighbors = 0;  // 0 = every similar rater
+  /// false = Eq. 2 verbatim; true = Resnick mean-centring.
+  bool mean_center = false;
+  sim::UserSimilarityConfig user_sim;
+};
+
+class SurPredictor : public eval::Predictor {
+ public:
+  explicit SurPredictor(const SurConfig& config = {}) : config_(config) {}
+
+  std::string Name() const override { return "SUR"; }
+  void Fit(const matrix::RatingMatrix& train) override;
+  double Predict(matrix::UserId user, matrix::ItemId item) const override;
+
+  const sim::UserSimilarityMatrix& similarities() const { return usm_; }
+
+ private:
+  SurConfig config_;
+  matrix::RatingMatrix train_;
+  sim::UserSimilarityMatrix usm_;
+};
+
+}  // namespace cfsf::baselines

@@ -1,0 +1,187 @@
+#include "clustering/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "parallel/parallel_for.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace cfsf::cluster {
+
+double UserCentroidPcc(const matrix::RatingMatrix& matrix, matrix::UserId user,
+                       std::span<const double> centroid, double centroid_mean) {
+  const auto row = matrix.UserRow(user);
+  const double user_mean = matrix.UserMean(user);
+  double dot = 0.0;
+  double sq_u = 0.0;
+  double sq_c = 0.0;
+  for (const auto& e : row) {
+    CFSF_ASSERT(e.index < centroid.size(), "centroid narrower than item space");
+    const double du = e.value - user_mean;
+    const double dc = centroid[e.index] - centroid_mean;
+    dot += du * dc;
+    sq_u += du * du;
+    sq_c += dc * dc;
+  }
+  const double denom = std::sqrt(sq_u) * std::sqrt(sq_c);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+namespace {
+
+/// Recomputes centroids from assignments.  Returns per-cluster sizes.
+std::vector<std::size_t> RecomputeCentroids(
+    const matrix::RatingMatrix& matrix,
+    const std::vector<std::uint32_t>& assignments, std::size_t num_clusters,
+    matrix::DenseMatrix& centroids, std::vector<double>& centroid_means) {
+  const std::size_t q = matrix.num_items();
+  std::vector<std::size_t> sizes(num_clusters, 0);
+  std::vector<double> sum(num_clusters * q, 0.0);
+  std::vector<std::uint32_t> count(num_clusters * q, 0);
+  std::vector<double> cluster_rating_sum(num_clusters, 0.0);
+  std::vector<std::size_t> cluster_rating_count(num_clusters, 0);
+
+  for (std::size_t u = 0; u < matrix.num_users(); ++u) {
+    const std::uint32_t c = assignments[u];
+    ++sizes[c];
+    for (const auto& e : matrix.UserRow(static_cast<matrix::UserId>(u))) {
+      sum[c * q + e.index] += e.value;
+      ++count[c * q + e.index];
+      cluster_rating_sum[c] += e.value;
+      ++cluster_rating_count[c];
+    }
+  }
+
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    const double fallback = cluster_rating_count[c] > 0
+                                ? cluster_rating_sum[c] /
+                                      static_cast<double>(cluster_rating_count[c])
+                                : matrix.GlobalMean();
+    double mean_acc = 0.0;
+    for (std::size_t i = 0; i < q; ++i) {
+      const double value = count[c * q + i] > 0
+                               ? sum[c * q + i] /
+                                     static_cast<double>(count[c * q + i])
+                               : fallback;
+      centroids(c, i) = value;
+      mean_acc += value;
+    }
+    centroid_means[c] = q > 0 ? mean_acc / static_cast<double>(q) : 0.0;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(const matrix::RatingMatrix& matrix,
+                       const KMeansConfig& config) {
+  const std::size_t p = matrix.num_users();
+  const std::size_t q = matrix.num_items();
+  CFSF_REQUIRE(config.num_clusters > 0, "num_clusters must be positive");
+  CFSF_REQUIRE(config.num_clusters <= p,
+               "more clusters than users (C=" +
+                   std::to_string(config.num_clusters) +
+                   ", P=" + std::to_string(p) + ")");
+
+  KMeansResult result;
+  result.assignments.assign(p, 0);
+  result.centroids = matrix::DenseMatrix(config.num_clusters, q);
+  result.centroid_means.assign(config.num_clusters, 0.0);
+
+  // Seed: centroids start as the profiles of distinct random users.
+  util::Rng rng(config.seed);
+  const auto seeds = rng.SampleWithoutReplacement(p, config.num_clusters);
+  for (std::size_t c = 0; c < config.num_clusters; ++c) {
+    const auto seed_user = static_cast<matrix::UserId>(seeds[c]);
+    const double fallback = matrix.UserMean(seed_user);
+    for (std::size_t i = 0; i < q; ++i) result.centroids(c, i) = fallback;
+    for (const auto& e : matrix.UserRow(seed_user)) {
+      result.centroids(c, e.index) = e.value;
+    }
+    double mean_acc = 0.0;
+    for (std::size_t i = 0; i < q; ++i) mean_acc += result.centroids(c, i);
+    result.centroid_means[c] = q > 0 ? mean_acc / static_cast<double>(q) : 0.0;
+  }
+
+  par::ForOptions options;
+  options.serial = !config.parallel;
+
+  std::vector<std::uint32_t> previous(p, std::numeric_limits<std::uint32_t>::max());
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step (parallel over users): best-correlated centroid.
+    par::ParallelFor(
+        0, p,
+        [&](std::size_t u) {
+          double best_sim = -std::numeric_limits<double>::infinity();
+          std::uint32_t best_cluster = 0;
+          for (std::size_t c = 0; c < config.num_clusters; ++c) {
+            const double sim = UserCentroidPcc(
+                matrix, static_cast<matrix::UserId>(u),
+                result.centroids.Row(c), result.centroid_means[c]);
+            if (sim > best_sim) {
+              best_sim = sim;
+              best_cluster = static_cast<std::uint32_t>(c);
+            }
+          }
+          result.assignments[u] = best_cluster;
+        },
+        options);
+
+    std::size_t reassigned = 0;
+    for (std::size_t u = 0; u < p; ++u) {
+      if (result.assignments[u] != previous[u]) ++reassigned;
+    }
+    previous = result.assignments;
+
+    result.cluster_sizes =
+        RecomputeCentroids(matrix, result.assignments, config.num_clusters,
+                           result.centroids, result.centroid_means);
+
+    // Empty-cluster repair: steal the least-correlated member of the
+    // largest cluster.  Deterministic (no RNG involved).
+    for (std::size_t c = 0; c < config.num_clusters; ++c) {
+      if (result.cluster_sizes[c] != 0) continue;
+      const std::size_t donor = static_cast<std::size_t>(
+          std::max_element(result.cluster_sizes.begin(),
+                           result.cluster_sizes.end()) -
+          result.cluster_sizes.begin());
+      if (result.cluster_sizes[donor] <= 1) continue;
+      double worst_sim = std::numeric_limits<double>::infinity();
+      std::size_t worst_user = p;
+      for (std::size_t u = 0; u < p; ++u) {
+        if (result.assignments[u] != donor) continue;
+        const double sim = UserCentroidPcc(matrix, static_cast<matrix::UserId>(u),
+                                           result.centroids.Row(donor),
+                                           result.centroid_means[donor]);
+        if (sim < worst_sim) {
+          worst_sim = sim;
+          worst_user = u;
+        }
+      }
+      if (worst_user < p) {
+        result.assignments[worst_user] = static_cast<std::uint32_t>(c);
+        result.cluster_sizes =
+            RecomputeCentroids(matrix, result.assignments, config.num_clusters,
+                               result.centroids, result.centroid_means);
+        ++reassigned;
+      }
+    }
+
+    const double fraction =
+        p > 0 ? static_cast<double>(reassigned) / static_cast<double>(p) : 0.0;
+    CFSF_LOG_DEBUG << "kmeans iter " << result.iterations << ": reassigned "
+                   << reassigned << " (" << fraction * 100.0 << "%)";
+    if (iter > 0 && fraction <= config.min_reassigned_fraction) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cfsf::cluster

@@ -1,0 +1,183 @@
+#include "clustering/smoothing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "util/error.hpp"
+
+namespace cfsf::cluster {
+
+ClusterModel ClusterModel::Build(const matrix::RatingMatrix& matrix,
+                                 std::span<const std::uint32_t> assignments,
+                                 std::size_t num_clusters, bool parallel,
+                                 double deviation_shrinkage) {
+  CFSF_REQUIRE(deviation_shrinkage >= 0.0,
+               "deviation_shrinkage must be non-negative");
+  const std::size_t p = matrix.num_users();
+  const std::size_t q = matrix.num_items();
+  CFSF_REQUIRE(assignments.size() == p,
+               "assignments size must equal the user count");
+  CFSF_REQUIRE(num_clusters > 0, "num_clusters must be positive");
+  for (const auto a : assignments) {
+    CFSF_REQUIRE(a < num_clusters, "assignment references a missing cluster");
+  }
+
+  ClusterModel model;
+  model.num_clusters_ = num_clusters;
+  model.assignments_.assign(assignments.begin(), assignments.end());
+  model.cluster_sizes_.assign(num_clusters, 0);
+  for (const auto a : assignments) ++model.cluster_sizes_[a];
+
+  model.user_means_.resize(p);
+  for (std::size_t u = 0; u < p; ++u) {
+    model.user_means_[u] = matrix.UserMean(static_cast<matrix::UserId>(u));
+  }
+
+  // --- Eq. 8: per-cluster per-item mean-centred deviations -------------
+  model.deviations_ = matrix::DenseMatrix(num_clusters, q);
+  model.has_rating_.assign(num_clusters * q, 0);
+  {
+    std::vector<double> dev_sum(num_clusters * q, 0.0);
+    std::vector<std::uint32_t> dev_count(num_clusters * q, 0);
+    // Global fallback: item deviation over all raters.
+    std::vector<double> global_dev(q, 0.0);
+    std::vector<std::uint32_t> global_count(q, 0);
+
+    for (std::size_t u = 0; u < p; ++u) {
+      const std::uint32_t c = assignments[u];
+      const double mean_u = model.user_means_[u];
+      for (const auto& e : matrix.UserRow(static_cast<matrix::UserId>(u))) {
+        const double dev = e.value - mean_u;
+        dev_sum[c * q + e.index] += dev;
+        ++dev_count[c * q + e.index];
+        global_dev[e.index] += dev;
+        ++global_count[e.index];
+      }
+    }
+    for (std::size_t i = 0; i < q; ++i) {
+      global_dev[i] = global_count[i] > 0
+                          ? global_dev[i] / static_cast<double>(global_count[i])
+                          : 0.0;
+    }
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+      for (std::size_t i = 0; i < q; ++i) {
+        const std::size_t k = c * q + i;
+        if (dev_count[k] > 0) {
+          // Shrunk Eq. 8 (see header); exact Eq. 8 when shrinkage is 0.
+          model.deviations_(c, i) =
+              (dev_sum[k] + deviation_shrinkage * global_dev[i]) /
+              (static_cast<double>(dev_count[k]) + deviation_shrinkage);
+          model.has_rating_[k] = 1;
+        } else {
+          model.deviations_(c, i) = global_dev[i];
+        }
+      }
+    }
+  }
+
+  // --- Eq. 7: smoothed dense matrix + provenance masks -----------------
+  model.smoothed_ = matrix::DenseMatrix(p, q);
+  model.original_mask_.assign(p * q, 0);
+  par::ForOptions options;
+  options.serial = !parallel;
+  par::ParallelFor(
+      0, p,
+      [&](std::size_t u) {
+        const std::uint32_t c = model.assignments_[u];
+        const double mean_u = model.user_means_[u];
+        auto row = model.smoothed_.Row(u);
+        for (std::size_t i = 0; i < q; ++i) {
+          row[i] = mean_u + model.deviations_(c, i);
+        }
+        for (const auto& e : matrix.UserRow(static_cast<matrix::UserId>(u))) {
+          row[e.index] = e.value;
+          model.original_mask_[u * q + e.index] = 1;
+        }
+      },
+      options);
+
+  // --- Eq. 9: iCluster lists -------------------------------------------
+  model.icluster_.assign(p, {});
+  par::ParallelFor(
+      0, p,
+      [&](std::size_t u) {
+        auto& list = model.icluster_[u];
+        list.reserve(num_clusters);
+        const auto row = matrix.UserRow(static_cast<matrix::UserId>(u));
+        const double mean_u = model.user_means_[u];
+        for (std::size_t c = 0; c < num_clusters; ++c) {
+          const double sim =
+              model.AffinityOf(row, mean_u, static_cast<std::uint32_t>(c));
+          list.push_back(ClusterAffinity{static_cast<std::uint32_t>(c),
+                                         static_cast<float>(sim)});
+        }
+        std::sort(list.begin(), list.end(),
+                  [](const ClusterAffinity& a, const ClusterAffinity& b) {
+                    if (a.similarity != b.similarity) {
+                      return a.similarity > b.similarity;
+                    }
+                    return a.cluster < b.cluster;
+                  });
+      },
+      options);
+
+  return model;
+}
+
+std::uint32_t ClusterModel::ClusterOf(matrix::UserId user) const {
+  CFSF_ASSERT(user < assignments_.size(), "user id out of range");
+  return assignments_[user];
+}
+
+double ClusterModel::ClusterDeviation(std::uint32_t cluster,
+                                      matrix::ItemId item) const {
+  CFSF_ASSERT(cluster < num_clusters_ && item < num_items(),
+              "ClusterDeviation index out of range");
+  return deviations_(cluster, item);
+}
+
+bool ClusterModel::ClusterHasRating(std::uint32_t cluster,
+                                    matrix::ItemId item) const {
+  CFSF_ASSERT(cluster < num_clusters_ && item < num_items(),
+              "ClusterHasRating index out of range");
+  return has_rating_[cluster * num_items() + item] != 0;
+}
+
+std::span<const double> ClusterModel::SmoothedProfile(matrix::UserId user) const {
+  CFSF_ASSERT(user < num_users(), "user id out of range");
+  return smoothed_.Row(user);
+}
+
+std::span<const std::uint8_t> ClusterModel::OriginalMask(
+    matrix::UserId user) const {
+  CFSF_ASSERT(user < num_users(), "user id out of range");
+  return {original_mask_.data() + user * num_items(), num_items()};
+}
+
+std::span<const ClusterAffinity> ClusterModel::IClusterOf(
+    matrix::UserId user) const {
+  CFSF_ASSERT(user < icluster_.size(), "user id out of range");
+  return icluster_[user];
+}
+
+double ClusterModel::AffinityOf(std::span<const matrix::Entry> row,
+                                double row_mean, std::uint32_t cluster) const {
+  CFSF_ASSERT(cluster < num_clusters_, "cluster id out of range");
+  // Eq. 9: correlate the cluster's deviations with the user's deviations
+  // over the items the user rated.
+  double dot = 0.0;
+  double sq_c = 0.0;
+  double sq_u = 0.0;
+  for (const auto& e : row) {
+    const double dc = deviations_(cluster, e.index);
+    const double du = e.value - row_mean;
+    dot += dc * du;
+    sq_c += dc * dc;
+    sq_u += du * du;
+  }
+  const double denom = std::sqrt(sq_c) * std::sqrt(sq_u);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+}  // namespace cfsf::cluster

@@ -1,0 +1,20 @@
+// Umbrella header: everything a downstream user of the CFSF library needs.
+//
+//   #include "core/cfsf.hpp"
+//
+//   cfsf::core::CfsfModel model;           // paper defaults
+//   model.Fit(train);
+//   double r = model.Predict(user, item);  // Algorithm 1, online phase
+#pragma once
+
+#include "core/cfsf_config.hpp"   // IWYU pragma: export
+#include "core/cfsf_model.hpp"    // IWYU pragma: export
+#include "data/catalogue.hpp"     // IWYU pragma: export
+#include "data/movielens.hpp"     // IWYU pragma: export
+#include "data/protocol.hpp"      // IWYU pragma: export
+#include "data/synthetic.hpp"     // IWYU pragma: export
+#include "eval/evaluate.hpp"      // IWYU pragma: export
+#include "eval/metrics.hpp"       // IWYU pragma: export
+#include "eval/predictor.hpp"     // IWYU pragma: export
+#include "matrix/rating_matrix.hpp"  // IWYU pragma: export
+#include "matrix/stats.hpp"       // IWYU pragma: export

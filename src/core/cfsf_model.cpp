@@ -1,0 +1,463 @@
+#include "core/cfsf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "parallel/parallel_for.hpp"
+#include "similarity/kernels.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace cfsf::core {
+
+CfsfModel::CfsfModel(const CfsfConfig& config) : config_(config) {
+  config_.Validate();
+}
+
+void CfsfModel::Fit(const matrix::RatingMatrix& train) {
+  CFSF_REQUIRE(train.num_users() > 0 && train.num_items() > 0,
+               "cannot fit CFSF on an empty matrix");
+  train_ = train;
+
+  // Step 1: GIS (Eq. 5), thresholded and similarity-descending.
+  sim::GisConfig gis_config = config_.gis;
+  gis_config.parallel = config_.parallel;
+  gis_ = sim::GlobalItemSimilarity::Build(train_, gis_config);
+
+  // Step 2: K-means user clusters (Eq. 6).
+  cluster::KMeansConfig kconfig;
+  kconfig.num_clusters = std::min(config_.num_clusters, train_.num_users());
+  kconfig.max_iterations = config_.kmeans_max_iterations;
+  kconfig.seed = config_.seed;
+  kconfig.parallel = config_.parallel;
+  const auto kmeans = cluster::RunKMeans(train_, kconfig);
+
+  // Step 3: smoothing (Eq. 7–8) and iCluster lists (Eq. 9).
+  clusters_ = cluster::ClusterModel::Build(train_, kmeans.assignments,
+                                           kconfig.num_clusters,
+                                           config_.parallel,
+                                           config_.deviation_shrinkage);
+
+  cluster_members_.assign(kconfig.num_clusters, {});
+  for (std::size_t u = 0; u < train_.num_users(); ++u) {
+    cluster_members_[kmeans.assignments[u]].push_back(
+        static_cast<matrix::UserId>(u));
+  }
+
+  latest_timestamp_ = 0;
+  if (train_.has_timestamps()) {
+    for (std::size_t u = 0; u < train_.num_users(); ++u) {
+      for (const auto ts : train_.UserRowTimestamps(static_cast<matrix::UserId>(u))) {
+        latest_timestamp_ = std::max(latest_timestamp_, ts);
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.assign(train_.num_users(), nullptr);
+  }
+  fitted_ = true;
+  CFSF_LOG_INFO << "CFSF fitted: " << train_.num_users() << " users, "
+                << train_.num_items() << " items, GIS entries "
+                << gis_.TotalNeighbors() << ", C=" << kconfig.num_clusters;
+}
+
+std::unique_ptr<CfsfModel> CfsfModel::Restore(
+    const CfsfConfig& config, matrix::RatingMatrix train,
+    sim::GlobalItemSimilarity gis, std::vector<std::uint32_t> assignments) {
+  CFSF_REQUIRE(assignments.size() == train.num_users(),
+               "Restore: assignments size must equal the user count");
+  CFSF_REQUIRE(gis.num_items() == train.num_items(),
+               "Restore: GIS shape must match the matrix");
+  std::size_t num_clusters = 0;
+  for (const auto a : assignments) {
+    num_clusters = std::max<std::size_t>(num_clusters, a + 1);
+  }
+  CFSF_REQUIRE(num_clusters > 0, "Restore: empty assignment vector");
+
+  auto model = std::make_unique<CfsfModel>(config);
+  model->train_ = std::move(train);
+  model->gis_ = std::move(gis);
+  model->clusters_ = cluster::ClusterModel::Build(
+      model->train_, assignments, num_clusters, config.parallel,
+      config.deviation_shrinkage);
+  model->cluster_members_.assign(num_clusters, {});
+  for (std::size_t u = 0; u < model->train_.num_users(); ++u) {
+    model->cluster_members_[assignments[u]].push_back(
+        static_cast<matrix::UserId>(u));
+  }
+  model->latest_timestamp_ = 0;
+  if (model->train_.has_timestamps()) {
+    for (std::size_t u = 0; u < model->train_.num_users(); ++u) {
+      for (const auto ts :
+           model->train_.UserRowTimestamps(static_cast<matrix::UserId>(u))) {
+        model->latest_timestamp_ = std::max(model->latest_timestamp_, ts);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(model->cache_mutex_);
+    model->cache_.assign(model->train_.num_users(), nullptr);
+  }
+  model->fitted_ = true;
+  return model;
+}
+
+std::vector<SelectedUser> CfsfModel::ComputeTopKUsers(matrix::UserId user) const {
+  // Section IV-E2: walk the iCluster order, pooling candidate users until
+  // the pool can support the top-K selection, then rank by Eq. 10.
+  const auto active_row = train_.UserRow(user);
+  const double active_mean = train_.UserMean(user);
+  const std::size_t want_pool =
+      std::max<std::size_t>(config_.top_k_users,
+                            config_.top_k_users * config_.candidate_pool_factor);
+
+  std::vector<SelectedUser> scored;
+  scored.reserve(want_pool + 64);
+  std::size_t pooled = 0;
+  for (const auto& affinity : clusters_.IClusterOf(user)) {
+    for (const auto candidate : cluster_members_[affinity.cluster]) {
+      if (candidate == user) continue;
+      ++pooled;
+      const double similarity = sim::SmoothingAwarePcc(
+          active_row, active_mean, clusters_.SmoothedProfile(candidate),
+          clusters_.OriginalMask(candidate), clusters_.UserMean(candidate),
+          config_.epsilon);
+      if (similarity > 0.0) scored.push_back(SelectedUser{candidate, similarity});
+    }
+    if (pooled >= want_pool) break;
+  }
+
+  const std::size_t k = std::min(config_.top_k_users, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                    [](const SelectedUser& a, const SelectedUser& b) {
+                      if (a.similarity != b.similarity) {
+                        return a.similarity > b.similarity;
+                      }
+                      return a.user < b.user;
+                    });
+  scored.resize(k);
+  return scored;
+}
+
+std::shared_ptr<const std::vector<SelectedUser>> CfsfModel::TopKUsersCached(
+    matrix::UserId user) const {
+  if (!config_.use_cache) {
+    return std::make_shared<const std::vector<SelectedUser>>(
+        ComputeTopKUsers(user));
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_[user]) return cache_[user];
+  }
+  auto computed = std::make_shared<const std::vector<SelectedUser>>(
+      ComputeTopKUsers(user));
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (!cache_[user]) cache_[user] = computed;
+  return cache_[user];
+}
+
+std::vector<SelectedUser> CfsfModel::SelectTopKUsers(matrix::UserId user) const {
+  CFSF_REQUIRE(fitted_, "SelectTopKUsers before Fit");
+  CFSF_REQUIRE(user < train_.num_users(), "user id out of range");
+  return *TopKUsersCached(user);
+}
+
+double CfsfModel::TimeDecayWeight(matrix::UserId user, matrix::ItemId item) const {
+  if (!config_.time_decay || !train_.has_timestamps()) return 1.0;
+  const auto row = train_.UserRow(user);
+  const auto ts = train_.UserRowTimestamps(user);
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), item,
+      [](const matrix::Entry& e, matrix::ItemId target) {
+        return e.index < target;
+      });
+  if (it == row.end() || it->index != item) return 1.0;
+  const auto stamp = ts[static_cast<std::size_t>(it - row.begin())];
+  if (stamp == 0) return 1.0;
+  const double age_days =
+      static_cast<double>(latest_timestamp_ - stamp) / 86400.0;
+  return std::exp2(-std::max(age_days, 0.0) / config_.time_half_life_days);
+}
+
+FusionBreakdown CfsfModel::PredictWithNeighbors(
+    matrix::UserId user, matrix::ItemId item,
+    std::span<const SelectedUser> neighbors) const {
+  const auto top_items = gis_.TopM(item, config_.top_m_items);
+  const double user_mean = train_.UserMean(user);
+  const auto active_mask = clusters_.OriginalMask(user);
+  const auto active_profile = clusters_.SmoothedProfile(user);
+
+  FusionBreakdown result;
+
+  const bool center = config_.center_on_item_means;
+  const double item_anchor = center ? train_.ItemMean(item) : 0.0;
+
+  // --- SIR′: the active user's ratings on the top-M similar items
+  // (Eq. 12, first line; item-mean anchored by default, see
+  // CfsfConfig::center_on_item_means).  The local matrix is filled from
+  // the original ratings; smoothed cells only participate (at weight w)
+  // when local_matrix_smoothed is set.
+  if (config_.use_sir) {
+    double num = 0.0;
+    double den = 0.0;
+    for (const auto& n : top_items) {
+      const bool original = active_mask[n.index] != 0;
+      if (!original && !config_.local_matrix_smoothed) continue;
+      double w = sim::ProvenanceWeight(original, config_.epsilon);
+      if (original) w *= TimeDecayWeight(user, n.index);
+      const double value = center ? active_profile[n.index] -
+                                        train_.ItemMean(n.index)
+                                  : active_profile[n.index];
+      num += w * n.similarity * value;
+      den += w * n.similarity;
+    }
+    if (den > 0.0) result.sir = item_anchor + num / den;
+  }
+
+  // --- SUR′: mean-centred ratings of the top-K like-minded users on the
+  // active item (Eq. 12, second line).
+  if (config_.use_sur) {
+    double num = 0.0;
+    double den = 0.0;
+    for (const auto& t : neighbors) {
+      const bool original = clusters_.OriginalMask(t.user)[item] != 0;
+      if (!original && !config_.sur_uses_smoothed) continue;
+      double w = sim::ProvenanceWeight(original, config_.epsilon);
+      if (original) w *= TimeDecayWeight(t.user, item);
+      const double value = clusters_.SmoothedProfile(t.user)[item];
+      num += w * t.similarity * (value - clusters_.UserMean(t.user));
+      den += w * t.similarity;
+    }
+    if (den > 0.0) result.sur = user_mean + num / den;
+  }
+
+  // --- SUIR′: the like-minded users' ratings on the similar items,
+  // weighted by the Eq. 13 cross similarity (Eq. 12, third line).
+  if (config_.use_suir) {
+    double num = 0.0;
+    double den = 0.0;
+    const double w_original = 1.0 - config_.epsilon;
+    const double w_smoothed = config_.epsilon;
+    for (const auto& t : neighbors) {
+      const auto profile = clusters_.SmoothedProfile(t.user);
+      const auto mask = clusters_.OriginalMask(t.user);
+      const double user_sim = t.similarity;
+      const double user_sim_sq = user_sim * user_sim;
+      for (const auto& s : top_items) {
+        const bool original = mask[s.index] != 0;
+        if (!original && !config_.local_matrix_smoothed) continue;
+        // Eq. 13 inlined with the per-neighbour square hoisted out.
+        const double item_sim = s.similarity;
+        const double sum_sq = item_sim * item_sim + user_sim_sq;
+        if (sum_sq <= 0.0) continue;
+        const double cross = item_sim * user_sim / std::sqrt(sum_sq);
+        if (cross <= 0.0) continue;
+        double w = original ? w_original : w_smoothed;
+        if (original && config_.time_decay) w *= TimeDecayWeight(t.user, s.index);
+        const double value = center ? profile[s.index] -
+                                          train_.ItemMean(s.index)
+                                    : profile[s.index];
+        num += w * cross * value;
+        den += w * cross;
+      }
+    }
+    if (den > 0.0) result.suir = item_anchor + num / den;
+  }
+
+  // --- Eq. 14, renormalised over the components that produced a value.
+  double weight_sum = 0.0;
+  double value = 0.0;
+  if (result.sir) {
+    const double w = (1.0 - config_.delta) * (1.0 - config_.lambda);
+    value += w * *result.sir;
+    weight_sum += w;
+  }
+  if (result.sur) {
+    const double w = (1.0 - config_.delta) * config_.lambda;
+    value += w * *result.sur;
+    weight_sum += w;
+  }
+  if (result.suir) {
+    value += config_.delta * *result.suir;
+    weight_sum += config_.delta;
+  }
+  result.fused = weight_sum > 0.0 ? value / weight_sum : user_mean;
+  return result;
+}
+
+double CfsfModel::Predict(matrix::UserId user, matrix::ItemId item) const {
+  return PredictDetailed(user, item).fused;
+}
+
+FusionBreakdown CfsfModel::PredictDetailed(matrix::UserId user,
+                                           matrix::ItemId item) const {
+  CFSF_REQUIRE(fitted_, "Predict before Fit");
+  CFSF_REQUIRE(user < train_.num_users(), "user id out of range");
+  CFSF_REQUIRE(item < train_.num_items(), "item id out of range");
+  const auto neighbors = TopKUsersCached(user);
+  return PredictWithNeighbors(user, item, *neighbors);
+}
+
+std::vector<double> CfsfModel::PredictBatch(
+    std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries) const {
+  CFSF_REQUIRE(fitted_, "PredictBatch before Fit");
+  std::vector<double> out(queries.size(), 0.0);
+
+  // Group query indices by user so each worker selects a user's top-K
+  // exactly once.
+  std::map<matrix::UserId, std::vector<std::size_t>> by_user;
+  for (std::size_t idx = 0; idx < queries.size(); ++idx) {
+    by_user[queries[idx].first].push_back(idx);
+  }
+  std::vector<std::pair<matrix::UserId, std::vector<std::size_t>>> groups(
+      by_user.begin(), by_user.end());
+
+  par::ForOptions options;
+  options.serial = !config_.parallel;
+  options.schedule = par::Schedule::kDynamic;
+  par::ParallelFor(
+      0, groups.size(),
+      [&](std::size_t g) {
+        const auto neighbors = TopKUsersCached(groups[g].first);
+        for (const std::size_t idx : groups[g].second) {
+          out[idx] = PredictWithNeighbors(queries[idx].first,
+                                          queries[idx].second, *neighbors)
+                         .fused;
+        }
+      },
+      options);
+  return out;
+}
+
+std::vector<CfsfModel::Recommendation> CfsfModel::RecommendTopN(
+    matrix::UserId user, std::size_t n) const {
+  CFSF_REQUIRE(fitted_, "RecommendTopN before Fit");
+  CFSF_REQUIRE(user < train_.num_users(), "user id out of range");
+  const auto neighbors = TopKUsersCached(user);
+  const auto mask = clusters_.OriginalMask(user);
+
+  std::vector<Recommendation> all;
+  all.reserve(train_.num_items());
+  for (std::size_t i = 0; i < train_.num_items(); ++i) {
+    if (mask[i]) continue;  // already rated
+    const auto item = static_cast<matrix::ItemId>(i);
+    all.push_back(Recommendation{
+        item, PredictWithNeighbors(user, item, *neighbors).fused});
+  }
+  const std::size_t take = std::min(n, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const Recommendation& a, const Recommendation& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.item < b.item;
+                    });
+  all.resize(take);
+  return all;
+}
+
+void CfsfModel::InsertRating(matrix::UserId user, matrix::ItemId item,
+                             matrix::Rating value, matrix::Timestamp timestamp) {
+  CFSF_REQUIRE(fitted_, "InsertRating before Fit");
+  CFSF_REQUIRE(user < train_.num_users() && item < train_.num_items(),
+               "InsertRating ids out of range");
+  train_ = train_.WithRating(user, item, value, timestamp);
+  latest_timestamp_ = std::max(latest_timestamp_, timestamp);
+
+  // Refresh the touched GIS row in place (future-work extension).
+  const matrix::ItemId touched[] = {item};
+  gis_.RefreshItems(train_, touched);
+
+  // Re-smooth with the existing cluster assignments; K-means itself is not
+  // re-run (a full Fit() does that).
+  std::vector<std::uint32_t> assignments(train_.num_users());
+  for (std::size_t u = 0; u < train_.num_users(); ++u) {
+    assignments[u] = clusters_.ClusterOf(static_cast<matrix::UserId>(u));
+  }
+  clusters_ = cluster::ClusterModel::Build(train_, assignments,
+                                           clusters_.num_clusters(),
+                                           config_.parallel,
+                                           config_.deviation_shrinkage);
+
+  ClearCache();
+}
+
+matrix::UserId CfsfModel::AddUser(
+    std::span<const std::pair<matrix::ItemId, matrix::Rating>> ratings) {
+  CFSF_REQUIRE(fitted_, "AddUser before Fit");
+  CFSF_REQUIRE(!ratings.empty(), "AddUser needs at least one rating");
+  for (const auto& [item, value] : ratings) {
+    (void)value;
+    CFSF_REQUIRE(item < train_.num_items(), "AddUser item id out of range");
+  }
+
+  const auto new_user = static_cast<matrix::UserId>(train_.num_users());
+
+  // Extend the matrix by one row.
+  matrix::RatingMatrixBuilder builder(train_.num_users() + 1,
+                                      train_.num_items());
+  for (const auto& t : train_.ToTriples()) builder.Add(t);
+  for (const auto& [item, value] : ratings) builder.Add(new_user, item, value);
+  train_ = builder.Build();
+
+  // Assign the newcomer to their most affine cluster (Eq. 9 against the
+  // existing cluster deviations).
+  const auto row = train_.UserRow(new_user);
+  const double mean = train_.UserMean(new_user);
+  std::uint32_t best_cluster = 0;
+  double best_affinity = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < clusters_.num_clusters(); ++c) {
+    const double affinity =
+        clusters_.AffinityOf(row, mean, static_cast<std::uint32_t>(c));
+    if (affinity > best_affinity) {
+      best_affinity = affinity;
+      best_cluster = static_cast<std::uint32_t>(c);
+    }
+  }
+
+  std::vector<std::uint32_t> assignments(train_.num_users());
+  for (std::size_t u = 0; u + 1 < train_.num_users(); ++u) {
+    assignments[u] = clusters_.ClusterOf(static_cast<matrix::UserId>(u));
+  }
+  assignments[new_user] = best_cluster;
+  clusters_ = cluster::ClusterModel::Build(train_, assignments,
+                                           clusters_.num_clusters(),
+                                           config_.parallel,
+                                           config_.deviation_shrinkage);
+  cluster_members_.assign(clusters_.num_clusters(), {});
+  for (std::size_t u = 0; u < train_.num_users(); ++u) {
+    cluster_members_[assignments[u]].push_back(static_cast<matrix::UserId>(u));
+  }
+
+  // Refresh the GIS rows of every item the newcomer rated.
+  std::vector<matrix::ItemId> touched;
+  touched.reserve(ratings.size());
+  for (const auto& [item, value] : ratings) {
+    (void)value;
+    touched.push_back(item);
+  }
+  gis_.RefreshItems(train_, touched);
+
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.assign(train_.num_users(), nullptr);
+  }
+  return new_user;
+}
+
+std::size_t CfsfModel::CacheSize() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::size_t alive = 0;
+  for (const auto& entry : cache_) {
+    if (entry) ++alive;
+  }
+  return alive;
+}
+
+void CfsfModel::ClearCache() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (auto& entry : cache_) entry = nullptr;
+}
+
+}  // namespace cfsf::core

@@ -1,0 +1,144 @@
+// CfsfModel — the paper's primary contribution (Algorithm 1).
+//
+// Offline (Fit):
+//   1. GIS — global item similarity, descending-sorted, thresholded (Eq. 5)
+//   2. K-means user clusters under PCC (Eq. 6)
+//   3. Cluster smoothing of unrated cells (Eq. 7–8) and per-user
+//      iCluster affinity lists (Eq. 9)
+//
+// Online (Predict):
+//   4. top-M similar items straight off the GIS row
+//   5. top-K like-minded users from the iCluster candidate pool, ranked
+//      by the smoothing-aware weighted PCC (Eq. 10–11); optionally cached
+//      per active user
+//   6. SIR′ / SUR′ / SUIR′ over the local M×K matrix (Eq. 12–13), fused
+//      with λ and δ (Eq. 14)
+//
+// Extensions beyond the paper's evaluation: batch/parallel prediction,
+// top-N recommendation, incremental rating insertion with GIS row
+// refresh, and optional exponential time-decay weighting.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "clustering/kmeans.hpp"
+#include "clustering/smoothing.hpp"
+#include "core/cfsf_config.hpp"
+#include "eval/predictor.hpp"
+#include "similarity/item_similarity.hpp"
+
+namespace cfsf::core {
+
+/// The three estimators of Eq. 12 for one (user, item) query, before and
+/// after fusion.  Exposed for tests and the ablation bench.
+struct FusionBreakdown {
+  std::optional<double> sir;   // SIR′
+  std::optional<double> sur;   // SUR′
+  std::optional<double> suir;  // SUIR′
+  double fused = 0.0;          // SR′ (Eq. 14, renormalised over available parts)
+};
+
+/// A selected like-minded user with their Eq. 10 similarity.
+struct SelectedUser {
+  matrix::UserId user = 0;
+  double similarity = 0.0;
+};
+
+class CfsfModel : public eval::Predictor {
+ public:
+  explicit CfsfModel(const CfsfConfig& config = {});
+
+  std::string Name() const override { return "CFSF"; }
+
+  /// Runs the offline phase.  May be called again to refit.
+  void Fit(const matrix::RatingMatrix& train) override;
+
+  /// Reassembles a fitted model from persisted offline artefacts without
+  /// re-running K-means or the GIS build: the smoothing/iCluster state is
+  /// deterministically rebuilt from the saved cluster assignments.  Used
+  /// by core/model_io.hpp.  (Returned by pointer: the model owns a mutex
+  /// and is therefore not movable.)
+  static std::unique_ptr<CfsfModel> Restore(const CfsfConfig& config,
+                                            matrix::RatingMatrix train,
+                                            sim::GlobalItemSimilarity gis,
+                                            std::vector<std::uint32_t> assignments);
+
+  /// Online prediction (Algorithm 1, lines 10–15).
+  double Predict(matrix::UserId user, matrix::ItemId item) const override;
+
+  /// Predict with the per-component breakdown.
+  FusionBreakdown PredictDetailed(matrix::UserId user, matrix::ItemId item) const;
+
+  /// Batch prediction, parallelised over distinct users (each worker
+  /// selects that user's top-K once and reuses it for all their items).
+  std::vector<double> PredictBatch(
+      std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries) const;
+
+  /// Top-N recommendation: highest predicted unrated items for `user`.
+  struct Recommendation {
+    matrix::ItemId item = 0;
+    double score = 0.0;
+  };
+  std::vector<Recommendation> RecommendTopN(matrix::UserId user,
+                                            std::size_t n) const;
+
+  /// The online phase's user-selection step (Section IV-E2), exposed for
+  /// tests/diagnostics.  Results are similarity-descending.
+  std::vector<SelectedUser> SelectTopKUsers(matrix::UserId user) const;
+
+  /// Incremental update (future-work extension): inserts/overwrites one
+  /// rating, refreshes the affected GIS row, re-smooths with the existing
+  /// cluster assignments, and drops stale caches.  Cluster assignments are
+  /// *not* recomputed — call Fit() for a full refresh.
+  void InsertRating(matrix::UserId user, matrix::ItemId item,
+                    matrix::Rating value, matrix::Timestamp timestamp = 0);
+
+  /// Cold start: registers a brand-new user from their initial ratings —
+  /// the paper's online enrolment ("CFSF requires him or her to rate a
+  /// certain number of items and then inserts a record in the item-user
+  /// matrix").  The user is assigned to their most affine existing
+  /// cluster (Eq. 9), the touched GIS rows are refreshed, and the
+  /// smoothing state is rebuilt; K-means is not re-run.  Returns the new
+  /// user's id.  `ratings` must be non-empty with valid item ids.
+  matrix::UserId AddUser(
+      std::span<const std::pair<matrix::ItemId, matrix::Rating>> ratings);
+
+  // Introspection for benches/tests.
+  const CfsfConfig& config() const { return config_; }
+  const matrix::RatingMatrix& train() const { return train_; }
+  const sim::GlobalItemSimilarity& gis() const { return gis_; }
+  const cluster::ClusterModel& cluster_model() const { return clusters_; }
+  bool fitted() const { return fitted_; }
+
+  /// Number of cached user-selection entries currently alive.
+  std::size_t CacheSize() const;
+  void ClearCache() const;
+
+ private:
+  struct Components;
+
+  std::vector<SelectedUser> ComputeTopKUsers(matrix::UserId user) const;
+  std::shared_ptr<const std::vector<SelectedUser>> TopKUsersCached(
+      matrix::UserId user) const;
+  FusionBreakdown PredictWithNeighbors(
+      matrix::UserId user, matrix::ItemId item,
+      std::span<const SelectedUser> neighbors) const;
+  double TimeDecayWeight(matrix::UserId user, matrix::ItemId item) const;
+
+  CfsfConfig config_;
+  bool fitted_ = false;
+  matrix::RatingMatrix train_;
+  sim::GlobalItemSimilarity gis_;
+  cluster::ClusterModel clusters_;
+  std::vector<std::vector<matrix::UserId>> cluster_members_;
+  matrix::Timestamp latest_timestamp_ = 0;
+
+  // Per-user neighbour cache ("caching intermediate results", Fig. 5).
+  mutable std::mutex cache_mutex_;
+  mutable std::vector<std::shared_ptr<const std::vector<SelectedUser>>> cache_;
+};
+
+}  // namespace cfsf::core

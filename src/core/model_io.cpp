@@ -1,0 +1,199 @@
+#include "core/model_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace cfsf::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'F', 'S', 'F'};
+
+// --- little-endian primitive IO -----------------------------------------
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw util::IoError("model file truncated");
+  return value;
+}
+
+void WriteU64(std::ostream& out, std::uint64_t v) { WritePod(out, v); }
+std::uint64_t ReadU64(std::istream& in) { return ReadPod<std::uint64_t>(in); }
+
+template <typename T>
+void WriteVector(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WriteU64(out, v.size());
+  if (!v.empty()) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+std::vector<T> ReadVector(std::istream& in, std::uint64_t sanity_cap) {
+  const std::uint64_t size = ReadU64(in);
+  if (size > sanity_cap) {
+    throw util::IoError("model file corrupt: implausible vector size " +
+                        std::to_string(size));
+  }
+  std::vector<T> v(size);
+  if (size != 0) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(size * sizeof(T)));
+    if (!in) throw util::IoError("model file truncated");
+  }
+  return v;
+}
+
+// Cap for any single vector in the file (entries, not bytes).
+constexpr std::uint64_t kSanityCap = 1ULL << 33;
+
+void WriteConfig(std::ostream& out, const CfsfConfig& c) {
+  WriteU64(out, c.num_clusters);
+  WriteU64(out, c.top_m_items);
+  WriteU64(out, c.top_k_users);
+  WritePod(out, c.lambda);
+  WritePod(out, c.delta);
+  WritePod(out, c.epsilon);
+  WritePod(out, static_cast<std::uint32_t>(c.gis.kernel));
+  WritePod(out, c.gis.min_similarity);
+  WriteU64(out, c.gis.min_overlap);
+  WriteU64(out, c.gis.max_neighbors);
+  WritePod(out, static_cast<std::uint8_t>(c.gis.significance_weighting));
+  WriteU64(out, c.gis.significance_cutoff);
+  WriteU64(out, c.kmeans_max_iterations);
+  WritePod(out, c.seed);
+  WritePod(out, c.deviation_shrinkage);
+  WriteU64(out, c.candidate_pool_factor);
+  WritePod(out, static_cast<std::uint8_t>(c.use_cache));
+  WritePod(out, static_cast<std::uint8_t>(c.parallel));
+  WritePod(out, static_cast<std::uint8_t>(c.use_sir));
+  WritePod(out, static_cast<std::uint8_t>(c.use_sur));
+  WritePod(out, static_cast<std::uint8_t>(c.use_suir));
+  WritePod(out, static_cast<std::uint8_t>(c.sur_uses_smoothed));
+  WritePod(out, static_cast<std::uint8_t>(c.local_matrix_smoothed));
+  WritePod(out, static_cast<std::uint8_t>(c.center_on_item_means));
+  WritePod(out, static_cast<std::uint8_t>(c.time_decay));
+  WritePod(out, c.time_half_life_days);
+}
+
+CfsfConfig ReadConfig(std::istream& in) {
+  CfsfConfig c;
+  c.num_clusters = ReadU64(in);
+  c.top_m_items = ReadU64(in);
+  c.top_k_users = ReadU64(in);
+  c.lambda = ReadPod<double>(in);
+  c.delta = ReadPod<double>(in);
+  c.epsilon = ReadPod<double>(in);
+  c.gis.kernel = static_cast<sim::ItemKernel>(ReadPod<std::uint32_t>(in));
+  c.gis.min_similarity = ReadPod<double>(in);
+  c.gis.min_overlap = ReadU64(in);
+  c.gis.max_neighbors = ReadU64(in);
+  c.gis.significance_weighting = ReadPod<std::uint8_t>(in) != 0;
+  c.gis.significance_cutoff = ReadU64(in);
+  c.kmeans_max_iterations = ReadU64(in);
+  c.seed = ReadPod<std::uint64_t>(in);
+  c.deviation_shrinkage = ReadPod<double>(in);
+  c.candidate_pool_factor = ReadU64(in);
+  c.use_cache = ReadPod<std::uint8_t>(in) != 0;
+  c.parallel = ReadPod<std::uint8_t>(in) != 0;
+  c.use_sir = ReadPod<std::uint8_t>(in) != 0;
+  c.use_sur = ReadPod<std::uint8_t>(in) != 0;
+  c.use_suir = ReadPod<std::uint8_t>(in) != 0;
+  c.sur_uses_smoothed = ReadPod<std::uint8_t>(in) != 0;
+  c.local_matrix_smoothed = ReadPod<std::uint8_t>(in) != 0;
+  c.center_on_item_means = ReadPod<std::uint8_t>(in) != 0;
+  c.time_decay = ReadPod<std::uint8_t>(in) != 0;
+  c.time_half_life_days = ReadPod<double>(in);
+  return c;
+}
+
+}  // namespace
+
+void SaveModel(const CfsfModel& model, const std::string& path) {
+  CFSF_REQUIRE(model.fitted(), "SaveModel requires a fitted model");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kModelFormatVersion);
+  WriteConfig(out, model.config());
+
+  // Training matrix as triples.
+  const auto& train = model.train();
+  WriteU64(out, train.num_users());
+  WriteU64(out, train.num_items());
+  WriteVector(out, train.ToTriples());
+
+  // GIS rows.
+  WriteU64(out, model.gis().num_items());
+  for (std::size_t i = 0; i < model.gis().num_items(); ++i) {
+    const auto row = model.gis().Neighbors(static_cast<matrix::ItemId>(i));
+    WriteVector(out, std::vector<sim::Neighbor>(row.begin(), row.end()));
+  }
+
+  // Cluster assignments.
+  std::vector<std::uint32_t> assignments(train.num_users());
+  for (std::size_t u = 0; u < train.num_users(); ++u) {
+    assignments[u] = model.cluster_model().ClusterOf(static_cast<matrix::UserId>(u));
+  }
+  WriteVector(out, assignments);
+
+  if (!out) throw util::IoError("write failed: " + path);
+}
+
+std::unique_ptr<CfsfModel> LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open model file: " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw util::IoError("not a CFSF model file: " + path);
+  }
+  const auto version = ReadPod<std::uint32_t>(in);
+  if (version != kModelFormatVersion) {
+    throw util::IoError("unsupported model format version " +
+                        std::to_string(version));
+  }
+  const CfsfConfig config = ReadConfig(in);
+
+  const std::uint64_t num_users = ReadU64(in);
+  const std::uint64_t num_items = ReadU64(in);
+  if (num_users > kSanityCap || num_items > kSanityCap) {
+    throw util::IoError("model file corrupt: implausible matrix shape");
+  }
+  const auto triples = ReadVector<matrix::RatingTriple>(in, kSanityCap);
+  matrix::RatingMatrixBuilder builder(num_users, num_items);
+  for (const auto& t : triples) builder.Add(t);
+  auto train = builder.Build();
+
+  const std::uint64_t gis_items = ReadU64(in);
+  if (gis_items != num_items) {
+    throw util::IoError("model file corrupt: GIS shape mismatch");
+  }
+  std::vector<std::vector<sim::Neighbor>> rows(gis_items);
+  for (auto& row : rows) row = ReadVector<sim::Neighbor>(in, kSanityCap);
+  auto gis = sim::GlobalItemSimilarity::FromRows(std::move(rows), config.gis);
+
+  auto assignments = ReadVector<std::uint32_t>(in, kSanityCap);
+  if (assignments.size() != num_users) {
+    throw util::IoError("model file corrupt: assignment count mismatch");
+  }
+  return CfsfModel::Restore(config, std::move(train), std::move(gis),
+                            std::move(assignments));
+}
+
+}  // namespace cfsf::core

@@ -1,0 +1,30 @@
+// Binary persistence for fitted CFSF models.
+//
+// The offline phase ("computer-intensive … performed in the backend",
+// Section IV-A) is run once and shipped to serving processes.  SaveModel
+// writes a versioned little-endian binary bundle: the configuration, the
+// training matrix, the reduced GIS rows, and the K-means assignments.
+// LoadModel reconstructs the remaining artefacts (smoothing, iCluster,
+// member lists) deterministically from those — K-means and the GIS build
+// are *not* re-run, so a loaded model answers exactly like the saved one.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/cfsf_model.hpp"
+
+namespace cfsf::core {
+
+/// Current on-disk format version.
+inline constexpr std::uint32_t kModelFormatVersion = 1;
+
+/// Writes the fitted model; throws IoError on I/O failure and ConfigError
+/// if the model is not fitted.
+void SaveModel(const CfsfModel& model, const std::string& path);
+
+/// Reads a model bundle; throws IoError on missing/corrupt/mismatched
+/// files.
+std::unique_ptr<CfsfModel> LoadModel(const std::string& path);
+
+}  // namespace cfsf::core

@@ -1,0 +1,51 @@
+#include "data/catalogue.hpp"
+
+#include "data/movielens.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace cfsf::data {
+
+Catalogue::Catalogue(std::uint64_t seed) : seed_(seed) {
+  SyntheticConfig config;
+  config.seed = seed;
+  base_ = GenerateSynthetic(config);
+  CFSF_LOG_INFO << "catalogue: synthetic base matrix " << base_.num_users()
+                << "x" << base_.num_items() << ", " << base_.num_ratings()
+                << " ratings";
+}
+
+Catalogue::Catalogue(const std::string& udata_path) : seed_(20090101) {
+  MovieLensOptions options;
+  options.min_ratings_per_user = 40;  // paper: users rated at least 40 movies
+  options.max_users = 500;
+  base_ = LoadUData(udata_path, options).matrix;
+  CFSF_REQUIRE(base_.num_users() >= 500,
+               "u.data file yields fewer than 500 qualifying users");
+  CFSF_LOG_INFO << "catalogue: MovieLens base matrix " << base_.num_users()
+                << "x" << base_.num_items() << ", " << base_.num_ratings()
+                << " ratings";
+}
+
+const std::vector<std::size_t>& Catalogue::TrainSizes() {
+  static const std::vector<std::size_t> sizes{100, 200, 300};
+  return sizes;
+}
+
+const std::vector<std::size_t>& Catalogue::GivenValues() {
+  static const std::vector<std::size_t> values{5, 10, 20};
+  return values;
+}
+
+EvalSplit Catalogue::Split(std::size_t train_users, std::size_t given_n,
+                           double test_fraction) const {
+  ProtocolConfig config;
+  config.num_train_users = train_users;
+  config.num_test_users = 200;
+  config.given_n = given_n;
+  config.test_fraction = test_fraction;
+  config.seed = seed_ ^ (train_users * 1315423911ULL) ^ (given_n * 2654435761ULL);
+  return MakeGivenNSplit(base_, config);
+}
+
+}  // namespace cfsf::data

@@ -1,0 +1,43 @@
+// Dataset catalogue: one place that owns "the" evaluation dataset so every
+// bench binary runs the exact grid the paper reports.
+//
+// By default the catalogue generates the synthetic MovieLens substitute
+// (see synthetic.hpp).  Passing a u.data path switches all benches to the
+// real MovieLens subset with the paper's filters applied (>= 40 ratings
+// per user, 500 users).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/protocol.hpp"
+#include "data/synthetic.hpp"
+#include "matrix/rating_matrix.hpp"
+
+namespace cfsf::data {
+
+class Catalogue {
+ public:
+  /// Synthetic base matrix with the given seed.
+  explicit Catalogue(std::uint64_t seed = 20090101);
+
+  /// Real-data base matrix from a u.data file (paper filters applied).
+  explicit Catalogue(const std::string& udata_path);
+
+  const matrix::RatingMatrix& base() const { return base_; }
+
+  /// The paper's training-set sizes and GivenN values.
+  static const std::vector<std::size_t>& TrainSizes();   // {100, 200, 300}
+  static const std::vector<std::size_t>& GivenValues();  // {5, 10, 20}
+
+  /// A split for (train_users, given_n); deterministic per catalogue.
+  EvalSplit Split(std::size_t train_users, std::size_t given_n,
+                  double test_fraction = 1.0) const;
+
+ private:
+  matrix::RatingMatrix base_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace cfsf::data

@@ -1,0 +1,164 @@
+#include "data/movielens.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace cfsf::data {
+
+namespace {
+
+struct RawRating {
+  std::uint64_t user;
+  std::uint64_t item;
+  float value;
+  std::int64_t timestamp;
+};
+
+std::vector<std::string> SplitByString(std::string_view text,
+                                       std::string_view delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      break;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + delimiter.size();
+  }
+  return fields;
+}
+
+std::vector<RawRating> ParseLines(std::istream& in,
+                                  const std::string& delimiter) {
+  if (delimiter.empty()) {
+    throw util::IoError("empty u.data field delimiter");
+  }
+  std::vector<RawRating> raw;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields =
+        delimiter == " " ? util::SplitWhitespace(trimmed)
+        : delimiter.size() == 1
+            ? util::Split(std::string(trimmed), delimiter.front())
+            : SplitByString(trimmed, delimiter);
+    if (fields.size() < 3) {
+      throw util::IoError("u.data line " + std::to_string(line_no) +
+                          ": expected >=3 fields, got " +
+                          std::to_string(fields.size()));
+    }
+    RawRating r{};
+    try {
+      r.user = static_cast<std::uint64_t>(util::ParseInt(fields[0]));
+      r.item = static_cast<std::uint64_t>(util::ParseInt(fields[1]));
+      r.value = static_cast<float>(util::ParseDouble(fields[2]));
+      r.timestamp = fields.size() >= 4 ? util::ParseInt(fields[3]) : 0;
+    } catch (const util::IoError& e) {
+      throw util::IoError("u.data line " + std::to_string(line_no) + ": " +
+                          e.what());
+    }
+    raw.push_back(r);
+  }
+  return raw;
+}
+
+MovieLensData BuildFromRaw(std::vector<RawRating> raw,
+                           const MovieLensOptions& options) {
+  // Group per original user id to apply the min-ratings filter.
+  std::map<std::uint64_t, std::size_t> per_user_count;
+  for (const auto& r : raw) ++per_user_count[r.user];
+
+  // Assign dense user ids.
+  std::map<std::uint64_t, matrix::UserId> user_map;
+  std::vector<std::uint64_t> user_ids;
+  auto try_add_user = [&](std::uint64_t original) -> bool {
+    if (user_map.contains(original)) return true;
+    if (per_user_count[original] < options.min_ratings_per_user) return false;
+    if (options.max_users != 0 && user_ids.size() >= options.max_users) return false;
+    user_map[original] = static_cast<matrix::UserId>(user_ids.size());
+    user_ids.push_back(original);
+    return true;
+  };
+
+  if (options.sort_ids) {
+    for (const auto& [original, count] : per_user_count) {
+      (void)count;
+      try_add_user(original);
+    }
+  } else {
+    for (const auto& r : raw) try_add_user(r.user);
+  }
+
+  // Assign dense item ids over the surviving ratings.
+  std::map<std::uint64_t, matrix::ItemId> item_map;
+  std::vector<std::uint64_t> item_ids;
+  auto add_item = [&](std::uint64_t original) {
+    if (!item_map.contains(original)) {
+      item_map[original] = static_cast<matrix::ItemId>(item_ids.size());
+      item_ids.push_back(original);
+    }
+  };
+  if (options.sort_ids) {
+    std::map<std::uint64_t, bool> seen;
+    for (const auto& r : raw) {
+      if (user_map.contains(r.user)) seen[r.item] = true;
+    }
+    for (const auto& [original, flag] : seen) {
+      (void)flag;
+      add_item(original);
+    }
+  } else {
+    for (const auto& r : raw) {
+      if (user_map.contains(r.user)) add_item(r.item);
+    }
+  }
+
+  matrix::RatingMatrixBuilder builder(user_ids.size(), item_ids.size());
+  for (const auto& r : raw) {
+    const auto uit = user_map.find(r.user);
+    if (uit == user_map.end()) continue;
+    builder.Add(uit->second, item_map.at(r.item), r.value, r.timestamp);
+  }
+
+  MovieLensData out;
+  out.matrix = builder.Build();
+  out.user_ids = std::move(user_ids);
+  out.item_ids = std::move(item_ids);
+  return out;
+}
+
+}  // namespace
+
+MovieLensData LoadUData(const std::string& path, const MovieLensOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw util::IoError("cannot open dataset file: " + path);
+  return BuildFromRaw(ParseLines(in, options.delimiter), options);
+}
+
+MovieLensData ParseUData(const std::string& content,
+                         const MovieLensOptions& options) {
+  std::istringstream in(content);
+  return BuildFromRaw(ParseLines(in, options.delimiter), options);
+}
+
+void SaveUData(const matrix::RatingMatrix& matrix, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
+  for (const auto& t : matrix.ToTriples()) {
+    out << t.user << '\t' << t.item << '\t' << t.value << '\t' << t.timestamp
+        << '\n';
+  }
+  if (!out) throw util::IoError("write failed: " + path);
+}
+
+}  // namespace cfsf::data

@@ -1,0 +1,55 @@
+// Loader/saver for the MovieLens `u.data` interchange format:
+// one rating per line, "user<TAB>item<TAB>rating<TAB>timestamp".
+//
+// The paper evaluates on a 500-user × 1000-item MovieLens subset.  The
+// real dataset is not redistributable with this repository; drop
+// `u.data` from GroupLens next to the binaries and every bench accepts
+// `--data=<path>` to run on it.  Ids in the file are arbitrary; the
+// loader remaps them to dense 0-based ids (ordered by first appearance or
+// by original id, see Options).
+//
+// The 100K set's tab-separated `u.data` is the default; set
+// `delimiter = "::"` for the 1M set's `ratings.dat`, or `" "` for
+// whitespace-separated exports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/rating_matrix.hpp"
+
+namespace cfsf::data {
+
+struct MovieLensOptions {
+  /// Field separator.  A single space means "any whitespace run".
+  std::string delimiter = "\t";
+  /// When true, dense ids follow ascending original ids; when false,
+  /// first-appearance order (stream order).
+  bool sort_ids = true;
+  /// Keep only the first `max_users` users (0 = no limit), mirroring the
+  /// paper's "randomly extracted 500 users".
+  std::size_t max_users = 0;
+  /// Drop users with fewer than this many ratings *before* applying
+  /// max_users (the paper keeps users with >= 40 ratings).
+  std::size_t min_ratings_per_user = 0;
+};
+
+struct MovieLensData {
+  matrix::RatingMatrix matrix;
+  /// dense id -> original id maps, for reporting recommendations.
+  std::vector<std::uint64_t> user_ids;
+  std::vector<std::uint64_t> item_ids;
+};
+
+/// Parses a u.data-style stream.  Throws IoError on malformed lines.
+MovieLensData LoadUData(const std::string& path,
+                        const MovieLensOptions& options = {});
+
+/// Same, from an in-memory string (used by tests).
+MovieLensData ParseUData(const std::string& content,
+                         const MovieLensOptions& options = {});
+
+/// Writes a matrix in u.data format (dense ids, tab-separated).
+void SaveUData(const matrix::RatingMatrix& matrix, const std::string& path);
+
+}  // namespace cfsf::data

@@ -1,0 +1,166 @@
+#include "data/protocol.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cfsf::data {
+
+EvalSplit MakeGivenNSplit(const matrix::RatingMatrix& base,
+                          const ProtocolConfig& config) {
+  CFSF_REQUIRE(config.num_train_users + config.num_test_users <= base.num_users(),
+               "base matrix has too few users for the requested split");
+  CFSF_REQUIRE(config.given_n > 0, "given_n must be positive");
+  CFSF_REQUIRE(config.test_fraction > 0.0 && config.test_fraction <= 1.0,
+               "test_fraction must lie in (0, 1]");
+  CFSF_REQUIRE(config.policy != GivenPolicy::kFirstByTimestamp ||
+                   base.has_timestamps(),
+               "kFirstByTimestamp requires a dataset with timestamps");
+
+  const std::size_t rows = config.num_train_users + config.num_test_users;
+  // Active users are the *last* num_test_users of the base matrix; they are
+  // placed right after the training users so the same test population is
+  // shared by ML_100/200/300 (as in the paper).
+  const std::size_t test_base_begin = base.num_users() - config.num_test_users;
+
+  util::Rng rng(config.seed);
+
+  matrix::RatingMatrixBuilder builder(rows, base.num_items());
+  // Training users: full rows.
+  for (std::size_t u = 0; u < config.num_train_users; ++u) {
+    const auto row = base.UserRow(static_cast<matrix::UserId>(u));
+    const auto ts = base.UserRowTimestamps(static_cast<matrix::UserId>(u));
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      builder.Add(static_cast<matrix::UserId>(u), row[k].index, row[k].value,
+                  ts.empty() ? 0 : ts[k]);
+    }
+  }
+
+  EvalSplit split;
+  split.num_train_users = config.num_train_users;
+
+  // Which active users participate (Fig. 5's testset percentage).
+  const std::size_t num_active = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.num_test_users * config.test_fraction +
+                                  0.5));
+  std::vector<std::size_t> order(config.num_test_users);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (config.test_fraction < 1.0) {
+    util::Rng shuffle_rng = rng.Fork(99);
+    shuffle_rng.Shuffle(order);
+  }
+  std::vector<bool> participates(config.num_test_users, false);
+  for (std::size_t k = 0; k < num_active && k < order.size(); ++k) {
+    participates[order[k]] = true;
+  }
+
+  for (std::size_t t = 0; t < config.num_test_users; ++t) {
+    const auto base_user = static_cast<matrix::UserId>(test_base_begin + t);
+    const auto split_user =
+        static_cast<matrix::UserId>(config.num_train_users + t);
+    const auto row = base.UserRow(base_user);
+    const auto ts = base.UserRowTimestamps(base_user);
+
+    // Choose the revealed (given) positions within the row.
+    std::vector<std::size_t> positions(row.size());
+    std::iota(positions.begin(), positions.end(), std::size_t{0});
+    switch (config.policy) {
+      case GivenPolicy::kFirstByItemId:
+        break;  // rows are already sorted by item id
+      case GivenPolicy::kFirstByTimestamp:
+        std::stable_sort(positions.begin(), positions.end(),
+                         [&ts](std::size_t a, std::size_t b) {
+                           return ts[a] < ts[b];
+                         });
+        break;
+      case GivenPolicy::kRandom: {
+        util::Rng user_rng = rng.Fork(1000 + t);
+        user_rng.Shuffle(positions);
+        break;
+      }
+    }
+
+    const std::size_t given = std::min<std::size_t>(config.given_n, row.size());
+    std::vector<bool> revealed(row.size(), false);
+    for (std::size_t k = 0; k < given; ++k) revealed[positions[k]] = true;
+
+    const bool active = participates[t];
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      if (revealed[k]) {
+        builder.Add(split_user, row[k].index, row[k].value,
+                    ts.empty() ? 0 : ts[k]);
+      } else if (active) {
+        split.test.push_back(TestRating{split_user, row[k].index, row[k].value});
+      }
+    }
+    if (active && row.size() > given) split.active_users.push_back(split_user);
+  }
+
+  split.train = builder.Build();
+  return split;
+}
+
+EvalSplit MakeAllButNSplit(const matrix::RatingMatrix& base,
+                           const AllButNConfig& config) {
+  CFSF_REQUIRE(config.num_train_users + config.num_test_users <= base.num_users(),
+               "base matrix has too few users for the requested split");
+  CFSF_REQUIRE(config.hold_out > 0, "hold_out must be positive");
+
+  const std::size_t rows = config.num_train_users + config.num_test_users;
+  const std::size_t test_base_begin = base.num_users() - config.num_test_users;
+  util::Rng rng(config.seed);
+
+  matrix::RatingMatrixBuilder builder(rows, base.num_items());
+  for (std::size_t u = 0; u < config.num_train_users; ++u) {
+    const auto row = base.UserRow(static_cast<matrix::UserId>(u));
+    const auto ts = base.UserRowTimestamps(static_cast<matrix::UserId>(u));
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      builder.Add(static_cast<matrix::UserId>(u), row[k].index, row[k].value,
+                  ts.empty() ? 0 : ts[k]);
+    }
+  }
+
+  EvalSplit split;
+  split.num_train_users = config.num_train_users;
+  for (std::size_t t = 0; t < config.num_test_users; ++t) {
+    const auto base_user = static_cast<matrix::UserId>(test_base_begin + t);
+    const auto split_user =
+        static_cast<matrix::UserId>(config.num_train_users + t);
+    const auto row = base.UserRow(base_user);
+    const auto ts = base.UserRowTimestamps(base_user);
+
+    // Users must keep at least one revealed rating.
+    const std::size_t hold =
+        row.size() > config.hold_out ? config.hold_out : 0;
+    std::vector<bool> withheld(row.size(), false);
+    if (hold > 0) {
+      util::Rng user_rng = rng.Fork(5000 + t);
+      for (const auto pos : user_rng.SampleWithoutReplacement(row.size(), hold)) {
+        withheld[pos] = true;
+      }
+    }
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      if (withheld[k]) {
+        split.test.push_back(TestRating{split_user, row[k].index, row[k].value});
+      } else {
+        builder.Add(split_user, row[k].index, row[k].value,
+                    ts.empty() ? 0 : ts[k]);
+      }
+    }
+    if (hold > 0) split.active_users.push_back(split_user);
+  }
+  split.train = builder.Build();
+  return split;
+}
+
+std::string TrainSetLabel(std::size_t num_train_users) {
+  return "ML_" + std::to_string(num_train_users);
+}
+
+std::string GivenLabel(std::size_t given_n) {
+  return "Given" + std::to_string(given_n);
+}
+
+}  // namespace cfsf::data

@@ -1,0 +1,83 @@
+// The paper's evaluation protocol (Section V-A).
+//
+// From a 500-user base matrix: the first N_train users (100/200/300 →
+// ML_100/ML_200/ML_300) are training users with their full rows; the
+// *last* 200 users are active (test) users.  Each active user reveals
+// GivenN of their ratings (Given5/Given10/Given20) — those go into the
+// training matrix, because "CFSF requires him or her to rate a certain
+// number of items and then inserts a record in the item-user matrix" —
+// and the rest of their ratings are withheld as test cases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/rating_matrix.hpp"
+
+namespace cfsf::data {
+
+/// How the GivenN observed ratings are chosen from an active user's row.
+enum class GivenPolicy {
+  kFirstByItemId,    // deterministic, independent of timestamps
+  kFirstByTimestamp, // the user's earliest ratings (requires timestamps)
+  kRandom,           // seeded uniform choice
+};
+
+struct ProtocolConfig {
+  std::size_t num_train_users = 300;  // 100 / 200 / 300
+  std::size_t num_test_users = 200;   // the paper's fixed test population
+  std::size_t given_n = 10;           // 5 / 10 / 20
+  /// Fraction of the test users actually evaluated (Fig. 5 sweeps
+  /// 10 %…100 %).  The prefix of the shuffled test-user list is used.
+  double test_fraction = 1.0;
+  GivenPolicy policy = GivenPolicy::kFirstByItemId;
+  std::uint64_t seed = 42;  // used by kRandom and by the fraction shuffle
+};
+
+struct TestRating {
+  matrix::UserId user;  // id inside the split's train matrix
+  matrix::ItemId item;
+  matrix::Rating actual;
+};
+
+struct EvalSplit {
+  /// (num_train_users + num_test_users) × Q matrix: full rows for training
+  /// users, exactly GivenN ratings for active users.
+  matrix::RatingMatrix train;
+  /// Active user ids (row indices in `train`), restricted to test_fraction.
+  std::vector<matrix::UserId> active_users;
+  /// Withheld ratings of the active users in `active_users`.
+  std::vector<TestRating> test;
+  /// Ids (row indices in `train`) of the pure training users, i.e.
+  /// [0, num_train_users).
+  std::size_t num_train_users = 0;
+};
+
+/// Builds the split.  Requirements: the base matrix must have at least
+/// num_train_users + num_test_users users, and every active user must have
+/// more than given_n ratings (users below that are kept but contribute no
+/// test cases and reveal all their ratings).
+EvalSplit MakeGivenNSplit(const matrix::RatingMatrix& base,
+                          const ProtocolConfig& config);
+
+/// "ML_300" / "Given10"-style labels for tables.
+std::string TrainSetLabel(std::size_t num_train_users);
+std::string GivenLabel(std::size_t given_n);
+
+/// The complementary protocol from Breese et al.'s taxonomy (the paper
+/// uses GivenN; All-But-One is the standard dense-history counterpart):
+/// every active user reveals all ratings *except* `hold_out` seeded-random
+/// ones, which form the test set.  Measures accuracy for established
+/// users rather than near-cold ones.
+struct AllButNConfig {
+  std::size_t num_train_users = 300;
+  std::size_t num_test_users = 200;
+  std::size_t hold_out = 1;  // "All But 1" by default
+  std::uint64_t seed = 42;
+};
+
+EvalSplit MakeAllButNSplit(const matrix::RatingMatrix& base,
+                           const AllButNConfig& config);
+
+}  // namespace cfsf::data

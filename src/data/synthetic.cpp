@@ -1,0 +1,190 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cfsf::data {
+
+namespace {
+
+// Latent model shared by the generator and the oracle.  All draws happen
+// in a fixed order from seeded child streams, so the generator and an
+// oracle built from the same config agree exactly.
+struct LatentModel {
+  std::vector<std::size_t> user_cluster;
+  std::vector<std::size_t> item_genre;
+  std::vector<double> user_bias;
+  std::vector<double> item_bias;
+  std::vector<double> user_latent;  // num_users × d
+  std::vector<double> item_latent;  // num_items × d
+
+  explicit LatentModel(const SyntheticConfig& c) {
+    CFSF_REQUIRE(c.num_users > 0 && c.num_items > 0, "empty synthetic dataset");
+    CFSF_REQUIRE(c.latent_dim > 0, "latent_dim must be positive");
+    CFSF_REQUIRE(c.num_taste_clusters > 0, "need at least one taste cluster");
+    CFSF_REQUIRE(c.num_genres > 0, "need at least one genre");
+    CFSF_REQUIRE(c.min_rating < c.max_rating, "rating range is empty");
+
+    util::Rng root(c.seed);
+    util::Rng cluster_rng = root.Fork(1);
+    util::Rng genre_rng = root.Fork(2);
+    util::Rng user_rng = root.Fork(3);
+    util::Rng item_rng = root.Fork(4);
+
+    const std::size_t d = c.latent_dim;
+
+    // Cluster / genre centres.
+    std::vector<double> cluster_centre(c.num_taste_clusters * d);
+    for (auto& x : cluster_centre) x = cluster_rng.NextGaussian();
+    std::vector<double> genre_centre(c.num_genres * d);
+    for (auto& x : genre_centre) x = genre_rng.NextGaussian();
+
+    user_cluster.resize(c.num_users);
+    user_bias.resize(c.num_users);
+    user_latent.resize(c.num_users * d);
+    for (std::size_t u = 0; u < c.num_users; ++u) {
+      user_cluster[u] = static_cast<std::size_t>(
+          user_rng.NextBounded(c.num_taste_clusters));
+      user_bias[u] = c.user_bias_sigma * user_rng.NextGaussian();
+      for (std::size_t k = 0; k < d; ++k) {
+        user_latent[u * d + k] =
+            cluster_centre[user_cluster[u] * d + k] +
+            c.user_cluster_spread * user_rng.NextGaussian();
+      }
+    }
+
+    item_genre.resize(c.num_items);
+    item_bias.resize(c.num_items);
+    item_latent.resize(c.num_items * d);
+    for (std::size_t i = 0; i < c.num_items; ++i) {
+      item_genre[i] = static_cast<std::size_t>(item_rng.NextBounded(c.num_genres));
+      item_bias[i] = c.item_bias_sigma * item_rng.NextGaussian();
+      for (std::size_t k = 0; k < d; ++k) {
+        item_latent[i * d + k] = genre_centre[item_genre[i] * d + k] +
+                                 c.item_genre_spread * item_rng.NextGaussian();
+      }
+    }
+  }
+
+  double TrueScore(const SyntheticConfig& c, std::size_t u, std::size_t i) const {
+    const std::size_t d = c.latent_dim;
+    double dot = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      dot += user_latent[u * d + k] * item_latent[i * d + k];
+    }
+    return c.global_mean + user_bias[u] + item_bias[i] +
+           c.interaction_scale * dot / std::sqrt(static_cast<double>(d));
+  }
+};
+
+}  // namespace
+
+matrix::RatingMatrix GenerateSynthetic(const SyntheticConfig& config) {
+  const LatentModel model(config);
+
+  util::Rng root(config.seed);
+  util::Rng pop_rng = root.Fork(5);
+  util::Rng pick_rng = root.Fork(6);
+  util::Rng noise_rng = root.Fork(7);
+  util::Rng count_rng = root.Fork(8);
+
+  // Popularity: Zipf ranks mapped through a random item permutation so
+  // popular items are scattered across id space (and genres).
+  std::vector<std::size_t> rank_to_item(config.num_items);
+  std::iota(rank_to_item.begin(), rank_to_item.end(), std::size_t{0});
+  pop_rng.Shuffle(rank_to_item);
+  const util::ZipfSampler zipf(config.num_items, config.popularity_exponent);
+
+  matrix::RatingMatrixBuilder builder(config.num_users, config.num_items);
+  std::vector<std::uint8_t> taken(config.num_items, 0);
+
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    // Ratings-per-user: clamped lognormal.
+    const double raw =
+        std::exp(config.log_mean + config.log_sigma * count_rng.NextGaussian());
+    std::size_t n = static_cast<std::size_t>(std::llround(raw));
+    n = std::clamp(n, config.min_ratings_per_user,
+                   std::min(config.max_ratings_per_user, config.num_items));
+
+    // Draw n distinct items by popularity-weighted rejection sampling.
+    std::fill(taken.begin(), taken.end(), std::uint8_t{0});
+    std::vector<std::size_t> items;
+    items.reserve(n);
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 50 * config.num_items;
+    while (items.size() < n && attempts < max_attempts) {
+      ++attempts;
+      const std::size_t item = rank_to_item[zipf.Sample(pick_rng)];
+      if (taken[item]) continue;
+      taken[item] = 1;
+      items.push_back(item);
+    }
+    // Extremely unlikely fallback: fill with the first untaken items.
+    for (std::size_t i = 0; items.size() < n && i < config.num_items; ++i) {
+      if (!taken[i]) {
+        taken[i] = 1;
+        items.push_back(i);
+      }
+    }
+    std::sort(items.begin(), items.end());
+
+    matrix::Timestamp ts =
+        config.with_timestamps
+            ? 880000000 + static_cast<matrix::Timestamp>(
+                              count_rng.NextBounded(50000000))
+            : 0;
+    for (const std::size_t item : items) {
+      const double score = model.TrueScore(config, u, item) +
+                           config.noise_sigma * noise_rng.NextGaussian();
+      const double clamped =
+          std::clamp(std::round(score), static_cast<double>(config.min_rating),
+                     static_cast<double>(config.max_rating));
+      if (config.with_timestamps) ts += 1 + static_cast<matrix::Timestamp>(
+                                            count_rng.NextBounded(3600));
+      builder.Add(static_cast<matrix::UserId>(u),
+                  static_cast<matrix::ItemId>(item),
+                  static_cast<matrix::Rating>(clamped), ts);
+    }
+  }
+  return builder.Build();
+}
+
+SyntheticOracle::SyntheticOracle(const SyntheticConfig& config)
+    : config_(config) {
+  const LatentModel model(config);
+  user_cluster_ = model.user_cluster;
+  item_genre_ = model.item_genre;
+  user_bias_ = model.user_bias;
+  item_bias_ = model.item_bias;
+  user_latent_ = model.user_latent;
+  item_latent_ = model.item_latent;
+}
+
+double SyntheticOracle::TrueScore(matrix::UserId user, matrix::ItemId item) const {
+  CFSF_REQUIRE(user < config_.num_users && item < config_.num_items,
+               "oracle query out of range");
+  const std::size_t d = config_.latent_dim;
+  double dot = 0.0;
+  for (std::size_t k = 0; k < d; ++k) {
+    dot += user_latent_[user * d + k] * item_latent_[item * d + k];
+  }
+  return config_.global_mean + user_bias_[user] + item_bias_[item] +
+         config_.interaction_scale * dot / std::sqrt(static_cast<double>(d));
+}
+
+std::size_t SyntheticOracle::UserCluster(matrix::UserId user) const {
+  CFSF_REQUIRE(user < config_.num_users, "oracle query out of range");
+  return user_cluster_[user];
+}
+
+std::size_t SyntheticOracle::ItemGenre(matrix::ItemId item) const {
+  CFSF_REQUIRE(item < config_.num_items, "oracle query out of range");
+  return item_genre_[item];
+}
+
+}  // namespace cfsf::data

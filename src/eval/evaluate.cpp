@@ -1,0 +1,40 @@
+#include "eval/evaluate.hpp"
+
+#include <algorithm>
+
+#include "util/stopwatch.hpp"
+
+namespace cfsf::eval {
+
+EvalResult Evaluate(Predictor& predictor, const data::EvalSplit& split,
+                    const EvalOptions& options) {
+  util::Stopwatch fit_watch;
+  predictor.Fit(split.train);
+  const double fit_seconds = fit_watch.ElapsedSeconds();
+
+  EvalResult result = EvaluateFitted(predictor, split.test, options);
+  result.fit_seconds = fit_seconds;
+  return result;
+}
+
+EvalResult EvaluateFitted(const Predictor& predictor,
+                          std::span<const data::TestRating> test,
+                          const EvalOptions& options) {
+  EvalResult result;
+  ErrorAccumulator acc;
+  util::Stopwatch predict_watch;
+  for (const auto& t : test) {
+    double predicted = predictor.Predict(t.user, t.item);
+    if (options.clamp_low <= options.clamp_high) {
+      predicted = std::clamp(predicted, options.clamp_low, options.clamp_high);
+    }
+    acc.Add(predicted, t.actual);
+  }
+  result.predict_seconds = predict_watch.ElapsedSeconds();
+  result.mae = acc.Mae();
+  result.rmse = acc.Rmse();
+  result.num_predictions = acc.count();
+  return result;
+}
+
+}  // namespace cfsf::eval

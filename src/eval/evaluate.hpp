@@ -1,0 +1,37 @@
+// Evaluation driver: fits a Predictor on a GivenN split and scores the
+// withheld ratings, timing the offline (Fit) and online (Predict) phases
+// separately — Fig. 5 reports the online response time.
+#pragma once
+
+#include "data/protocol.hpp"
+#include "eval/metrics.hpp"
+#include "eval/predictor.hpp"
+
+namespace cfsf::eval {
+
+struct EvalOptions {
+  /// Predictions are clamped into [clamp_low, clamp_high] before scoring
+  /// (the MovieLens scale).  Disable by setting low > high.
+  double clamp_low = 1.0;
+  double clamp_high = 5.0;
+};
+
+struct EvalResult {
+  double mae = 0.0;
+  double rmse = 0.0;
+  std::size_t num_predictions = 0;
+  double fit_seconds = 0.0;
+  double predict_seconds = 0.0;
+};
+
+/// Fit on split.train, then predict every withheld rating.
+EvalResult Evaluate(Predictor& predictor, const data::EvalSplit& split,
+                    const EvalOptions& options = {});
+
+/// Score an already-fitted predictor (used by parameter sweeps that reuse
+/// an expensive offline phase across online-parameter settings).
+EvalResult EvaluateFitted(const Predictor& predictor,
+                          std::span<const data::TestRating> test,
+                          const EvalOptions& options = {});
+
+}  // namespace cfsf::eval

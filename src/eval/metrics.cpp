@@ -1,0 +1,38 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cfsf::eval {
+
+void ErrorAccumulator::Add(double predicted, double actual) {
+  const double diff = predicted - actual;
+  abs_sum_ += std::abs(diff);
+  sq_sum_ += diff * diff;
+  ++count_;
+}
+
+double ErrorAccumulator::Mae() const {
+  return count_ == 0 ? 0.0 : abs_sum_ / static_cast<double>(count_);
+}
+
+double ErrorAccumulator::Rmse() const {
+  return count_ == 0 ? 0.0 : std::sqrt(sq_sum_ / static_cast<double>(count_));
+}
+
+double Mae(std::span<const double> predicted, std::span<const double> actual) {
+  CFSF_REQUIRE(predicted.size() == actual.size(), "Mae size mismatch");
+  ErrorAccumulator acc;
+  for (std::size_t i = 0; i < predicted.size(); ++i) acc.Add(predicted[i], actual[i]);
+  return acc.Mae();
+}
+
+double Rmse(std::span<const double> predicted, std::span<const double> actual) {
+  CFSF_REQUIRE(predicted.size() == actual.size(), "Rmse size mismatch");
+  ErrorAccumulator acc;
+  for (std::size_t i = 0; i < predicted.size(); ++i) acc.Add(predicted[i], actual[i]);
+  return acc.Rmse();
+}
+
+}  // namespace cfsf::eval

@@ -1,0 +1,30 @@
+// Accuracy metrics.  MAE is Eq. 15, the paper's sole accuracy metric;
+// RMSE is provided as an extension.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace cfsf::eval {
+
+/// Streaming accumulator so harnesses do not need to keep every
+/// (predicted, actual) pair around.
+class ErrorAccumulator {
+ public:
+  void Add(double predicted, double actual);
+
+  std::size_t count() const { return count_; }
+  /// Mean absolute error (Eq. 15); 0 for an empty accumulator.
+  double Mae() const;
+  double Rmse() const;
+
+ private:
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+double Mae(std::span<const double> predicted, std::span<const double> actual);
+double Rmse(std::span<const double> predicted, std::span<const double> actual);
+
+}  // namespace cfsf::eval

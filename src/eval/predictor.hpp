@@ -1,0 +1,27 @@
+// The common interface every CF approach in this repository implements —
+// CFSF itself and all the baselines of Tables II/III.
+#pragma once
+
+#include <string>
+
+#include "matrix/rating_matrix.hpp"
+
+namespace cfsf::eval {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Short name used in result tables ("CFSF", "SUR", "SCBPCC", ...).
+  virtual std::string Name() const = 0;
+
+  /// Trains/precomputes on the training matrix (the offline phase for
+  /// approaches that have one).  Must be called before Predict.
+  virtual void Fit(const matrix::RatingMatrix& train) = 0;
+
+  /// Predicts the rating of `item` by `user`.  Must be total: approaches
+  /// fall back to user/item/global means when no evidence is available.
+  virtual double Predict(matrix::UserId user, matrix::ItemId item) const = 0;
+};
+
+}  // namespace cfsf::eval

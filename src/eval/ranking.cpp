@@ -1,0 +1,89 @@
+#include "eval/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cfsf::eval {
+
+RankingResult EvaluateTopN(const Predictor& predictor,
+                           const data::EvalSplit& split,
+                           const RankingOptions& options) {
+  CFSF_REQUIRE(options.n > 0, "ranking list length must be positive");
+
+  // Relevant withheld items per user.
+  std::map<matrix::UserId, std::set<matrix::ItemId>> relevant;
+  for (const auto& t : split.test) {
+    if (t.actual >= options.relevance_threshold) {
+      relevant[t.user].insert(t.item);
+    }
+  }
+
+  RankingResult result;
+  result.n = options.n;
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  double ndcg_sum = 0.0;
+  std::size_t hits_users = 0;
+
+  for (const auto user : split.active_users) {
+    const auto rel_it = relevant.find(user);
+    if (rel_it == relevant.end() || rel_it->second.empty()) continue;
+    if (options.max_users != 0 && result.num_users >= options.max_users) break;
+    const auto& rel = rel_it->second;
+
+    // Score all unrated items; keep the top-n by score.
+    struct Scored {
+      matrix::ItemId item;
+      double score;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(split.train.num_items());
+    for (std::size_t i = 0; i < split.train.num_items(); ++i) {
+      const auto item = static_cast<matrix::ItemId>(i);
+      if (split.train.HasRating(user, item)) continue;
+      scored.push_back(Scored{item, predictor.Predict(user, item)});
+    }
+    const std::size_t take = std::min<std::size_t>(options.n, scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                      [](const Scored& a, const Scored& b) {
+                        if (a.score != b.score) return a.score > b.score;
+                        return a.item < b.item;
+                      });
+
+    std::size_t hits = 0;
+    double dcg = 0.0;
+    for (std::size_t r = 0; r < take; ++r) {
+      if (rel.contains(scored[r].item)) {
+        ++hits;
+        dcg += 1.0 / std::log2(static_cast<double>(r) + 2.0);
+      }
+    }
+    double ideal = 0.0;
+    const std::size_t ideal_hits = std::min<std::size_t>(rel.size(), take);
+    for (std::size_t r = 0; r < ideal_hits; ++r) {
+      ideal += 1.0 / std::log2(static_cast<double>(r) + 2.0);
+    }
+
+    precision_sum += static_cast<double>(hits) / static_cast<double>(options.n);
+    recall_sum += static_cast<double>(hits) / static_cast<double>(rel.size());
+    ndcg_sum += ideal > 0.0 ? dcg / ideal : 0.0;
+    if (hits > 0) ++hits_users;
+    ++result.num_users;
+  }
+
+  if (result.num_users > 0) {
+    const auto users = static_cast<double>(result.num_users);
+    result.precision_at_n = precision_sum / users;
+    result.recall_at_n = recall_sum / users;
+    result.ndcg_at_n = ndcg_sum / users;
+    result.hit_rate_at_n = static_cast<double>(hits_users) / users;
+  }
+  return result;
+}
+
+}  // namespace cfsf::eval

@@ -1,0 +1,38 @@
+// Top-N ranking quality — an extension beyond the paper's MAE-only
+// evaluation (Herlocker et al. [22], which the paper cites for metrics,
+// surveys these).  A withheld rating >= `relevance_threshold` marks the
+// item relevant; every item the user has not rated in the training matrix
+// is a ranking candidate.
+#pragma once
+
+#include <cstddef>
+
+#include "data/protocol.hpp"
+#include "eval/predictor.hpp"
+
+namespace cfsf::eval {
+
+struct RankingOptions {
+  std::size_t n = 10;                 // list length
+  double relevance_threshold = 4.0;   // withheld rating >= this = relevant
+  /// Cap on evaluated users (0 = all active users); ranking costs
+  /// O(users × items × predict).
+  std::size_t max_users = 0;
+};
+
+struct RankingResult {
+  double precision_at_n = 0.0;  // mean over users
+  double recall_at_n = 0.0;
+  double ndcg_at_n = 0.0;
+  double hit_rate_at_n = 0.0;   // fraction of users with >= 1 hit
+  std::size_t num_users = 0;    // users with >= 1 relevant withheld item
+  std::size_t n = 0;
+};
+
+/// Ranks every unrated item per active user by predictor score (the
+/// predictor must already be fitted on split.train).
+RankingResult EvaluateTopN(const Predictor& predictor,
+                           const data::EvalSplit& split,
+                           const RankingOptions& options = {});
+
+}  // namespace cfsf::eval

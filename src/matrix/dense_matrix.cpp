@@ -1,0 +1,28 @@
+#include "matrix/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cfsf::matrix {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void DenseMatrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+double DenseMatrix::FrobeniusDistance(const DenseMatrix& other) const {
+  CFSF_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "FrobeniusDistance dimension mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace cfsf::matrix

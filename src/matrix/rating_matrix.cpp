@@ -1,0 +1,205 @@
+#include "matrix/rating_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cfsf::matrix {
+
+RatingMatrixBuilder::RatingMatrixBuilder(std::size_t num_users, std::size_t num_items)
+    : num_users_(num_users), num_items_(num_items) {}
+
+void RatingMatrixBuilder::Add(UserId user, ItemId item, Rating value,
+                              Timestamp timestamp) {
+  if (user >= num_users_) {
+    throw util::DimensionError("user id " + std::to_string(user) +
+                               " out of range (num_users=" +
+                               std::to_string(num_users_) + ")");
+  }
+  if (item >= num_items_) {
+    throw util::DimensionError("item id " + std::to_string(item) +
+                               " out of range (num_items=" +
+                               std::to_string(num_items_) + ")");
+  }
+  if (!std::isfinite(value)) {
+    throw util::DimensionError("non-finite rating for user " +
+                               std::to_string(user) + ", item " +
+                               std::to_string(item));
+  }
+  triples_.push_back(RatingTriple{user, item, value, timestamp});
+}
+
+void RatingMatrixBuilder::Add(const RatingTriple& triple) {
+  Add(triple.user, triple.item, triple.value, triple.timestamp);
+}
+
+RatingMatrix RatingMatrixBuilder::Build() {
+  RatingMatrix matrix;
+  matrix.num_users_ = num_users_;
+  matrix.num_items_ = num_items_;
+  matrix.BuildIndexes(std::move(triples_));
+  matrix.ComputeMeans();
+  triples_.clear();
+  return matrix;
+}
+
+void RatingMatrix::BuildIndexes(std::vector<RatingTriple>&& triples) {
+  // Stable sort by (user, item); for duplicates the *last* added wins, so
+  // keep the final occurrence of each key.
+  std::stable_sort(triples.begin(), triples.end(),
+                   [](const RatingTriple& a, const RatingTriple& b) {
+                     return a.user != b.user ? a.user < b.user : a.item < b.item;
+                   });
+  std::vector<RatingTriple> unique;
+  unique.reserve(triples.size());
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    if (i + 1 < triples.size() && triples[i + 1].user == triples[i].user &&
+        triples[i + 1].item == triples[i].item) {
+      continue;  // superseded by a later duplicate
+    }
+    unique.push_back(triples[i]);
+  }
+
+  const bool any_timestamp =
+      std::any_of(unique.begin(), unique.end(),
+                  [](const RatingTriple& t) { return t.timestamp != 0; });
+
+  user_ptr_.assign(num_users_ + 1, 0);
+  user_entries_.clear();
+  user_entries_.reserve(unique.size());
+  if (any_timestamp) {
+    user_timestamps_.clear();
+    user_timestamps_.reserve(unique.size());
+  } else {
+    user_timestamps_.clear();
+  }
+  for (const auto& t : unique) ++user_ptr_[t.user + 1];
+  for (std::size_t u = 0; u < num_users_; ++u) user_ptr_[u + 1] += user_ptr_[u];
+  for (const auto& t : unique) {
+    user_entries_.push_back(Entry{t.item, t.value});
+    if (any_timestamp) user_timestamps_.push_back(t.timestamp);
+  }
+
+  // CSC: counting sort by item, preserving user order inside each column.
+  item_ptr_.assign(num_items_ + 1, 0);
+  for (const auto& t : unique) ++item_ptr_[t.item + 1];
+  for (std::size_t i = 0; i < num_items_; ++i) item_ptr_[i + 1] += item_ptr_[i];
+  item_entries_.assign(unique.size(), Entry{});
+  std::vector<std::size_t> cursor(item_ptr_.begin(), item_ptr_.end() - 1);
+  for (const auto& t : unique) {
+    item_entries_[cursor[t.item]++] = Entry{t.user, t.value};
+  }
+}
+
+void RatingMatrix::ComputeMeans() {
+  double total = 0.0;
+  for (const auto& e : user_entries_) total += e.value;
+  global_mean_ = user_entries_.empty()
+                     ? 0.0
+                     : total / static_cast<double>(user_entries_.size());
+
+  user_means_.assign(num_users_, global_mean_);
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    const auto row = UserRow(static_cast<UserId>(u));
+    if (row.empty()) continue;
+    double sum = 0.0;
+    for (const auto& e : row) sum += e.value;
+    user_means_[u] = sum / static_cast<double>(row.size());
+  }
+
+  item_means_.assign(num_items_, global_mean_);
+  for (std::size_t i = 0; i < num_items_; ++i) {
+    const auto col = ItemCol(static_cast<ItemId>(i));
+    if (col.empty()) continue;
+    double sum = 0.0;
+    for (const auto& e : col) sum += e.value;
+    item_means_[i] = sum / static_cast<double>(col.size());
+  }
+}
+
+double RatingMatrix::Density() const {
+  const double cells =
+      static_cast<double>(num_users_) * static_cast<double>(num_items_);
+  return cells == 0.0 ? 0.0 : static_cast<double>(num_ratings()) / cells;
+}
+
+std::span<const Entry> RatingMatrix::UserRow(UserId user) const {
+  CFSF_ASSERT(user < num_users_, "user id out of range");
+  return {user_entries_.data() + user_ptr_[user],
+          user_ptr_[user + 1] - user_ptr_[user]};
+}
+
+std::span<const Entry> RatingMatrix::ItemCol(ItemId item) const {
+  CFSF_ASSERT(item < num_items_, "item id out of range");
+  return {item_entries_.data() + item_ptr_[item],
+          item_ptr_[item + 1] - item_ptr_[item]};
+}
+
+std::span<const Timestamp> RatingMatrix::UserRowTimestamps(UserId user) const {
+  CFSF_ASSERT(user < num_users_, "user id out of range");
+  if (user_timestamps_.empty()) return {};
+  return {user_timestamps_.data() + user_ptr_[user],
+          user_ptr_[user + 1] - user_ptr_[user]};
+}
+
+std::optional<Rating> RatingMatrix::GetRating(UserId user, ItemId item) const {
+  const auto row = UserRow(user);
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), item,
+      [](const Entry& e, ItemId target) { return e.index < target; });
+  if (it == row.end() || it->index != item) return std::nullopt;
+  return it->value;
+}
+
+double RatingMatrix::UserMean(UserId user) const {
+  CFSF_ASSERT(user < num_users_, "user id out of range");
+  return user_means_[user];
+}
+
+double RatingMatrix::ItemMean(ItemId item) const {
+  CFSF_ASSERT(item < num_items_, "item id out of range");
+  return item_means_[item];
+}
+
+std::vector<RatingTriple> RatingMatrix::ToTriples() const {
+  std::vector<RatingTriple> triples;
+  triples.reserve(num_ratings());
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    const auto row = UserRow(static_cast<UserId>(u));
+    const auto ts = UserRowTimestamps(static_cast<UserId>(u));
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      triples.push_back(RatingTriple{static_cast<UserId>(u), row[k].index,
+                                     row[k].value,
+                                     ts.empty() ? 0 : ts[k]});
+    }
+  }
+  return triples;
+}
+
+RatingMatrix RatingMatrix::KeepUserPrefix(std::size_t keep_users) const {
+  CFSF_REQUIRE(keep_users <= num_users_,
+               "prefix larger than the matrix user count");
+  RatingMatrixBuilder builder(keep_users, num_items_);
+  for (std::size_t u = 0; u < keep_users; ++u) {
+    const auto row = UserRow(static_cast<UserId>(u));
+    const auto ts = UserRowTimestamps(static_cast<UserId>(u));
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      builder.Add(static_cast<UserId>(u), row[k].index, row[k].value,
+                  ts.empty() ? 0 : ts[k]);
+    }
+  }
+  return builder.Build();
+}
+
+RatingMatrix RatingMatrix::WithRating(UserId user, ItemId item, Rating value,
+                                      Timestamp timestamp) const {
+  CFSF_REQUIRE(user < num_users_ && item < num_items_,
+               "WithRating ids out of range");
+  RatingMatrixBuilder builder(num_users_, num_items_);
+  for (const auto& t : ToTriples()) builder.Add(t);
+  builder.Add(user, item, value, timestamp);
+  return builder.Build();
+}
+
+}  // namespace cfsf::matrix

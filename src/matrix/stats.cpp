@@ -1,0 +1,67 @@
+#include "matrix/stats.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/string_utils.hpp"
+
+namespace cfsf::matrix {
+
+DatasetStats ComputeStats(const RatingMatrix& matrix) {
+  DatasetStats stats;
+  stats.num_users = matrix.num_users();
+  stats.num_items = matrix.num_items();
+  stats.num_ratings = matrix.num_ratings();
+  stats.avg_ratings_per_user =
+      stats.num_users == 0
+          ? 0.0
+          : static_cast<double>(stats.num_ratings) / static_cast<double>(stats.num_users);
+  stats.density = matrix.Density();
+  stats.mean_rating = matrix.GlobalMean();
+
+  std::set<Rating> distinct;
+  bool first = true;
+  std::size_t min_per_user = 0;
+  std::size_t max_per_user = 0;
+  for (std::size_t u = 0; u < matrix.num_users(); ++u) {
+    const auto row = matrix.UserRow(static_cast<UserId>(u));
+    if (u == 0) {
+      min_per_user = max_per_user = row.size();
+    } else {
+      min_per_user = std::min(min_per_user, row.size());
+      max_per_user = std::max(max_per_user, row.size());
+    }
+    for (const auto& e : row) {
+      if (first || e.value < stats.min_rating) stats.min_rating = e.value;
+      if (first || e.value > stats.max_rating) stats.max_rating = e.value;
+      first = false;
+      distinct.insert(e.value);
+    }
+  }
+  stats.num_distinct_rating_values = distinct.size();
+  stats.min_ratings_per_user = min_per_user;
+  stats.max_ratings_per_user = max_per_user;
+  return stats;
+}
+
+std::string FormatStats(const DatasetStats& stats) {
+  std::ostringstream os;
+  os << "No. of Users                         " << stats.num_users << '\n'
+     << "No. of Items                         " << stats.num_items << '\n'
+     << "No. of Ratings (observed)            " << stats.num_ratings << '\n'
+     << "Average no. of rated items per user  "
+     << util::FormatFixed(stats.avg_ratings_per_user, 1) << '\n'
+     << "Density of data                      "
+     << util::FormatFixed(stats.density * 100.0, 2) << "%\n"
+     << "No. of rating values                 " << stats.num_distinct_rating_values
+     << " (" << util::FormatFixed(stats.min_rating, 0) << "-"
+     << util::FormatFixed(stats.max_rating, 0) << ")\n"
+     << "Mean rating                          "
+     << util::FormatFixed(stats.mean_rating, 2) << '\n'
+     << "Ratings per user (min/max)           " << stats.min_ratings_per_user
+     << "/" << stats.max_ratings_per_user << '\n';
+  return os.str();
+}
+
+}  // namespace cfsf::matrix

@@ -1,0 +1,30 @@
+// Dataset statistics — the rows of Table I.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "matrix/rating_matrix.hpp"
+
+namespace cfsf::matrix {
+
+struct DatasetStats {
+  std::size_t num_users = 0;
+  std::size_t num_items = 0;
+  std::size_t num_ratings = 0;
+  double avg_ratings_per_user = 0.0;
+  double density = 0.0;           // fraction in [0,1]
+  Rating min_rating = 0.0F;
+  Rating max_rating = 0.0F;
+  std::size_t num_distinct_rating_values = 0;  // Table I "No. of ratings" = 5
+  double mean_rating = 0.0;
+  std::size_t min_ratings_per_user = 0;
+  std::size_t max_ratings_per_user = 0;
+};
+
+DatasetStats ComputeStats(const RatingMatrix& matrix);
+
+/// Human-readable multi-line rendering (used by table1_dataset_stats).
+std::string FormatStats(const DatasetStats& stats);
+
+}  // namespace cfsf::matrix

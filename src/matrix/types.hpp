@@ -1,0 +1,29 @@
+// Fundamental identifier and rating types shared by every CFSF subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace cfsf::matrix {
+
+using UserId = std::uint32_t;
+using ItemId = std::uint32_t;
+
+/// Ratings are stored as float (the MovieLens scale is integers 1–5; all
+/// intermediate math is done in double).
+using Rating = float;
+
+/// Seconds since epoch; 0 means "no timestamp".  Only the time-aware
+/// extension consumes these.
+using Timestamp = std::int64_t;
+
+/// One observed rating.
+struct RatingTriple {
+  UserId user = 0;
+  ItemId item = 0;
+  Rating value = 0.0F;
+  Timestamp timestamp = 0;
+
+  friend bool operator==(const RatingTriple&, const RatingTriple&) = default;
+};
+
+}  // namespace cfsf::matrix

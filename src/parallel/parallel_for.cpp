@@ -1,0 +1,89 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace cfsf::par {
+
+namespace {
+
+void RunSerial(std::size_t begin, std::size_t end,
+               const std::function<void(Range)>& body) {
+  body(Range{begin, end});
+}
+
+void RunStatic(ThreadPool& pool, std::size_t begin, std::size_t end,
+               const std::function<void(Range)>& body, std::size_t grain) {
+  const std::size_t n = end - begin;
+  std::size_t num_chunks = std::min<std::size_t>(n, pool.num_threads() * 2);
+  if (grain > 0) {
+    num_chunks = std::min(num_chunks, std::max<std::size_t>(1, n / grain));
+  }
+  if (num_chunks <= 1) {
+    RunSerial(begin, end, body);
+    return;
+  }
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t lo = begin + n * c / num_chunks;
+    const std::size_t hi = begin + n * (c + 1) / num_chunks;
+    if (lo == hi) continue;
+    pool.Submit([&body, lo, hi] { body(Range{lo, hi}); });
+  }
+  pool.Wait();
+}
+
+void RunDynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
+                const std::function<void(Range)>& body, std::size_t grain) {
+  const std::size_t n = end - begin;
+  if (grain == 0) {
+    // Aim for ~8 chunks per thread so load imbalance amortises without
+    // excessive queue traffic.
+    grain = std::max<std::size_t>(1, n / (pool.num_threads() * 8));
+  }
+  if (n <= grain) {
+    RunSerial(begin, end, body);
+    return;
+  }
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+  // One self-rescheduling task per thread: each claims grain-sized slices
+  // until the cursor passes `end`.
+  const std::size_t workers = pool.num_threads();
+  for (std::size_t t = 0; t < workers; ++t) {
+    pool.Submit([cursor, end, grain, &body] {
+      for (;;) {
+        const std::size_t lo = cursor->fetch_add(grain);
+        if (lo >= end) return;
+        const std::size_t hi = std::min(end, lo + grain);
+        body(Range{lo, hi});
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace
+
+void ParallelForRanges(std::size_t begin, std::size_t end,
+                       const std::function<void(Range)>& body,
+                       const ForOptions& options) {
+  if (begin >= end) return;
+  if (options.serial) {
+    RunSerial(begin, end, body);
+    return;
+  }
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::Shared();
+  if (pool.num_threads() <= 1) {
+    RunSerial(begin, end, body);
+    return;
+  }
+  switch (options.schedule) {
+    case Schedule::kStatic:
+      RunStatic(pool, begin, end, body, options.grain);
+      break;
+    case Schedule::kDynamic:
+      RunDynamic(pool, begin, end, body, options.grain);
+      break;
+  }
+}
+
+}  // namespace cfsf::par

@@ -1,0 +1,90 @@
+#include "parallel/thread_pool.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace cfsf::par {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CFSF_ASSERT(!shutting_down_, "Submit after shutdown");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    std::size_t n = 0;
+    if (const char* env = std::getenv("CFSF_NUM_THREADS")) {
+      try {
+        const auto parsed = cfsf::util::ParseInt(env);
+        if (parsed > 0) n = static_cast<std::size_t>(parsed);
+      } catch (const cfsf::util::IoError&) {
+        // Ignore malformed values; fall back to hardware concurrency.
+      }
+    }
+    return new ThreadPool(n);
+  }();
+  return *pool;
+}
+
+}  // namespace cfsf::par

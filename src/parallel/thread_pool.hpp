@@ -1,0 +1,65 @@
+// Fixed-size thread pool used by the offline phase (GIS construction,
+// K-means, smoothing) and batch prediction.
+//
+// Design notes:
+//  * Workers block on a condition variable; there is no busy spinning, so
+//    an idle pool costs nothing — important because the bench binaries
+//    construct models dozens of times.
+//  * Tasks are type-erased std::function<void()>; the higher-level
+//    parallel_for batches loop chunks into a handful of tasks, so the
+//    per-task overhead is amortised.
+//  * Exceptions thrown by a task are captured and rethrown from Wait() on
+//    the submitting thread (first one wins), matching the Core Guidelines
+//    advice that errors must not vanish on worker threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cfsf::par {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks must not themselves call Submit/Wait on the
+  /// same pool (no nested parallelism; parallel_for never nests).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.  Rethrows the first
+  /// task exception, if any, and clears it.
+  void Wait();
+
+  /// Process-wide shared pool, created on first use.  Size is taken from
+  /// the CFSF_NUM_THREADS environment variable if set, otherwise the
+  /// hardware concurrency.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;  // queued + running
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace cfsf::par

@@ -1,0 +1,238 @@
+#include "similarity/item_similarity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "parallel/parallel_for.hpp"
+#include "similarity/kernels.hpp"
+#include "util/error.hpp"
+
+namespace cfsf::sim {
+
+namespace {
+
+/// Accumulators for one item pair restricted to co-rating users.
+struct PairAcc {
+  double dot = 0.0;
+  double sq_a = 0.0;  // Σ dev_a² over co-raters (a = smaller item id)
+  double sq_b = 0.0;
+  std::uint32_t count = 0;
+};
+
+std::size_t TriSize(std::size_t n) { return n * (n - 1) / 2; }
+
+/// Index of pair (a, b) with a < b in a row-major upper triangle.
+inline std::size_t TriIndex(std::size_t n, std::size_t a, std::size_t b) {
+  return a * n - a * (a + 1) / 2 + (b - a - 1);
+}
+
+void SortRow(std::vector<Neighbor>& row) {
+  std::sort(row.begin(), row.end(), [](const Neighbor& x, const Neighbor& y) {
+    if (x.similarity != y.similarity) return x.similarity > y.similarity;
+    return x.index < y.index;
+  });
+}
+
+bool PassesFilters(const GisConfig& config, double sim, std::size_t overlap) {
+  return overlap >= config.min_overlap && sim > config.min_similarity;
+}
+
+double ApplySignificance(const GisConfig& config, double sim, std::size_t overlap) {
+  if (!config.significance_weighting) return sim;
+  return SignificanceWeight(sim, overlap, config.significance_cutoff);
+}
+
+}  // namespace
+
+GlobalItemSimilarity GlobalItemSimilarity::Build(
+    const matrix::RatingMatrix& matrix, const GisConfig& config) {
+  const std::size_t q = matrix.num_items();
+  const std::size_t p = matrix.num_users();
+
+  GlobalItemSimilarity gis;
+  gis.config_ = config;
+  gis.rows_.assign(q, {});
+  if (q < 2) return gis;
+
+  // Cache item means once; the deviations in Eq. 5 are from r̄_i over all
+  // raters of i.  Under the cosine (PCS) kernel the "deviation" is the
+  // raw rating — the same accumulation then yields the cosine.
+  std::vector<double> item_mean(q, 0.0);
+  if (config.kernel == ItemKernel::kPearson) {
+    for (std::size_t i = 0; i < q; ++i) {
+      item_mean[i] = matrix.ItemMean(static_cast<matrix::ItemId>(i));
+    }
+  }
+
+  using AccVector = std::vector<PairAcc>;
+  par::ForOptions options;
+  options.serial = !config.parallel;
+  // Each partial holds the full triangle (~16 MB at Q=1000); bound the
+  // number of partials instead of letting the chunk count scale with the
+  // thread count.
+  options.grain = std::max<std::size_t>(1, p / 4);
+
+  auto fold_user = [&](AccVector& acc, std::size_t u) {
+    const auto row = matrix.UserRow(static_cast<matrix::UserId>(u));
+    for (std::size_t x = 0; x < row.size(); ++x) {
+      const std::size_t a = row[x].index;
+      const double dev_a = row[x].value - item_mean[a];
+      for (std::size_t y = x + 1; y < row.size(); ++y) {
+        const std::size_t b = row[y].index;
+        const double dev_b = row[y].value - item_mean[b];
+        PairAcc& pair = acc[TriIndex(q, a, b)];
+        pair.dot += dev_a * dev_b;
+        pair.sq_a += dev_a * dev_a;
+        pair.sq_b += dev_b * dev_b;
+        ++pair.count;
+      }
+    }
+  };
+
+  const AccVector totals = par::ParallelReduce<AccVector>(
+      0, p,
+      [&] { return AccVector(TriSize(q)); },
+      fold_user,
+      [](AccVector& total, AccVector& partial) {
+        if (total.empty()) {
+          total = std::move(partial);
+          return;
+        }
+        for (std::size_t k = 0; k < total.size(); ++k) {
+          total[k].dot += partial[k].dot;
+          total[k].sq_a += partial[k].sq_a;
+          total[k].sq_b += partial[k].sq_b;
+          total[k].count += partial[k].count;
+        }
+      },
+      AccVector{}, options);
+
+  // Materialise filtered, sorted neighbour rows.
+  for (std::size_t a = 0; a < q; ++a) {
+    for (std::size_t b = a + 1; b < q; ++b) {
+      const PairAcc& pair = totals[TriIndex(q, a, b)];
+      if (pair.count == 0) continue;
+      const double denom = std::sqrt(pair.sq_a) * std::sqrt(pair.sq_b);
+      if (denom <= 0.0) continue;
+      double sim = pair.dot / denom;
+      sim = ApplySignificance(config, sim, pair.count);
+      if (!PassesFilters(config, sim, pair.count)) continue;
+      gis.rows_[a].push_back(
+          Neighbor{static_cast<std::uint32_t>(b), static_cast<float>(sim)});
+      gis.rows_[b].push_back(
+          Neighbor{static_cast<std::uint32_t>(a), static_cast<float>(sim)});
+    }
+  }
+  for (auto& row : gis.rows_) {
+    SortRow(row);
+    if (config.max_neighbors != 0 && row.size() > config.max_neighbors) {
+      row.resize(config.max_neighbors);
+    }
+    row.shrink_to_fit();
+  }
+  return gis;
+}
+
+GlobalItemSimilarity GlobalItemSimilarity::FromRows(
+    std::vector<std::vector<Neighbor>> rows, const GisConfig& config) {
+  GlobalItemSimilarity gis;
+  gis.config_ = config;
+  for (const auto& row : rows) {
+    for (const auto& n : row) {
+      CFSF_REQUIRE(n.index < rows.size(),
+                   "GIS row references an item outside the matrix");
+    }
+  }
+  gis.rows_ = std::move(rows);
+  return gis;
+}
+
+std::span<const Neighbor> GlobalItemSimilarity::Neighbors(
+    matrix::ItemId item) const {
+  CFSF_ASSERT(item < rows_.size(), "item id out of range");
+  return rows_[item];
+}
+
+std::span<const Neighbor> GlobalItemSimilarity::TopM(matrix::ItemId item,
+                                                     std::size_t m) const {
+  const auto row = Neighbors(item);
+  return row.subspan(0, std::min(m, row.size()));
+}
+
+double GlobalItemSimilarity::Similarity(matrix::ItemId item,
+                                        matrix::ItemId other) const {
+  for (const auto& n : Neighbors(item)) {
+    if (n.index == other) return n.similarity;
+  }
+  return 0.0;
+}
+
+std::size_t GlobalItemSimilarity::TotalNeighbors() const {
+  std::size_t total = 0;
+  for (const auto& row : rows_) total += row.size();
+  return total;
+}
+
+void GlobalItemSimilarity::RefreshItems(const matrix::RatingMatrix& matrix,
+                                        std::span<const matrix::ItemId> items) {
+  CFSF_REQUIRE(matrix.num_items() == rows_.size(),
+               "RefreshItems matrix shape mismatch");
+  if (items.empty()) return;
+  const std::size_t q = rows_.size();
+
+  std::unordered_set<std::uint32_t> affected(items.begin(), items.end());
+
+  // Recompute similarities of each affected item against every other item
+  // with the direct column-merge kernel.
+  std::vector<std::vector<Neighbor>> fresh(q);  // fresh[j] = new entries into row j
+  for (const auto item : affected) {
+    CFSF_REQUIRE(item < q, "RefreshItems item id out of range");
+    const auto col_a = matrix.ItemCol(item);
+    const double mean_a = matrix.ItemMean(item);
+    auto& own_row = rows_[item];
+    own_row.clear();
+    for (std::size_t b = 0; b < q; ++b) {
+      if (b == item) continue;
+      const auto col_b = matrix.ItemCol(static_cast<matrix::ItemId>(b));
+      const auto result =
+          config_.kernel == ItemKernel::kPearson
+              ? PearsonSparse(col_a, col_b, mean_a,
+                              matrix.ItemMean(static_cast<matrix::ItemId>(b)))
+              : CosineSparse(col_a, col_b);
+      double sim = ApplySignificance(config_, result.value, result.overlap);
+      if (!PassesFilters(config_, sim, result.overlap)) continue;
+      own_row.push_back(
+          Neighbor{static_cast<std::uint32_t>(b), static_cast<float>(sim)});
+      if (!affected.contains(static_cast<std::uint32_t>(b))) {
+        fresh[b].push_back(Neighbor{item, static_cast<float>(sim)});
+      }
+    }
+    SortRow(own_row);
+    if (config_.max_neighbors != 0 && own_row.size() > config_.max_neighbors) {
+      own_row.resize(config_.max_neighbors);
+    }
+  }
+
+  // Splice the affected items into every other row: drop stale entries,
+  // append fresh ones, restore descending order.
+  for (std::size_t j = 0; j < q; ++j) {
+    if (affected.contains(static_cast<std::uint32_t>(j))) continue;
+    auto& row = rows_[j];
+    const auto stale = std::remove_if(row.begin(), row.end(),
+                                      [&affected](const Neighbor& n) {
+                                        return affected.contains(n.index);
+                                      });
+    const bool changed = stale != row.end() || !fresh[j].empty();
+    row.erase(stale, row.end());
+    row.insert(row.end(), fresh[j].begin(), fresh[j].end());
+    if (changed) {
+      SortRow(row);
+      if (config_.max_neighbors != 0 && row.size() > config_.max_neighbors) {
+        row.resize(config_.max_neighbors);
+      }
+    }
+  }
+}
+
+}  // namespace cfsf::sim

@@ -1,0 +1,96 @@
+// Global Item Similarity matrix — the paper's GIS (Section IV-B).
+//
+// All item–item Pearson correlations (Eq. 5) are computed in one pass
+// over the matrix: for each user, every pair of items in their row
+// contributes to that pair's (dot, sq_a, sq_b, count) accumulators.  This
+// costs Σ_u |I{u}|² pair updates instead of Q² row intersections — for the
+// paper's 500×1000 matrix that is ~4.4 M updates instead of ~250 M merge
+// steps.  The pass is parallelised over users with per-chunk triangular
+// accumulators merged at the end.
+//
+// Per the paper, rows are sorted in descending similarity and thresholds
+// filter "less important items" so "the size of GIS [is] greatly reduced".
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "matrix/rating_matrix.hpp"
+
+namespace cfsf::sim {
+
+/// One neighbour in a similarity list.
+struct Neighbor {
+  std::uint32_t index = 0;       // item id in GIS rows, user id in user lists
+  float similarity = 0.0F;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/// Similarity function for the all-pairs build.  The paper selects PCC
+/// over Pure Cosine Similarity "because PCS does not consider the
+/// diversity in item ratings" (Section IV-B); kCosine exists to measure
+/// that claim (bench/ablation_components).
+enum class ItemKernel { kPearson, kCosine };
+
+struct GisConfig {
+  ItemKernel kernel = ItemKernel::kPearson;
+  /// Keep only pairs with similarity strictly greater than this (the
+  /// paper's Eq. 5 threshold).  GIS rows feed the top-M selection, where
+  /// negative correlations would produce negative fusion weights.
+  double min_similarity = 0.0;
+  /// Pairs with fewer co-raters than this are discarded (PCC over one
+  /// common rating is meaningless).
+  std::size_t min_overlap = 2;
+  /// Cap per-row neighbour count after sorting (0 = unlimited).
+  std::size_t max_neighbors = 0;
+  /// Multiply each similarity by min(overlap, cutoff)/cutoff.
+  bool significance_weighting = false;
+  std::size_t significance_cutoff = 50;
+  /// Use the shared thread pool for the accumulation pass.
+  bool parallel = true;
+};
+
+class GlobalItemSimilarity {
+ public:
+  GlobalItemSimilarity() = default;
+
+  static GlobalItemSimilarity Build(const matrix::RatingMatrix& matrix,
+                                    const GisConfig& config = {});
+
+  /// Reconstructs a GIS from previously built rows (model persistence).
+  /// Rows must already be similarity-descending; this is not validated
+  /// beyond basic shape checks.
+  static GlobalItemSimilarity FromRows(std::vector<std::vector<Neighbor>> rows,
+                                       const GisConfig& config);
+
+  std::size_t num_items() const { return rows_.size(); }
+
+  /// Neighbours of `item`, sorted by descending similarity (ties broken by
+  /// ascending item id for determinism).  Never contains `item` itself.
+  std::span<const Neighbor> Neighbors(matrix::ItemId item) const;
+
+  /// The top-M prefix of Neighbors(item) (fewer if the row is short).
+  std::span<const Neighbor> TopM(matrix::ItemId item, std::size_t m) const;
+
+  /// Linear lookup (test/diagnostic use); 0 if `other` was filtered out.
+  double Similarity(matrix::ItemId item, matrix::ItemId other) const;
+
+  /// Total stored neighbour entries (size of the reduced GIS).
+  std::size_t TotalNeighbors() const;
+
+  /// Incremental maintenance (the paper's "keep GIS up-to-date" future
+  /// work): recompute the rows of `items` — and their appearance in other
+  /// rows — against the given (updated) matrix.
+  void RefreshItems(const matrix::RatingMatrix& matrix,
+                    std::span<const matrix::ItemId> items);
+
+  const GisConfig& config() const { return config_; }
+
+ private:
+  std::vector<std::vector<Neighbor>> rows_;
+  GisConfig config_;
+};
+
+}  // namespace cfsf::sim

@@ -1,0 +1,48 @@
+// User–user Pearson similarity (Eq. 6) — pairwise kernel plus an
+// all-pairs matrix used by the whole-matrix baselines (SUR, SF, EMDP, PD
+// neighbourhoods) and by K-means seeding diagnostics.
+//
+// The all-pairs build uses the same single-pass accumulation as GIS,
+// iterating items and accumulating over each item's rater column.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "matrix/rating_matrix.hpp"
+#include "similarity/item_similarity.hpp"  // Neighbor
+
+namespace cfsf::sim {
+
+/// Eq. 6 for one pair of users.
+double UserPcc(const matrix::RatingMatrix& matrix, matrix::UserId a,
+               matrix::UserId b);
+
+struct UserSimilarityConfig {
+  double min_similarity = 0.0;
+  std::size_t min_overlap = 2;
+  std::size_t max_neighbors = 0;
+  bool significance_weighting = false;
+  std::size_t significance_cutoff = 50;
+  bool parallel = true;
+};
+
+/// All-pairs user similarity with the same row layout as GIS.
+class UserSimilarityMatrix {
+ public:
+  UserSimilarityMatrix() = default;
+
+  static UserSimilarityMatrix Build(const matrix::RatingMatrix& matrix,
+                                    const UserSimilarityConfig& config = {});
+
+  std::size_t num_users() const { return rows_.size(); }
+  std::span<const Neighbor> Neighbors(matrix::UserId user) const;
+  std::span<const Neighbor> TopK(matrix::UserId user, std::size_t k) const;
+  double Similarity(matrix::UserId user, matrix::UserId other) const;
+
+ private:
+  std::vector<std::vector<Neighbor>> rows_;
+};
+
+}  // namespace cfsf::sim

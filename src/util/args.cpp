@@ -1,0 +1,80 @@
+#include "util/args.hpp"
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace cfsf::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  program_name_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" unless the next token is itself a flag (then boolean).
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::Lookup(const std::string& name) {
+  known_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& default_value) {
+  return Lookup(name).value_or(default_value);
+}
+
+std::int64_t ArgParser::GetInt(const std::string& name, std::int64_t default_value) {
+  const auto v = Lookup(name);
+  if (!v) return default_value;
+  try {
+    return ParseInt(*v);
+  } catch (const IoError&) {
+    throw ConfigError("flag --" + name + " expects an integer, got '" + *v + "'");
+  }
+}
+
+double ArgParser::GetDouble(const std::string& name, double default_value) {
+  const auto v = Lookup(name);
+  if (!v) return default_value;
+  try {
+    return ParseDouble(*v);
+  } catch (const IoError&) {
+    throw ConfigError("flag --" + name + " expects a number, got '" + *v + "'");
+  }
+}
+
+bool ArgParser::GetBool(const std::string& name, bool default_value) {
+  const auto v = Lookup(name);
+  if (!v) return default_value;
+  if (EqualsIgnoreCase(*v, "true") || *v == "1" || EqualsIgnoreCase(*v, "yes")) return true;
+  if (EqualsIgnoreCase(*v, "false") || *v == "0" || EqualsIgnoreCase(*v, "no")) return false;
+  throw ConfigError("flag --" + name + " expects a boolean, got '" + *v + "'");
+}
+
+void ArgParser::RejectUnknown() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!known_.contains(name)) {
+      throw ConfigError("unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace cfsf::util

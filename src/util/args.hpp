@@ -1,0 +1,47 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Syntax: --name=value or --name value; --flag alone sets a boolean.
+// Unknown flags are an error so typos do not silently fall back to
+// defaults in the middle of an experiment sweep.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cfsf::util {
+
+class ArgParser {
+ public:
+  /// Parses argv; throws ConfigError on malformed input.  Flag names are
+  /// registered lazily by the getters, so construction only tokenises.
+  ArgParser(int argc, const char* const* argv);
+
+  /// Getters with defaults.  Each also registers the flag as known.
+  std::string GetString(const std::string& name, const std::string& default_value);
+  std::int64_t GetInt(const std::string& name, std::int64_t default_value);
+  double GetDouble(const std::string& name, double default_value);
+  bool GetBool(const std::string& name, bool default_value);
+
+  /// Call after all getters: throws ConfigError if the command line
+  /// contained flags never registered (i.e. typos).
+  void RejectUnknown() const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::optional<std::string> Lookup(const std::string& name);
+
+  std::string program_name_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> known_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cfsf::util

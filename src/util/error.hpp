@@ -1,0 +1,61 @@
+// Error types and runtime checks used across the CFSF libraries.
+//
+// All CFSF libraries throw exceptions derived from cfsf::util::Error for
+// recoverable, caller-visible failures (bad input files, inconsistent
+// matrix dimensions, invalid configuration).  Programming errors — broken
+// internal invariants — abort via CFSF_ASSERT so they cannot be silently
+// swallowed in Release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace cfsf::util {
+
+/// Base class for all recoverable CFSF errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when user-supplied configuration is out of range or inconsistent
+/// (e.g. lambda outside [0,1], K larger than the number of users).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an input file is missing or malformed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when matrix/vector dimensions do not line up.
+class DimensionError : public Error {
+ public:
+  explicit DimensionError(const std::string& what) : Error(what) {}
+};
+
+/// Validates a caller-visible precondition; throws ConfigError on failure.
+#define CFSF_REQUIRE(cond, msg)                                     \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      throw ::cfsf::util::ConfigError(std::string("requirement `") + \
+                                      #cond + "` failed: " + (msg)); \
+    }                                                               \
+  } while (0)
+
+/// Internal invariant; aborts on failure even in Release builds.
+#define CFSF_ASSERT(cond, msg)                                         \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "CFSF_ASSERT failed at %s:%d: %s — %s\n",   \
+                   __FILE__, __LINE__, #cond, msg);                    \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+}  // namespace cfsf::util

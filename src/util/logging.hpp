@@ -1,0 +1,56 @@
+// Minimal thread-safe leveled logger.
+//
+// The libraries log sparingly: offline-phase progress at Info, per-step
+// details at Debug.  Benchmarks and tests lower the level to Warn so the
+// timed sections are not polluted by I/O.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cfsf::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+/// Throws ConfigError on anything else.
+LogLevel ParseLogLevel(const std::string& name);
+
+namespace detail {
+void LogMessage(LogLevel level, const std::string& message);
+bool LogEnabled(LogLevel level);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define CFSF_LOG(level)                                            \
+  if (!::cfsf::util::detail::LogEnabled(::cfsf::util::LogLevel::level)) { \
+  } else                                                           \
+    ::cfsf::util::detail::LogStream(::cfsf::util::LogLevel::level)
+
+#define CFSF_LOG_DEBUG CFSF_LOG(kDebug)
+#define CFSF_LOG_INFO CFSF_LOG(kInfo)
+#define CFSF_LOG_WARN CFSF_LOG(kWarn)
+#define CFSF_LOG_ERROR CFSF_LOG(kError)
+
+}  // namespace cfsf::util

@@ -1,0 +1,84 @@
+// Deterministic, fast pseudo-random generation.
+//
+// Everything in this repository that involves randomness — synthetic data
+// generation, K-means initialisation, train/test splits — takes an explicit
+// seed and uses these generators, so every experiment is bit-reproducible
+// across runs and machines.  Xoshiro256++ is the workhorse; SplitMix64
+// seeds it and derives independent child streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cfsf::util {
+
+/// SplitMix64 step: good for seeding and for deriving stream ids.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// Xoshiro256++ generator (Blackman & Vigna).  Satisfies the essentials of
+/// UniformRandomBitGenerator so it can drive <random> distributions too.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return Next(); }
+  std::uint64_t Next();
+
+  /// Derives an independent generator; `stream` selects the child.
+  /// Children with different stream ids have uncorrelated sequences.
+  Rng Fork(std::uint64_t stream) const;
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double NextGaussian();
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s >= 0).
+  /// Uses an inverted-CDF table owned by the caller via ZipfTable below.
+  // (see ZipfSampler)
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in uniformly random order.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// Precomputed inverse-CDF sampler for a Zipf distribution over [0, n).
+/// P(rank = r) ∝ 1 / (r + 1)^s.  Used for item-popularity skew in the
+/// synthetic dataset generator.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t Sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+};
+
+}  // namespace cfsf::util

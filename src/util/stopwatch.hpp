@@ -1,0 +1,27 @@
+// Monotonic wall-clock stopwatch used by the evaluation and benchmark
+// harnesses (Fig. 5 response-time experiment).
+#pragma once
+
+#include <chrono>
+
+namespace cfsf::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cfsf::util

@@ -1,0 +1,31 @@
+// Small string helpers shared by the data loaders and the CLI flag parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cfsf::util {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Splits on any run of whitespace; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Strict numeric parsing; throws IoError with the offending text on failure.
+std::int64_t ParseInt(std::string_view text);
+double ParseDouble(std::string_view text);
+
+/// Formats a double with fixed precision (used by the table writers).
+std::string FormatFixed(double value, int digits);
+
+}  // namespace cfsf::util

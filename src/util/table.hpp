@@ -1,0 +1,42 @@
+// Aligned text tables and CSV output for the benchmark harness.
+//
+// Every bench binary prints its table both as an aligned human-readable
+// block (the same rows/columns the paper reports) and, optionally, as CSV
+// for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cfsf::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Renders with padded columns and a rule under the header.
+  std::string ToAligned() const;
+
+  /// RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+  std::string ToCsv() const;
+
+  /// Writes the CSV rendering to `path`; throws IoError on failure.
+  void WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace cfsf::util

@@ -1,0 +1,556 @@
+// Unit tests for cfsf::core — config validation, the offline artefacts,
+// online prediction mechanics (Eqs. 10–14), caching, batching, top-N and
+// incremental updates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "core/cfsf.hpp"
+#include "similarity/kernels.hpp"
+#include "util/error.hpp"
+
+namespace cfsf::core {
+namespace {
+
+data::EvalSplit SmallSplit(std::size_t given = 8) {
+  data::SyntheticConfig config;
+  config.num_users = 120;
+  config.num_items = 150;
+  config.min_ratings_per_user = 20;
+  config.log_mean = 3.4;
+  const auto base = data::GenerateSynthetic(config);
+  data::ProtocolConfig pconfig;
+  pconfig.num_train_users = 80;
+  pconfig.num_test_users = 40;
+  pconfig.given_n = given;
+  return data::MakeGivenNSplit(base, pconfig);
+}
+
+CfsfConfig SmallConfig() {
+  CfsfConfig config;
+  config.num_clusters = 8;
+  config.top_m_items = 30;
+  config.top_k_users = 10;
+  return config;
+}
+
+// -------------------------------------------------------------- config ----
+
+TEST(Config, PaperDefaults) {
+  const CfsfConfig config;
+  EXPECT_EQ(config.num_clusters, 30u);
+  EXPECT_EQ(config.top_m_items, 95u);
+  EXPECT_EQ(config.top_k_users, 25u);
+  EXPECT_DOUBLE_EQ(config.lambda, 0.8);
+  EXPECT_DOUBLE_EQ(config.delta, 0.1);
+  EXPECT_DOUBLE_EQ(config.epsilon, 0.35);
+  config.Validate();
+}
+
+TEST(Config, ValidationRejectsBadValues) {
+  CfsfConfig config;
+  config.lambda = 1.5;
+  EXPECT_THROW(config.Validate(), util::ConfigError);
+  config = CfsfConfig{};
+  config.delta = -0.1;
+  EXPECT_THROW(config.Validate(), util::ConfigError);
+  config = CfsfConfig{};
+  config.top_m_items = 0;
+  EXPECT_THROW(config.Validate(), util::ConfigError);
+  config = CfsfConfig{};
+  config.use_sir = config.use_sur = config.use_suir = false;
+  EXPECT_THROW(config.Validate(), util::ConfigError);
+  config = CfsfConfig{};
+  config.time_decay = true;
+  config.time_half_life_days = 0.0;
+  EXPECT_THROW(config.Validate(), util::ConfigError);
+}
+
+TEST(Config, ConstructorValidates) {
+  CfsfConfig config;
+  config.epsilon = 7.0;
+  EXPECT_THROW(CfsfModel{config}, util::ConfigError);
+}
+
+// ------------------------------------------------------------- offline ----
+
+TEST(Fit, BuildsAllArtifacts) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  EXPECT_FALSE(model.fitted());
+  model.Fit(split.train);
+  EXPECT_TRUE(model.fitted());
+  EXPECT_EQ(model.gis().num_items(), split.train.num_items());
+  EXPECT_EQ(model.cluster_model().num_clusters(), 8u);
+  EXPECT_GT(model.gis().TotalNeighbors(), 0u);
+}
+
+TEST(Fit, EmptyMatrixThrows) {
+  CfsfModel model;
+  matrix::RatingMatrixBuilder b(0, 0);
+  EXPECT_THROW(model.Fit(b.Build()), util::ConfigError);
+}
+
+TEST(Fit, PredictBeforeFitThrows) {
+  CfsfModel model;
+  EXPECT_THROW(model.Predict(0, 0), util::ConfigError);
+  EXPECT_THROW(model.SelectTopKUsers(0), util::ConfigError);
+  EXPECT_THROW(model.RecommendTopN(0, 5), util::ConfigError);
+}
+
+TEST(Fit, ClustersCapAtUserCount) {
+  matrix::RatingMatrixBuilder b(3, 4);
+  b.Add(0, 0, 5); b.Add(0, 1, 3);
+  b.Add(1, 1, 4); b.Add(1, 2, 2);
+  b.Add(2, 2, 1); b.Add(2, 3, 5);
+  CfsfConfig config;
+  config.num_clusters = 30;
+  CfsfModel model(config);
+  model.Fit(b.Build());
+  EXPECT_LE(model.cluster_model().num_clusters(), 3u);
+}
+
+TEST(Fit, RefitReplacesState) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  const double before = model.Predict(split.test[0].user, split.test[0].item);
+  model.Fit(split.train);  // same data → same result
+  EXPECT_DOUBLE_EQ(model.Predict(split.test[0].user, split.test[0].item),
+                   before);
+}
+
+// ------------------------------------------------------ user selection ----
+
+TEST(Selection, TopKRespectsKAndExcludesSelf) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  for (const auto user : {split.active_users[0], split.active_users[5]}) {
+    const auto selected = model.SelectTopKUsers(user);
+    EXPECT_LE(selected.size(), 10u);
+    EXPECT_GE(selected.size(), 1u);
+    for (const auto& s : selected) {
+      EXPECT_NE(s.user, user);
+      EXPECT_GT(s.similarity, 0.0);
+    }
+    for (std::size_t k = 1; k < selected.size(); ++k) {
+      EXPECT_GE(selected[k - 1].similarity, selected[k].similarity);
+    }
+  }
+}
+
+TEST(Selection, SimilaritiesMatchEq10) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  const auto user = split.active_users[0];
+  const auto selected = model.SelectTopKUsers(user);
+  ASSERT_FALSE(selected.empty());
+  const auto& cm = model.cluster_model();
+  for (const auto& s : selected) {
+    const double expected = sim::SmoothingAwarePcc(
+        split.train.UserRow(user), split.train.UserMean(user),
+        cm.SmoothedProfile(s.user), cm.OriginalMask(s.user),
+        cm.UserMean(s.user), model.config().epsilon);
+    EXPECT_NEAR(s.similarity, expected, 1e-12);
+  }
+}
+
+TEST(Selection, DistinctUsers) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  const auto selected = model.SelectTopKUsers(split.active_users[0]);
+  std::set<matrix::UserId> unique;
+  for (const auto& s : selected) unique.insert(s.user);
+  EXPECT_EQ(unique.size(), selected.size());
+}
+
+// ------------------------------------------------------------- predict ----
+
+TEST(Predict, FiniteForEveryQuery) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  for (const auto& t : split.test) {
+    const double v = model.Predict(t.user, t.item);
+    ASSERT_TRUE(std::isfinite(v));
+    EXPECT_GT(v, -5.0);
+    EXPECT_LT(v, 15.0);
+  }
+}
+
+TEST(Predict, OutOfRangeThrows) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  EXPECT_THROW(model.Predict(100000, 0), util::ConfigError);
+  EXPECT_THROW(model.Predict(0, 100000), util::ConfigError);
+}
+
+TEST(Predict, DetailedBreakdownFusesPerEq14) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  const auto& config = model.config();
+  std::size_t checked = 0;
+  for (const auto& t : split.test) {
+    const auto parts = model.PredictDetailed(t.user, t.item);
+    if (!(parts.sir && parts.sur && parts.suir)) continue;
+    const double expected = (1.0 - config.delta) * (1.0 - config.lambda) * *parts.sir +
+                            (1.0 - config.delta) * config.lambda * *parts.sur +
+                            config.delta * *parts.suir;
+    EXPECT_NEAR(parts.fused, expected, 1e-9);
+    if (++checked == 25) break;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Predict, FallsBackToUserMeanWithNoEvidence) {
+  // A matrix where the GIS is empty (no co-rated pairs) and nobody else
+  // shares the active user's items.
+  matrix::RatingMatrixBuilder b(3, 3);
+  b.Add(0, 0, 5);
+  b.Add(1, 1, 3);
+  b.Add(2, 2, 1);
+  CfsfConfig config;
+  config.num_clusters = 2;
+  config.top_m_items = 3;
+  config.top_k_users = 2;
+  CfsfModel model(config);
+  model.Fit(b.Build());
+  const double v = model.Predict(0, 1);
+  EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Predict, AblationSwitchesChangeComponents) {
+  const auto split = SmallSplit();
+  CfsfConfig config = SmallConfig();
+  config.use_sir = false;
+  config.use_suir = false;
+  CfsfModel sur_only(config);
+  sur_only.Fit(split.train);
+  const auto parts = sur_only.PredictDetailed(split.test[0].user,
+                                              split.test[0].item);
+  EXPECT_FALSE(parts.sir.has_value());
+  EXPECT_FALSE(parts.suir.has_value());
+  EXPECT_TRUE(parts.sur.has_value());
+  EXPECT_DOUBLE_EQ(parts.fused, *parts.sur);  // renormalised to SUR' alone
+}
+
+TEST(Predict, SmoothedDataFlagsChangeEstimates) {
+  const auto split = SmallSplit();
+  CfsfConfig plain = SmallConfig();
+  CfsfConfig alt = SmallConfig();
+  alt.local_matrix_smoothed = true;
+  alt.sur_uses_smoothed = false;
+  CfsfModel a(plain);
+  a.Fit(split.train);
+  CfsfModel b(alt);
+  b.Fit(split.train);
+  bool any_diff = false;
+  for (std::size_t k = 0; k < 30 && k < split.test.size(); ++k) {
+    if (std::abs(a.Predict(split.test[k].user, split.test[k].item) -
+                 b.Predict(split.test[k].user, split.test[k].item)) > 1e-9) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Predict, CenterOnItemMeansChangesEstimates) {
+  const auto split = SmallSplit();
+  CfsfConfig centered = SmallConfig();
+  CfsfConfig verbatim = SmallConfig();
+  verbatim.center_on_item_means = false;
+  CfsfModel a(centered);
+  a.Fit(split.train);
+  CfsfModel b(verbatim);
+  b.Fit(split.train);
+  bool any_diff = false;
+  for (std::size_t k = 0; k < 20 && k < split.test.size(); ++k) {
+    if (std::abs(a.Predict(split.test[k].user, split.test[k].item) -
+                 b.Predict(split.test[k].user, split.test[k].item)) > 1e-9) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Predict, EpsilonAffectsPredictions) {
+  const auto split = SmallSplit();
+  CfsfConfig lo = SmallConfig();
+  lo.epsilon = 0.05;
+  CfsfConfig hi = SmallConfig();
+  hi.epsilon = 0.95;
+  CfsfModel a(lo);
+  a.Fit(split.train);
+  CfsfModel b(hi);
+  b.Fit(split.train);
+  bool any_diff = false;
+  for (std::size_t k = 0; k < 20 && k < split.test.size(); ++k) {
+    if (std::abs(a.Predict(split.test[k].user, split.test[k].item) -
+                 b.Predict(split.test[k].user, split.test[k].item)) > 1e-9) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// --------------------------------------------------------------- cache ----
+
+TEST(Cache, GrowsAndClears) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  EXPECT_EQ(model.CacheSize(), 0u);
+  model.Predict(split.test[0].user, split.test[0].item);
+  EXPECT_EQ(model.CacheSize(), 1u);
+  model.Predict(split.test[0].user, split.test[0].item);
+  EXPECT_EQ(model.CacheSize(), 1u);  // same user, no growth
+  model.ClearCache();
+  EXPECT_EQ(model.CacheSize(), 0u);
+}
+
+TEST(Cache, DisabledCacheStaysEmpty) {
+  const auto split = SmallSplit();
+  CfsfConfig config = SmallConfig();
+  config.use_cache = false;
+  CfsfModel model(config);
+  model.Fit(split.train);
+  model.Predict(split.test[0].user, split.test[0].item);
+  EXPECT_EQ(model.CacheSize(), 0u);
+}
+
+TEST(Cache, CachedAndUncachedAgree) {
+  const auto split = SmallSplit();
+  CfsfConfig cached = SmallConfig();
+  CfsfConfig uncached = SmallConfig();
+  uncached.use_cache = false;
+  CfsfModel a(cached);
+  a.Fit(split.train);
+  CfsfModel b(uncached);
+  b.Fit(split.train);
+  for (std::size_t k = 0; k < 30 && k < split.test.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.Predict(split.test[k].user, split.test[k].item),
+                     b.Predict(split.test[k].user, split.test[k].item));
+  }
+}
+
+// --------------------------------------------------------------- batch ----
+
+TEST(Batch, MatchesPointwisePredictions) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries;
+  for (const auto& t : split.test) queries.emplace_back(t.user, t.item);
+  const auto batch = model.PredictBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t k = 0; k < queries.size(); ++k) {
+    EXPECT_DOUBLE_EQ(batch[k],
+                     model.Predict(queries[k].first, queries[k].second));
+  }
+}
+
+TEST(Batch, EmptyQueriesOk) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  EXPECT_TRUE(model.PredictBatch({}).empty());
+}
+
+// --------------------------------------------------------------- top-N ----
+
+TEST(TopN, ExcludesRatedAndSortsDescending) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  const auto user = split.active_users[0];
+  const auto recs = model.RecommendTopN(user, 10);
+  ASSERT_EQ(recs.size(), 10u);
+  for (std::size_t k = 0; k < recs.size(); ++k) {
+    EXPECT_FALSE(split.train.HasRating(user, recs[k].item));
+    if (k > 0) {
+      EXPECT_GE(recs[k - 1].score, recs[k].score);
+    }
+  }
+}
+
+TEST(TopN, RequestingMoreThanAvailableTruncates) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  const auto user = split.active_users[0];
+  const std::size_t unrated =
+      split.train.num_items() - split.train.UserRatingCount(user);
+  const auto recs = model.RecommendTopN(user, 100000);
+  EXPECT_EQ(recs.size(), unrated);
+}
+
+TEST(TopN, ScoresMatchPredict) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  const auto user = split.active_users[1];
+  for (const auto& rec : model.RecommendTopN(user, 5)) {
+    EXPECT_DOUBLE_EQ(rec.score, model.Predict(user, rec.item));
+  }
+}
+
+// --------------------------------------------------------- incremental ----
+
+TEST(Incremental, InsertChangesPredictionTowardEvidence) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  const auto& probe = split.test[0];
+  // Feed the model the actual rating itself; afterwards the user's own
+  // rating exists, so SIR'/SUR' see it as original data.
+  model.InsertRating(probe.user, probe.item, probe.actual);
+  EXPECT_FLOAT_EQ(*model.train().GetRating(probe.user, probe.item),
+                  probe.actual);
+}
+
+TEST(Incremental, CacheInvalidated) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  model.Predict(split.test[0].user, split.test[0].item);
+  EXPECT_GT(model.CacheSize(), 0u);
+  model.InsertRating(split.test[0].user, split.test[0].item, 4.0F);
+  EXPECT_EQ(model.CacheSize(), 0u);
+}
+
+TEST(Incremental, GisRowMatchesRebuild) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  const auto& probe = split.test[0];
+  model.InsertRating(probe.user, probe.item, 5.0F);
+
+  CfsfModel rebuilt(SmallConfig());
+  rebuilt.Fit(model.train());
+  const auto a = model.gis().Neighbors(probe.item);
+  const auto b = rebuilt.gis().Neighbors(probe.item);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].index, b[k].index);
+    EXPECT_NEAR(a[k].similarity, b[k].similarity, 1e-5);
+  }
+}
+
+TEST(Incremental, RejectsBadIds) {
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+  EXPECT_THROW(model.InsertRating(100000, 0, 3.0F), util::ConfigError);
+}
+
+// ---------------------------------------------------------- time decay ----
+
+TEST(TimeDecay, ChangesPredictionsOnTimestampedData) {
+  const auto split = SmallSplit();
+  ASSERT_TRUE(split.train.has_timestamps());
+  CfsfConfig plain = SmallConfig();
+  CfsfConfig decayed = SmallConfig();
+  decayed.time_decay = true;
+  decayed.time_half_life_days = 30.0;
+  CfsfModel a(plain);
+  a.Fit(split.train);
+  CfsfModel b(decayed);
+  b.Fit(split.train);
+  bool any_diff = false;
+  for (std::size_t k = 0; k < 50 && k < split.test.size(); ++k) {
+    if (std::abs(a.Predict(split.test[k].user, split.test[k].item) -
+                 b.Predict(split.test[k].user, split.test[k].item)) > 1e-12) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TimeDecay, NoopWithoutTimestamps) {
+  data::SyntheticConfig dconfig;
+  dconfig.num_users = 60;
+  dconfig.num_items = 80;
+  dconfig.min_ratings_per_user = 12;
+  dconfig.log_mean = 3.0;
+  dconfig.with_timestamps = false;
+  const auto base = data::GenerateSynthetic(dconfig);
+  data::ProtocolConfig pconfig;
+  pconfig.num_train_users = 40;
+  pconfig.num_test_users = 20;
+  pconfig.given_n = 5;
+  const auto split = data::MakeGivenNSplit(base, pconfig);
+  CfsfConfig plain = SmallConfig();
+  CfsfConfig decayed = SmallConfig();
+  decayed.time_decay = true;
+  CfsfModel a(plain);
+  a.Fit(split.train);
+  CfsfModel b(decayed);
+  b.Fit(split.train);
+  for (std::size_t k = 0; k < 20 && k < split.test.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.Predict(split.test[k].user, split.test[k].item),
+                     b.Predict(split.test[k].user, split.test[k].item));
+  }
+}
+
+// ------------------------------------------------------------ parallel ----
+
+TEST(Parallelism, ConcurrentPredictsAreSafeAndConsistent) {
+  // A fitted model is shared by concurrent request threads in a serving
+  // process; Predict is const and the neighbour cache is mutex-guarded.
+  const auto split = SmallSplit();
+  CfsfModel model(SmallConfig());
+  model.Fit(split.train);
+
+  // Serial reference.
+  std::vector<double> expected(split.test.size());
+  for (std::size_t k = 0; k < split.test.size(); ++k) {
+    expected[k] = model.Predict(split.test[k].user, split.test[k].item);
+  }
+  model.ClearCache();
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<double>> results(kThreads,
+                                           std::vector<double>(split.test.size()));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t k = 0; k < split.test.size(); ++k) {
+        results[t][k] = model.Predict(split.test[k].user, split.test[k].item);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t k = 0; k < split.test.size(); ++k) {
+      ASSERT_DOUBLE_EQ(results[t][k], expected[k])
+          << "thread " << t << " query " << k;
+    }
+  }
+}
+
+TEST(Parallelism, SerialAndParallelFitsAgree) {
+  const auto split = SmallSplit();
+  CfsfConfig serial = SmallConfig();
+  serial.parallel = false;
+  CfsfConfig parallel = SmallConfig();
+  CfsfModel a(serial);
+  a.Fit(split.train);
+  CfsfModel b(parallel);
+  b.Fit(split.train);
+  for (std::size_t k = 0; k < 50 && k < split.test.size(); ++k) {
+    EXPECT_NEAR(a.Predict(split.test[k].user, split.test[k].item),
+                b.Predict(split.test[k].user, split.test[k].item), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace cfsf::core

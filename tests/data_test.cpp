@@ -1,0 +1,526 @@
+// Unit tests for cfsf::data — u.data parsing, synthetic generator,
+// GivenN protocol, catalogue.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <cmath>
+#include <set>
+
+#include "data/catalogue.hpp"
+#include "data/movielens.hpp"
+#include "data/protocol.hpp"
+#include "data/synthetic.hpp"
+#include "matrix/stats.hpp"
+#include "util/error.hpp"
+
+namespace cfsf::data {
+namespace {
+
+// ----------------------------------------------------------- movielens ----
+
+TEST(MovieLens, ParsesBasicUData) {
+  const std::string content =
+      "1\t10\t5\t100\n"
+      "1\t20\t3\t200\n"
+      "2\t10\t4\t300\n";
+  const auto ml = ParseUData(content);
+  EXPECT_EQ(ml.matrix.num_users(), 2u);
+  EXPECT_EQ(ml.matrix.num_items(), 2u);
+  EXPECT_EQ(ml.matrix.num_ratings(), 3u);
+  EXPECT_TRUE(ml.matrix.has_timestamps());
+}
+
+TEST(MovieLens, RemapsSparseIds) {
+  const std::string content = "900\t77\t5\n7\t1000\t2\n";
+  const auto ml = ParseUData(content);
+  ASSERT_EQ(ml.user_ids.size(), 2u);
+  // sort_ids: ascending original ids get dense ids in order.
+  EXPECT_EQ(ml.user_ids[0], 7u);
+  EXPECT_EQ(ml.user_ids[1], 900u);
+  EXPECT_EQ(ml.item_ids[0], 77u);
+  EXPECT_EQ(ml.item_ids[1], 1000u);
+  EXPECT_FLOAT_EQ(*ml.matrix.GetRating(1, 0), 5.0F);
+}
+
+TEST(MovieLens, StreamOrderIds) {
+  MovieLensOptions options;
+  options.sort_ids = false;
+  const auto ml = ParseUData("900\t77\t5\n7\t10\t2\n", options);
+  EXPECT_EQ(ml.user_ids[0], 900u);
+  EXPECT_EQ(ml.user_ids[1], 7u);
+}
+
+TEST(MovieLens, SkipsCommentsAndBlankLines) {
+  const auto ml = ParseUData("# header\n\n1\t1\t3\n   \n2\t1\t4\n");
+  EXPECT_EQ(ml.matrix.num_ratings(), 2u);
+}
+
+TEST(MovieLens, MissingTimestampIsOk) {
+  const auto ml = ParseUData("1\t1\t3\n");
+  EXPECT_EQ(ml.matrix.num_ratings(), 1u);
+  EXPECT_FALSE(ml.matrix.has_timestamps());
+}
+
+TEST(MovieLens, DoubleColonDelimiterForThe1MFormat) {
+  MovieLensOptions options;
+  options.delimiter = "::";
+  const auto ml = ParseUData("1::1193::5::978300760\n1::661::3::978302109\n",
+                             options);
+  EXPECT_EQ(ml.matrix.num_users(), 1u);
+  EXPECT_EQ(ml.matrix.num_items(), 2u);
+  EXPECT_FLOAT_EQ(*ml.matrix.GetRating(0, 1), 5.0F);  // item 1193 sorts after 661
+}
+
+TEST(MovieLens, WhitespaceDelimiter) {
+  MovieLensOptions options;
+  // std::string(1, ' ') sidesteps a gcc-12 -Wrestrict false positive on
+  // assigning a short string literal.
+  options.delimiter = std::string(1, ' ');
+  const auto ml = ParseUData("1  7   4\n2\t7\t5\n", options);
+  EXPECT_EQ(ml.matrix.num_ratings(), 2u);
+}
+
+TEST(MovieLens, EmptyDelimiterRejected) {
+  MovieLensOptions options;
+  options.delimiter = "";
+  EXPECT_THROW(ParseUData("1\t1\t1\n", options), util::IoError);
+}
+
+TEST(MovieLens, MalformedLinesThrow) {
+  EXPECT_THROW(ParseUData("1\t2\n"), util::IoError);
+  EXPECT_THROW(ParseUData("a\tb\tc\n"), util::IoError);
+}
+
+TEST(MovieLens, MinRatingsFilter) {
+  MovieLensOptions options;
+  options.min_ratings_per_user = 2;
+  const auto ml = ParseUData("1\t1\t3\n1\t2\t4\n2\t1\t5\n", options);
+  EXPECT_EQ(ml.matrix.num_users(), 1u);  // user 2 dropped
+  EXPECT_EQ(ml.matrix.num_ratings(), 2u);
+}
+
+TEST(MovieLens, MaxUsersCap) {
+  MovieLensOptions options;
+  options.max_users = 1;
+  const auto ml = ParseUData("1\t1\t3\n2\t1\t4\n3\t1\t5\n", options);
+  EXPECT_EQ(ml.matrix.num_users(), 1u);
+}
+
+TEST(MovieLens, LoadMissingFileThrows) {
+  EXPECT_THROW(LoadUData("/nonexistent/u.data"), util::IoError);
+}
+
+TEST(MovieLens, SaveAndReloadRoundTrip) {
+  matrix::RatingMatrixBuilder b(2, 2);
+  b.Add(0, 0, 3, 10);
+  b.Add(1, 1, 5, 20);
+  const auto m = b.Build();
+  const std::string path = ::testing::TempDir() + "/cfsf_udata_test.tsv";
+  SaveUData(m, path);
+  const auto reloaded = LoadUData(path);
+  EXPECT_EQ(reloaded.matrix.num_ratings(), 2u);
+  EXPECT_FLOAT_EQ(*reloaded.matrix.GetRating(0, 0), 3.0F);
+  EXPECT_FLOAT_EQ(*reloaded.matrix.GetRating(1, 1), 5.0F);
+}
+
+// ----------------------------------------------------------- synthetic ----
+
+TEST(Synthetic, MatchesTableOneScale) {
+  SyntheticConfig config;
+  const auto m = GenerateSynthetic(config);
+  const auto stats = matrix::ComputeStats(m);
+  EXPECT_EQ(stats.num_users, 500u);
+  EXPECT_EQ(stats.num_items, 1000u);
+  // Table I: 94.4 ratings/user, 9.44 % density, 5 rating values in 1..5.
+  EXPECT_NEAR(stats.avg_ratings_per_user, 94.4, 12.0);
+  EXPECT_NEAR(stats.density, 0.0944, 0.012);
+  EXPECT_FLOAT_EQ(stats.min_rating, 1.0F);
+  EXPECT_FLOAT_EQ(stats.max_rating, 5.0F);
+  EXPECT_EQ(stats.num_distinct_rating_values, 5u);
+  EXPECT_GE(stats.min_ratings_per_user, 40u);  // paper's >= 40 filter
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  SyntheticConfig config;
+  config.num_users = 50;
+  config.num_items = 100;
+  const auto a = GenerateSynthetic(config);
+  const auto b = GenerateSynthetic(config);
+  EXPECT_EQ(a.ToTriples(), b.ToTriples());
+}
+
+TEST(Synthetic, SeedChangesData) {
+  SyntheticConfig config;
+  config.num_users = 50;
+  config.num_items = 100;
+  const auto a = GenerateSynthetic(config);
+  config.seed += 1;
+  const auto b = GenerateSynthetic(config);
+  EXPECT_NE(a.ToTriples(), b.ToTriples());
+}
+
+TEST(Synthetic, IntegerRatingsOnly) {
+  SyntheticConfig config;
+  config.num_users = 30;
+  config.num_items = 60;
+  const auto m = GenerateSynthetic(config);
+  for (const auto& t : m.ToTriples()) {
+    EXPECT_FLOAT_EQ(t.value, std::round(t.value));
+    EXPECT_GE(t.value, 1.0F);
+    EXPECT_LE(t.value, 5.0F);
+  }
+}
+
+TEST(Synthetic, TimestampsMonotonePerUser) {
+  SyntheticConfig config;
+  config.num_users = 20;
+  config.num_items = 100;
+  const auto m = GenerateSynthetic(config);
+  ASSERT_TRUE(m.has_timestamps());
+  for (std::size_t u = 0; u < m.num_users(); ++u) {
+    const auto ts = m.UserRowTimestamps(static_cast<matrix::UserId>(u));
+    // Rows are item-sorted and stamps were assigned in item order, so they
+    // must be strictly increasing within a row.
+    for (std::size_t k = 1; k < ts.size(); ++k) EXPECT_GT(ts[k], ts[k - 1]);
+  }
+}
+
+TEST(Synthetic, NoTimestampsOption) {
+  SyntheticConfig config;
+  config.num_users = 10;
+  config.num_items = 50;
+  config.with_timestamps = false;
+  EXPECT_FALSE(GenerateSynthetic(config).has_timestamps());
+}
+
+TEST(Synthetic, PopularitySkewExists) {
+  SyntheticConfig config;
+  const auto m = GenerateSynthetic(config);
+  std::vector<std::size_t> counts;
+  for (std::size_t i = 0; i < m.num_items(); ++i) {
+    counts.push_back(m.ItemRatingCount(static_cast<matrix::ItemId>(i)));
+  }
+  std::sort(counts.begin(), counts.end());
+  // Head (top 10%) must hold several times the tail's (bottom 10%) mass.
+  std::size_t tail = 0;
+  std::size_t head = 0;
+  for (std::size_t k = 0; k < counts.size() / 10; ++k) tail += counts[k];
+  for (std::size_t k = counts.size() * 9 / 10; k < counts.size(); ++k) {
+    head += counts[k];
+  }
+  EXPECT_GT(head, 3 * tail);
+}
+
+TEST(Synthetic, OracleAgreesWithGenerator) {
+  SyntheticConfig config;
+  config.num_users = 40;
+  config.num_items = 80;
+  const auto m = GenerateSynthetic(config);
+  const SyntheticOracle oracle(config);
+  // The observed rating should correlate with the oracle's true score:
+  // check that high-true-score observed cells average higher ratings.
+  double low_sum = 0.0;
+  double high_sum = 0.0;
+  std::size_t low_n = 0;
+  std::size_t high_n = 0;
+  for (const auto& t : m.ToTriples()) {
+    const double score = oracle.TrueScore(t.user, t.item);
+    if (score < 3.2) {
+      low_sum += t.value;
+      ++low_n;
+    } else if (score > 4.0) {
+      high_sum += t.value;
+      ++high_n;
+    }
+  }
+  ASSERT_GT(low_n, 10u);
+  ASSERT_GT(high_n, 10u);
+  EXPECT_GT(high_sum / high_n, low_sum / low_n + 0.5);
+}
+
+TEST(Synthetic, OracleClusterAndGenreInRange) {
+  SyntheticConfig config;
+  config.num_users = 20;
+  config.num_items = 30;
+  const SyntheticOracle oracle(config);
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    EXPECT_LT(oracle.UserCluster(static_cast<matrix::UserId>(u)),
+              config.num_taste_clusters);
+  }
+  for (std::size_t i = 0; i < config.num_items; ++i) {
+    EXPECT_LT(oracle.ItemGenre(static_cast<matrix::ItemId>(i)),
+              config.num_genres);
+  }
+  EXPECT_THROW(oracle.TrueScore(100, 0), util::ConfigError);
+}
+
+TEST(Synthetic, InvalidConfigThrows) {
+  SyntheticConfig config;
+  config.num_users = 0;
+  EXPECT_THROW(GenerateSynthetic(config), util::ConfigError);
+  config = SyntheticConfig{};
+  config.latent_dim = 0;
+  EXPECT_THROW(GenerateSynthetic(config), util::ConfigError);
+}
+
+// ------------------------------------------------------------ protocol ----
+
+matrix::RatingMatrix ProtocolBase() {
+  SyntheticConfig config;
+  config.num_users = 60;
+  config.num_items = 120;
+  config.min_ratings_per_user = 15;
+  config.log_mean = 3.2;
+  return GenerateSynthetic(config);
+}
+
+TEST(Protocol, ShapeAndGivenCounts) {
+  const auto base = ProtocolBase();
+  ProtocolConfig config;
+  config.num_train_users = 30;
+  config.num_test_users = 20;
+  config.given_n = 5;
+  const auto split = MakeGivenNSplit(base, config);
+  EXPECT_EQ(split.train.num_users(), 50u);
+  EXPECT_EQ(split.num_train_users, 30u);
+  // Every active user reveals exactly 5 ratings.
+  for (std::size_t t = 0; t < 20; ++t) {
+    EXPECT_EQ(split.train.UserRatingCount(static_cast<matrix::UserId>(30 + t)),
+              5u);
+  }
+}
+
+TEST(Protocol, TrainingUsersKeepFullRows) {
+  const auto base = ProtocolBase();
+  ProtocolConfig config;
+  config.num_train_users = 30;
+  config.num_test_users = 20;
+  config.given_n = 5;
+  const auto split = MakeGivenNSplit(base, config);
+  for (std::size_t u = 0; u < 30; ++u) {
+    EXPECT_EQ(split.train.UserRatingCount(static_cast<matrix::UserId>(u)),
+              base.UserRatingCount(static_cast<matrix::UserId>(u)));
+  }
+}
+
+TEST(Protocol, TestCasesAreWithheldRatings) {
+  const auto base = ProtocolBase();
+  ProtocolConfig config;
+  config.num_train_users = 30;
+  config.num_test_users = 20;
+  config.given_n = 5;
+  const auto split = MakeGivenNSplit(base, config);
+  EXPECT_FALSE(split.test.empty());
+  for (const auto& t : split.test) {
+    // Not revealed in train…
+    EXPECT_FALSE(split.train.HasRating(t.user, t.item));
+    // …and equal to the base matrix's value.
+    const auto base_user =
+        static_cast<matrix::UserId>(base.num_users() - 20 + (t.user - 30));
+    EXPECT_FLOAT_EQ(*base.GetRating(base_user, t.item), t.actual);
+  }
+}
+
+TEST(Protocol, GivenPlusWithheldEqualsBaseRow) {
+  const auto base = ProtocolBase();
+  ProtocolConfig config;
+  config.num_train_users = 40;
+  config.num_test_users = 10;
+  config.given_n = 7;
+  const auto split = MakeGivenNSplit(base, config);
+  std::vector<std::size_t> withheld(split.train.num_users(), 0);
+  for (const auto& t : split.test) ++withheld[t.user];
+  for (std::size_t t = 0; t < 10; ++t) {
+    const auto split_user = static_cast<matrix::UserId>(40 + t);
+    const auto base_user = static_cast<matrix::UserId>(base.num_users() - 10 + t);
+    EXPECT_EQ(split.train.UserRatingCount(split_user) + withheld[split_user],
+              base.UserRatingCount(base_user));
+  }
+}
+
+TEST(Protocol, ActiveUsersListedOnce) {
+  const auto base = ProtocolBase();
+  ProtocolConfig config;
+  config.num_train_users = 30;
+  config.num_test_users = 20;
+  config.given_n = 5;
+  const auto split = MakeGivenNSplit(base, config);
+  std::set<matrix::UserId> unique(split.active_users.begin(),
+                                  split.active_users.end());
+  EXPECT_EQ(unique.size(), split.active_users.size());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(Protocol, TestFractionShrinksTestSet) {
+  const auto base = ProtocolBase();
+  ProtocolConfig config;
+  config.num_train_users = 30;
+  config.num_test_users = 20;
+  config.given_n = 5;
+  const auto full = MakeGivenNSplit(base, config);
+  config.test_fraction = 0.5;
+  const auto half = MakeGivenNSplit(base, config);
+  EXPECT_EQ(half.active_users.size(), 10u);
+  EXPECT_LT(half.test.size(), full.test.size());
+  // All users still appear in the matrix with their GivenN rows.
+  EXPECT_EQ(half.train.num_users(), full.train.num_users());
+}
+
+TEST(Protocol, RandomPolicyIsSeedDeterministic) {
+  const auto base = ProtocolBase();
+  ProtocolConfig config;
+  config.num_train_users = 30;
+  config.num_test_users = 20;
+  config.given_n = 5;
+  config.policy = GivenPolicy::kRandom;
+  config.seed = 99;
+  const auto a = MakeGivenNSplit(base, config);
+  const auto b = MakeGivenNSplit(base, config);
+  EXPECT_EQ(a.train.ToTriples(), b.train.ToTriples());
+  config.seed = 100;
+  const auto c = MakeGivenNSplit(base, config);
+  EXPECT_NE(a.train.ToTriples(), c.train.ToTriples());
+}
+
+TEST(Protocol, TimestampPolicyRevealsEarliest) {
+  matrix::RatingMatrixBuilder b(2, 4);
+  b.Add(0, 0, 3, 50);
+  // Active user: timestamps deliberately out of item order.
+  b.Add(1, 0, 5, 400);
+  b.Add(1, 1, 4, 100);
+  b.Add(1, 2, 3, 300);
+  b.Add(1, 3, 2, 200);
+  const auto base = b.Build();
+  ProtocolConfig config;
+  config.num_train_users = 1;
+  config.num_test_users = 1;
+  config.given_n = 2;
+  config.policy = GivenPolicy::kFirstByTimestamp;
+  const auto split = MakeGivenNSplit(base, config);
+  // Earliest two stamps are items 1 (100) and 3 (200).
+  EXPECT_TRUE(split.train.HasRating(1, 1));
+  EXPECT_TRUE(split.train.HasRating(1, 3));
+  EXPECT_FALSE(split.train.HasRating(1, 0));
+  EXPECT_FALSE(split.train.HasRating(1, 2));
+}
+
+TEST(Protocol, TimestampPolicyRequiresTimestamps) {
+  matrix::RatingMatrixBuilder b(2, 2);
+  b.Add(0, 0, 3);
+  b.Add(1, 0, 4);
+  const auto base = b.Build();
+  ProtocolConfig config;
+  config.num_train_users = 1;
+  config.num_test_users = 1;
+  config.policy = GivenPolicy::kFirstByTimestamp;
+  EXPECT_THROW(MakeGivenNSplit(base, config), util::ConfigError);
+}
+
+TEST(Protocol, TooFewUsersThrows) {
+  const auto base = ProtocolBase();  // 60 users
+  ProtocolConfig config;
+  config.num_train_users = 50;
+  config.num_test_users = 20;
+  EXPECT_THROW(MakeGivenNSplit(base, config), util::ConfigError);
+}
+
+TEST(Protocol, AllButOneWithholdsExactlyOne) {
+  const auto base = ProtocolBase();
+  AllButNConfig config;
+  config.num_train_users = 30;
+  config.num_test_users = 20;
+  const auto split = MakeAllButNSplit(base, config);
+  EXPECT_EQ(split.test.size(), 20u);  // one withheld rating per active user
+  EXPECT_EQ(split.active_users.size(), 20u);
+  for (std::size_t t = 0; t < 20; ++t) {
+    const auto split_user = static_cast<matrix::UserId>(30 + t);
+    const auto base_user = static_cast<matrix::UserId>(base.num_users() - 20 + t);
+    EXPECT_EQ(split.train.UserRatingCount(split_user),
+              base.UserRatingCount(base_user) - 1);
+  }
+  for (const auto& t : split.test) {
+    EXPECT_FALSE(split.train.HasRating(t.user, t.item));
+  }
+}
+
+TEST(Protocol, AllButNWithholdsN) {
+  const auto base = ProtocolBase();
+  AllButNConfig config;
+  config.num_train_users = 30;
+  config.num_test_users = 20;
+  config.hold_out = 3;
+  const auto split = MakeAllButNSplit(base, config);
+  EXPECT_EQ(split.test.size(), 60u);
+}
+
+TEST(Protocol, AllButNDeterministicPerSeed) {
+  const auto base = ProtocolBase();
+  AllButNConfig config;
+  config.num_train_users = 30;
+  config.num_test_users = 20;
+  config.seed = 5;
+  const auto a = MakeAllButNSplit(base, config);
+  const auto b = MakeAllButNSplit(base, config);
+  EXPECT_EQ(a.train.ToTriples(), b.train.ToTriples());
+  config.seed = 6;
+  const auto c = MakeAllButNSplit(base, config);
+  EXPECT_NE(a.train.ToTriples(), c.train.ToTriples());
+}
+
+TEST(Protocol, AllButNValidates) {
+  const auto base = ProtocolBase();  // 60 users
+  AllButNConfig config;
+  config.num_train_users = 50;
+  config.num_test_users = 20;
+  EXPECT_THROW(MakeAllButNSplit(base, config), util::ConfigError);
+  config = AllButNConfig{};
+  config.num_train_users = 30;
+  config.num_test_users = 20;
+  config.hold_out = 0;
+  EXPECT_THROW(MakeAllButNSplit(base, config), util::ConfigError);
+}
+
+TEST(Protocol, Labels) {
+  EXPECT_EQ(TrainSetLabel(300), "ML_300");
+  EXPECT_EQ(GivenLabel(5), "Given5");
+}
+
+// ----------------------------------------------------------- catalogue ----
+
+TEST(Catalogue, PaperGrid) {
+  EXPECT_EQ(Catalogue::TrainSizes(), (std::vector<std::size_t>{100, 200, 300}));
+  EXPECT_EQ(Catalogue::GivenValues(), (std::vector<std::size_t>{5, 10, 20}));
+}
+
+TEST(Catalogue, SplitShapes) {
+  const Catalogue catalogue(7);
+  const auto split = catalogue.Split(100, 5);
+  EXPECT_EQ(split.train.num_users(), 300u);
+  EXPECT_EQ(split.num_train_users, 100u);
+  EXPECT_EQ(split.active_users.size(), 200u);
+}
+
+TEST(Catalogue, RejectsUndersizedRealDataset) {
+  // A u.data file with too few qualifying users must be refused — the
+  // paper's protocol needs 500.
+  SyntheticConfig config;
+  config.num_users = 60;
+  config.num_items = 80;
+  config.min_ratings_per_user = 45;
+  config.log_mean = 3.8;
+  const auto m = GenerateSynthetic(config);
+  const std::string path = ::testing::TempDir() + "/cfsf_small_udata.tsv";
+  SaveUData(m, path);
+  EXPECT_THROW(Catalogue{path}, util::ConfigError);
+}
+
+TEST(Catalogue, SameSplitIsDeterministic) {
+  const Catalogue catalogue(7);
+  const auto a = catalogue.Split(200, 10);
+  const auto b = catalogue.Split(200, 10);
+  EXPECT_EQ(a.train.ToTriples(), b.train.ToTriples());
+  EXPECT_EQ(a.test.size(), b.test.size());
+}
+
+}  // namespace
+}  // namespace cfsf::data

@@ -1,0 +1,192 @@
+// Unit tests for cfsf::par — thread pool, parallel_for, parallel reduce.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace cfsf::par {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPool, MultipleWaitCycles) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) pool.Submit([&counter] { ++counter; });
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("worker failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is cleared: the pool remains usable.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
+}
+
+TEST(ThreadPool, DestructionDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) pool.Submit([&counter] { ++counter; });
+    // No Wait(): the destructor must still let queued tasks finish.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> visits(1000);
+  ParallelFor(0, visits.size(), [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoOp) {
+  bool touched = false;
+  ParallelFor(5, 5, [&](std::size_t) { touched = true; });
+  ParallelFor(7, 3, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  std::atomic<long> sum{0};
+  ParallelFor(10, 20, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ParallelFor, DynamicScheduleVisitsAll) {
+  std::vector<std::atomic<int>> visits(777);
+  ForOptions options;
+  options.schedule = Schedule::kDynamic;
+  options.grain = 10;
+  ParallelFor(0, visits.size(), [&](std::size_t i) { visits[i].fetch_add(1); },
+              options);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, SerialOptionRunsInline) {
+  ForOptions options;
+  options.serial = true;
+  std::vector<int> visits(100, 0);  // not atomic: serial guarantees no races
+  ParallelFor(0, visits.size(), [&](std::size_t i) { ++visits[i]; }, options);
+  for (const int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ParallelFor, PrivatePoolIsUsed) {
+  ThreadPool pool(2);
+  ForOptions options;
+  options.pool = &pool;
+  std::atomic<int> counter{0};
+  ParallelFor(0, 50, [&](std::size_t) { ++counter; }, options);
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForRanges, ChunksCoverRangeExactly) {
+  std::vector<std::atomic<int>> visits(503);
+  ParallelForRanges(0, visits.size(), [&](Range r) {
+    for (std::size_t i = r.begin; i < r.end; ++i) visits[i].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForRanges, ExceptionPropagates) {
+  EXPECT_THROW(
+      ParallelForRanges(0, 100,
+                        [](Range) { throw util::ConfigError("body failed"); }),
+      util::ConfigError);
+}
+
+TEST(ParallelReduce, SumsMatchSerial) {
+  const std::size_t n = 10000;
+  const long expected = static_cast<long>(n) * (n - 1) / 2;
+  const long sum = ParallelReduce<long>(
+      0, n, [] { return 0L; },
+      [](long& acc, std::size_t i) { acc += static_cast<long>(i); },
+      [](long& total, long& partial) { total += partial; }, 0L);
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInitial) {
+  const long sum = ParallelReduce<long>(
+      3, 3, [] { return 0L; }, [](long&, std::size_t) {},
+      [](long& t, long& p) { t += p; }, 42L);
+  EXPECT_EQ(sum, 42L);
+}
+
+TEST(ParallelReduce, VectorAccumulators) {
+  // Histogram reduction: the pattern GIS building uses.
+  const std::size_t n = 1000;
+  using Hist = std::vector<int>;
+  const Hist hist = ParallelReduce<Hist>(
+      0, n, [] { return Hist(10, 0); },
+      [](Hist& h, std::size_t i) { ++h[i % 10]; },
+      [](Hist& total, Hist& partial) {
+        if (total.empty()) {
+          total = std::move(partial);
+          return;
+        }
+        for (std::size_t k = 0; k < total.size(); ++k) total[k] += partial[k];
+      },
+      Hist{});
+  ASSERT_EQ(hist.size(), 10u);
+  for (const int h : hist) EXPECT_EQ(h, 100);
+}
+
+TEST(ParallelReduce, SerialMatchesParallel) {
+  const std::size_t n = 5000;
+  auto run = [n](bool serial) {
+    ForOptions options;
+    options.serial = serial;
+    return ParallelReduce<double>(
+        0, n, [] { return 0.0; },
+        [](double& acc, std::size_t i) { acc += 1.0 / (1.0 + i); },
+        [](double& t, double& p) { t += p; }, 0.0, options);
+  };
+  EXPECT_NEAR(run(true), run(false), 1e-9);
+}
+
+TEST(ParallelReduce, GrainLimitsChunkCount) {
+  // With grain == n there is exactly one chunk; result identical.
+  ForOptions options;
+  options.grain = 1000;
+  const long sum = ParallelReduce<long>(
+      0, 1000, [] { return 0L; },
+      [](long& acc, std::size_t i) { acc += static_cast<long>(i); },
+      [](long& t, long& p) { t += p; }, 0L, options);
+  EXPECT_EQ(sum, 499500L);
+}
+
+}  // namespace
+}  // namespace cfsf::par

@@ -1,0 +1,181 @@
+// Parameterised cross-method property suite: every predictor in the
+// repository — CFSF and all baselines — must satisfy the same behavioural
+// contract on every dataset seed: totality (finite predictions for every
+// query), determinism (same fit → same predictions), sanity (clamped MAE
+// beats the worst-constant floor), and robustness to degenerate matrices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "baselines/aspect_model.hpp"
+#include "baselines/emdp.hpp"
+#include "baselines/means.hpp"
+#include "baselines/mf.hpp"
+#include "baselines/pd.hpp"
+#include "baselines/scbpcc.hpp"
+#include "baselines/sf.hpp"
+#include "baselines/sir.hpp"
+#include "baselines/slope_one.hpp"
+#include "baselines/sur.hpp"
+#include "core/cfsf.hpp"
+#include "eval/evaluate.hpp"
+
+namespace cfsf {
+namespace {
+
+using Factory = std::function<std::unique_ptr<eval::Predictor>()>;
+
+struct MethodCase {
+  std::string name;
+  Factory make;
+};
+
+std::vector<MethodCase> AllMethods() {
+  // Downsized configs keep the whole suite fast on one core.
+  return {
+      {"CFSF",
+       [] {
+         core::CfsfConfig c;
+         c.num_clusters = 6;
+         c.top_m_items = 20;
+         c.top_k_users = 8;
+         return std::make_unique<core::CfsfModel>(c);
+       }},
+      {"SUR", [] { return std::make_unique<baselines::SurPredictor>(); }},
+      {"SIR", [] { return std::make_unique<baselines::SirPredictor>(); }},
+      {"SF", [] { return std::make_unique<baselines::SfPredictor>(); }},
+      {"SCBPCC",
+       [] {
+         baselines::ScbpccConfig c;
+         c.num_clusters = 6;
+         return std::make_unique<baselines::ScbpccPredictor>(c);
+       }},
+      {"EMDP", [] { return std::make_unique<baselines::EmdpPredictor>(); }},
+      {"PD", [] { return std::make_unique<baselines::PdPredictor>(); }},
+      {"AM",
+       [] {
+         baselines::AspectModelConfig c;
+         c.num_aspects = 4;
+         c.em_iterations = 8;
+         return std::make_unique<baselines::AspectModelPredictor>(c);
+       }},
+      {"SlopeOne", [] { return std::make_unique<baselines::SlopeOnePredictor>(); }},
+      {"MF",
+       [] {
+         baselines::MfConfig c;
+         c.epochs = 10;
+         return std::make_unique<baselines::MfPredictor>(c);
+       }},
+      {"UserMean", [] { return std::make_unique<baselines::UserMeanPredictor>(); }},
+      {"ItemMean", [] { return std::make_unique<baselines::ItemMeanPredictor>(); }},
+      {"GlobalMean",
+       [] { return std::make_unique<baselines::GlobalMeanPredictor>(); }},
+  };
+}
+
+data::EvalSplit WorldSplit(std::uint64_t seed) {
+  data::SyntheticConfig config;
+  config.num_users = 70;
+  config.num_items = 90;
+  config.min_ratings_per_user = 12;
+  config.log_mean = 3.1;
+  config.seed = seed;
+  const auto base = data::GenerateSynthetic(config);
+  data::ProtocolConfig pconfig;
+  pconfig.num_train_users = 45;
+  pconfig.num_test_users = 25;
+  pconfig.given_n = 6;
+  return data::MakeGivenNSplit(base, pconfig);
+}
+
+class PredictorContract
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+ protected:
+  MethodCase Method() const { return AllMethods()[std::get<0>(GetParam())]; }
+  std::uint64_t Seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(PredictorContract, TotalAndFinite) {
+  const auto split = WorldSplit(Seed());
+  auto predictor = Method().make();
+  predictor->Fit(split.train);
+  for (const auto& t : split.test) {
+    const double v = predictor->Predict(t.user, t.item);
+    ASSERT_TRUE(std::isfinite(v))
+        << Method().name << " user " << t.user << " item " << t.item;
+  }
+}
+
+TEST_P(PredictorContract, Deterministic) {
+  const auto split = WorldSplit(Seed());
+  auto a = Method().make();
+  auto b = Method().make();
+  a->Fit(split.train);
+  b->Fit(split.train);
+  for (std::size_t k = 0; k < 20 && k < split.test.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a->Predict(split.test[k].user, split.test[k].item),
+                     b->Predict(split.test[k].user, split.test[k].item))
+        << Method().name;
+  }
+}
+
+TEST_P(PredictorContract, BeatsWorstConstant) {
+  // Even the trivial means beat "always predict 1" on 1-5 star data.
+  const auto split = WorldSplit(Seed());
+  auto predictor = Method().make();
+  const double mae = eval::Evaluate(*predictor, split).mae;
+  eval::ErrorAccumulator worst;
+  for (const auto& t : split.test) worst.Add(1.0, t.actual);
+  EXPECT_LT(mae, worst.Mae()) << Method().name;
+}
+
+TEST_P(PredictorContract, SurvivesSingleUserMatrix) {
+  matrix::RatingMatrixBuilder b(1, 3);
+  b.Add(0, 0, 4);
+  b.Add(0, 2, 2);
+  const auto m = b.Build();
+  auto predictor = Method().make();
+  // CFSF/SCBPCC cap their cluster count at the user count; every method
+  // must fit and produce finite predictions.
+  predictor->Fit(m);
+  for (matrix::ItemId i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(predictor->Predict(0, i)))
+        << Method().name << " item " << i;
+  }
+}
+
+TEST_P(PredictorContract, ConstantMatrixPredictsTheConstant) {
+  // Degenerate world: everyone rates everything 3.  Zero variance kills
+  // every similarity; all fallback chains must bottom out at the mean.
+  matrix::RatingMatrixBuilder b(8, 6);
+  for (matrix::UserId u = 0; u < 8; ++u) {
+    for (matrix::ItemId i = 0; i < 6; ++i) b.Add(u, i, 3.0F);
+  }
+  const auto m = b.Build();
+  auto predictor = Method().make();
+  predictor->Fit(m);
+  for (matrix::UserId u = 0; u < 8; ++u) {
+    for (matrix::ItemId i = 0; i < 6; ++i) {
+      EXPECT_NEAR(predictor->Predict(u, i), 3.0, 0.35) << Method().name;
+    }
+  }
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<std::size_t, std::uint64_t>>&
+        info) {
+  return AllMethods()[std::get<0>(info.param)].name + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, PredictorContract,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 13),
+                       ::testing::Values<std::uint64_t>(3, 41)),
+    CaseName);
+
+}  // namespace
+}  // namespace cfsf

@@ -1,0 +1,233 @@
+// cfsf_cli — end-to-end command-line front door for the library.
+//
+//   cfsf_cli generate  --out=u.data [--users=500 --items=1000 --seed=N]
+//   cfsf_cli stats     --data=u.data
+//   cfsf_cli fit       --data=u.data --model=model.bin [--clusters=30
+//                      --m=95 --k=25 --lambda=0.8 --delta=0.1 --w=0.35]
+//   cfsf_cli predict   --model=model.bin --user=U --item=I
+//   cfsf_cli recommend --model=model.bin --user=U [--n=10]
+//   cfsf_cli add-user  --model=model.bin --ratings=ITEM:R,ITEM:R,...
+//                      [--save=model2.bin] [--n=10]
+//   cfsf_cli evaluate  --data=u.data [--train=300 --given=10]
+//
+// Without --data, `fit`/`evaluate` fall back to the synthetic MovieLens
+// substitute (same data every bench uses).
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/cfsf.hpp"
+#include "core/model_io.hpp"
+#include "util/args.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_utils.hpp"
+
+namespace {
+
+using namespace cfsf;
+
+matrix::RatingMatrix LoadData(util::ArgParser& args) {
+  const std::string path = args.GetString("data", "");
+  if (path.empty()) {
+    data::SyntheticConfig config;
+    config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 20090101));
+    return data::GenerateSynthetic(config);
+  }
+  data::MovieLensOptions options;
+  options.min_ratings_per_user =
+      static_cast<std::size_t>(args.GetInt("min-ratings", 0));
+  options.max_users = static_cast<std::size_t>(args.GetInt("max-users", 0));
+  return data::LoadUData(path, options).matrix;
+}
+
+core::CfsfConfig ConfigFromFlags(util::ArgParser& args) {
+  core::CfsfConfig config;
+  config.num_clusters = static_cast<std::size_t>(
+      args.GetInt("clusters", static_cast<std::int64_t>(config.num_clusters)));
+  config.top_m_items = static_cast<std::size_t>(
+      args.GetInt("m", static_cast<std::int64_t>(config.top_m_items)));
+  config.top_k_users = static_cast<std::size_t>(
+      args.GetInt("k", static_cast<std::int64_t>(config.top_k_users)));
+  config.lambda = args.GetDouble("lambda", config.lambda);
+  config.delta = args.GetDouble("delta", config.delta);
+  config.epsilon = args.GetDouble("w", config.epsilon);
+  config.Validate();
+  return config;
+}
+
+int CmdGenerate(util::ArgParser& args) {
+  data::SyntheticConfig config;
+  config.num_users = static_cast<std::size_t>(args.GetInt("users", 500));
+  config.num_items = static_cast<std::size_t>(args.GetInt("items", 1000));
+  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 20090101));
+  const std::string out = args.GetString("out", "u.data");
+  args.RejectUnknown();
+  const auto m = data::GenerateSynthetic(config);
+  data::SaveUData(m, out);
+  std::printf("wrote %zu ratings (%zu users x %zu items) to %s\n",
+              m.num_ratings(), m.num_users(), m.num_items(), out.c_str());
+  return 0;
+}
+
+int CmdStats(util::ArgParser& args) {
+  const auto m = LoadData(args);
+  args.RejectUnknown();
+  std::printf("%s", matrix::FormatStats(matrix::ComputeStats(m)).c_str());
+  return 0;
+}
+
+int CmdFit(util::ArgParser& args) {
+  const auto m = LoadData(args);
+  const auto config = ConfigFromFlags(args);
+  const std::string model_path = args.GetString("model", "model.bin");
+  args.RejectUnknown();
+  core::CfsfModel model(config);
+  util::Stopwatch watch;
+  model.Fit(m);
+  core::SaveModel(model, model_path);
+  std::printf("fitted in %.2fs (GIS entries %zu, C=%zu); saved to %s\n",
+              watch.ElapsedSeconds(), model.gis().TotalNeighbors(),
+              model.cluster_model().num_clusters(), model_path.c_str());
+  return 0;
+}
+
+int CmdPredict(util::ArgParser& args) {
+  const std::string model_path = args.GetString("model", "model.bin");
+  const auto user = static_cast<matrix::UserId>(args.GetInt("user", 0));
+  const auto item = static_cast<matrix::ItemId>(args.GetInt("item", 0));
+  args.RejectUnknown();
+  const auto model = core::LoadModel(model_path);
+  const auto parts = model->PredictDetailed(user, item);
+  std::printf("user %u, item %u -> %.3f\n", user, item, parts.fused);
+  if (parts.sir) std::printf("  SIR'  = %.3f\n", *parts.sir);
+  if (parts.sur) std::printf("  SUR'  = %.3f\n", *parts.sur);
+  if (parts.suir) std::printf("  SUIR' = %.3f\n", *parts.suir);
+  return 0;
+}
+
+int CmdRecommend(util::ArgParser& args) {
+  const std::string model_path = args.GetString("model", "model.bin");
+  const auto user = static_cast<matrix::UserId>(args.GetInt("user", 0));
+  const auto n = static_cast<std::size_t>(args.GetInt("n", 10));
+  args.RejectUnknown();
+  const auto model = core::LoadModel(model_path);
+  for (const auto& rec : model->RecommendTopN(user, n)) {
+    std::printf("item %-6u score %.3f\n", rec.item, rec.score);
+  }
+  return 0;
+}
+
+std::vector<std::pair<matrix::ItemId, matrix::Rating>> ParseRatings(
+    const std::string& spec) {
+  std::vector<std::pair<matrix::ItemId, matrix::Rating>> ratings;
+  for (const auto& field : util::Split(spec, ',')) {
+    const auto parts = util::Split(field, ':');
+    if (parts.size() != 2) {
+      throw util::ConfigError("--ratings expects ITEM:RATING pairs, got '" +
+                              field + "'");
+    }
+    ratings.emplace_back(
+        static_cast<matrix::ItemId>(util::ParseInt(parts[0])),
+        static_cast<matrix::Rating>(util::ParseDouble(parts[1])));
+  }
+  return ratings;
+}
+
+int CmdAddUser(util::ArgParser& args) {
+  const std::string model_path = args.GetString("model", "model.bin");
+  const std::string spec = args.GetString("ratings", "");
+  const std::string save_path = args.GetString("save", "");
+  const auto n = static_cast<std::size_t>(args.GetInt("n", 10));
+  args.RejectUnknown();
+  if (spec.empty()) {
+    std::fprintf(stderr, "add-user requires --ratings=ITEM:R,ITEM:R,...\n");
+    return 2;
+  }
+  const auto model = core::LoadModel(model_path);
+  const auto user = model->AddUser(ParseRatings(spec));
+  std::printf("registered user %u (cluster %u)\n", user,
+              model->cluster_model().ClusterOf(user));
+  for (const auto& rec : model->RecommendTopN(user, n)) {
+    std::printf("item %-6u score %.3f\n", rec.item, rec.score);
+  }
+  if (!save_path.empty()) {
+    core::SaveModel(*model, save_path);
+    std::printf("updated model saved to %s\n", save_path.c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(util::ArgParser& args) {
+  const auto base = LoadData(args);
+  const auto config = ConfigFromFlags(args);
+  const std::string protocol = args.GetString("protocol", "given");
+  const auto train = static_cast<std::size_t>(args.GetInt("train", 300));
+  const auto test = static_cast<std::size_t>(args.GetInt("test", 200));
+  const auto given = static_cast<std::size_t>(args.GetInt("given", 10));
+  const auto holdout = static_cast<std::size_t>(args.GetInt("holdout", 1));
+  args.RejectUnknown();
+
+  data::EvalSplit split;
+  std::string label;
+  if (protocol == "given") {
+    data::ProtocolConfig pconfig;
+    pconfig.num_train_users = train;
+    pconfig.num_test_users = test;
+    pconfig.given_n = given;
+    split = data::MakeGivenNSplit(base, pconfig);
+    label = data::GivenLabel(given);
+  } else if (protocol == "allbutn") {
+    data::AllButNConfig pconfig;
+    pconfig.num_train_users = train;
+    pconfig.num_test_users = test;
+    pconfig.hold_out = holdout;
+    split = data::MakeAllButNSplit(base, pconfig);
+    label = "AllBut" + std::to_string(holdout);
+  } else {
+    std::fprintf(stderr, "unknown --protocol=%s (use given or allbutn)\n",
+                 protocol.c_str());
+    return 2;
+  }
+  core::CfsfModel model(config);
+  const auto result = eval::Evaluate(model, split);
+  std::printf("%s/%s: MAE %.4f, RMSE %.4f (%zu predictions; fit %.2fs, "
+              "predict %.2fs)\n",
+              data::TrainSetLabel(train).c_str(), label.c_str(), result.mae,
+              result.rmse, result.num_predictions, result.fit_seconds,
+              result.predict_seconds);
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: cfsf_cli <generate|stats|fit|predict|recommend|"
+               "add-user|evaluate> [flags]\n(see the header of "
+               "tools/cfsf_cli.cpp for the full flag list)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  util::ArgParser args(argc - 1, argv + 1);
+  util::SetLogLevel(util::ParseLogLevel(args.GetString("log", "warn")));
+
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "fit") return CmdFit(args);
+  if (command == "predict") return CmdPredict(args);
+  if (command == "recommend") return CmdRecommend(args);
+  if (command == "add-user") return CmdAddUser(args);
+  if (command == "evaluate") return CmdEvaluate(args);
+  PrintUsage();
+  return 2;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}
