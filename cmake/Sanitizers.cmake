@@ -1,0 +1,71 @@
+# Sanitizer wiring for CFSF.
+#
+# CFSF_SANITIZE is a semicolon-separated list drawn from
+#   address | undefined | thread | leak
+# e.g. -DCFSF_SANITIZE="address;undefined".  ThreadSanitizer cannot be
+# combined with AddressSanitizer or LeakSanitizer (the runtimes conflict),
+# and that combination is rejected at configure time rather than producing
+# a binary that aborts on startup.
+#
+# All sanitized builds keep frame pointers (usable stack traces) and make
+# UndefinedBehaviorSanitizer non-recoverable, so any UB report fails the
+# offending test instead of scrolling past — "zero sanitizer reports" is
+# then enforced by ctest's exit status.
+#
+# Suppression files live in cmake/suppressions/; tests get them through
+# the CFSF_SANITIZER_TEST_ENV list applied in tests/CMakeLists.txt, and
+# tools/ci_check.sh exports the same variables for manual runs.
+
+set(CFSF_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers to enable: address;undefined;thread;leak")
+
+set(CFSF_SANITIZER_TEST_ENV "" CACHE INTERNAL "Env vars for sanitized test runs")
+
+if(CFSF_SANITIZE)
+  set(_cfsf_known_sanitizers address undefined thread leak)
+  foreach(_san IN LISTS CFSF_SANITIZE)
+    if(NOT _san IN_LIST _cfsf_known_sanitizers)
+      message(FATAL_ERROR
+          "CFSF_SANITIZE: unknown sanitizer '${_san}' "
+          "(expected a subset of: ${_cfsf_known_sanitizers})")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST CFSF_SANITIZE AND
+     ("address" IN_LIST CFSF_SANITIZE OR "leak" IN_LIST CFSF_SANITIZE))
+    message(FATAL_ERROR
+        "CFSF_SANITIZE: 'thread' cannot be combined with 'address'/'leak' — "
+        "the sanitizer runtimes are mutually exclusive")
+  endif()
+
+  string(REPLACE ";" "," _cfsf_sanitize_csv "${CFSF_SANITIZE}")
+  set(_cfsf_san_flags -fsanitize=${_cfsf_sanitize_csv} -fno-omit-frame-pointer -g)
+  if("undefined" IN_LIST CFSF_SANITIZE)
+    # Abort on the first UB report; without this UBSan logs and continues,
+    # and ctest would report a pass despite diagnostics.
+    list(APPEND _cfsf_san_flags -fno-sanitize-recover=all)
+  endif()
+
+  add_compile_options(${_cfsf_san_flags})
+  add_link_options(${_cfsf_san_flags})
+
+  set(_cfsf_supp_dir "${CMAKE_CURRENT_LIST_DIR}/suppressions")
+  set(_cfsf_test_env "")
+  if("thread" IN_LIST CFSF_SANITIZE)
+    list(APPEND _cfsf_test_env
+         "TSAN_OPTIONS=suppressions=${_cfsf_supp_dir}/tsan.supp halt_on_error=1 second_deadlock_stack=1")
+  endif()
+  if("undefined" IN_LIST CFSF_SANITIZE)
+    list(APPEND _cfsf_test_env
+         "UBSAN_OPTIONS=suppressions=${_cfsf_supp_dir}/ubsan.supp print_stacktrace=1")
+  endif()
+  if("address" IN_LIST CFSF_SANITIZE)
+    # detect_leaks stays on (default); strict_string_checks hardens the
+    # C-string paths in the data loaders.
+    list(APPEND _cfsf_test_env "ASAN_OPTIONS=strict_string_checks=1")
+  endif()
+  set(CFSF_SANITIZER_TEST_ENV "${_cfsf_test_env}" CACHE INTERNAL
+      "Env vars for sanitized test runs")
+
+  message(STATUS "CFSF: sanitizers enabled: ${CFSF_SANITIZE}")
+endif()

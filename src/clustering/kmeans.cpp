@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "parallel/parallel_for.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -179,6 +180,21 @@ KMeansResult RunKMeans(const matrix::RatingMatrix& matrix,
     if (iter > 0 && fraction <= config.min_reassigned_fraction) {
       result.converged = true;
       break;
+    }
+  }
+  if constexpr (util::ChecksEnabled()) {
+    std::size_t members = 0;
+    for (const auto s : result.cluster_sizes) members += s;
+    CFSF_CHECK(members == p, "cluster sizes must sum to the user count");
+    for (const auto a : result.assignments) {
+      CFSF_CHECK(a < config.num_clusters,
+                 "assignment references a missing cluster");
+    }
+    for (std::size_t c = 0; c < config.num_clusters; ++c) {
+      CFSF_CHECK_FINITE(result.centroid_means[c], "centroid mean (Eq. 6)");
+      for (const double cell : result.centroids.Row(c)) {
+        CFSF_CHECK_FINITE(cell, "centroid cell (Eq. 6)");
+      }
     }
   }
   return result;

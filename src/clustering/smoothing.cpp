@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "parallel/parallel_for.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace cfsf::cluster {
@@ -178,6 +179,81 @@ double ClusterModel::AffinityOf(std::span<const matrix::Entry> row,
   }
   const double denom = std::sqrt(sq_c) * std::sqrt(sq_u);
   return denom > 0.0 ? dot / denom : 0.0;
+}
+
+void ClusterModel::DebugValidate(const matrix::RatingMatrix& matrix) const {
+  const std::size_t p = num_users();
+  const std::size_t q = num_items();
+  CFSF_VALIDATE(p == matrix.num_users() && q == matrix.num_items(),
+                "ClusterModel shape must match the source matrix");
+  CFSF_VALIDATE(assignments_.size() == p, "assignment table size");
+  CFSF_VALIDATE(cluster_sizes_.size() == num_clusters_, "cluster size table");
+  CFSF_VALIDATE(icluster_.size() == p, "iCluster table size");
+  CFSF_VALIDATE(user_means_.size() == p, "user mean table size");
+  CFSF_VALIDATE(original_mask_.size() == p * q, "provenance mask size");
+  CFSF_VALIDATE(has_rating_.size() == num_clusters_ * q,
+                "cluster has-rating mask size");
+
+  // Cluster assignment totals (every user in exactly one cluster).
+  std::vector<std::size_t> counted(num_clusters_, 0);
+  for (const auto a : assignments_) {
+    CFSF_VALIDATE(a < num_clusters_, "assignment references a missing cluster");
+    ++counted[a];
+  }
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < num_clusters_; ++c) {
+    CFSF_VALIDATE(counted[c] == cluster_sizes_[c],
+                  "cluster_sizes must match the assignment counts");
+    total += cluster_sizes_[c];
+  }
+  CFSF_VALIDATE(total == p, "cluster sizes must sum to the user count");
+
+  for (std::size_t c = 0; c < num_clusters_; ++c) {
+    for (std::size_t i = 0; i < q; ++i) {
+      CFSF_VALIDATE(std::isfinite(deviations_(c, i)),
+                    "Eq. 8 deviation must be finite");
+    }
+  }
+
+  for (std::size_t u = 0; u < p; ++u) {
+    CFSF_VALIDATE(std::isfinite(user_means_[u]), "user mean must be finite");
+    const auto profile = SmoothedProfile(static_cast<matrix::UserId>(u));
+    const auto mask = OriginalMask(static_cast<matrix::UserId>(u));
+    std::size_t originals = 0;
+    for (std::size_t i = 0; i < q; ++i) {
+      CFSF_VALIDATE(std::isfinite(profile[i]),
+                    "smoothed rating must be finite (Eq. 7)");
+      originals += mask[i] != 0 ? 1 : 0;
+    }
+    const auto row = matrix.UserRow(static_cast<matrix::UserId>(u));
+    CFSF_VALIDATE(originals == row.size(),
+                  "provenance mask must flag exactly the original ratings");
+    for (const auto& e : row) {
+      CFSF_VALIDATE(mask[e.index] != 0,
+                    "original rating missing from the provenance mask");
+      CFSF_VALIDATE(profile[e.index] == static_cast<double>(e.value),
+                    "Eq. 7 must preserve original ratings verbatim");
+    }
+
+    // iCluster: a permutation of all clusters in descending Eq. 9 order.
+    const auto list = IClusterOf(static_cast<matrix::UserId>(u));
+    CFSF_VALIDATE(list.size() == num_clusters_,
+                  "iCluster list must rank every cluster");
+    std::vector<bool> seen(num_clusters_, false);
+    for (std::size_t k = 0; k < list.size(); ++k) {
+      CFSF_VALIDATE(list[k].cluster < num_clusters_,
+                    "iCluster entry references a missing cluster");
+      CFSF_VALIDATE(!seen[list[k].cluster], "iCluster list repeats a cluster");
+      seen[list[k].cluster] = true;
+      CFSF_VALIDATE(std::isfinite(list[k].similarity),
+                    "Eq. 9 affinity must be finite");
+      CFSF_VALIDATE(list[k].similarity >= -1.0F - 1e-5F &&
+                        list[k].similarity <= 1.0F + 1e-5F,
+                    "Eq. 9 affinity outside [-1, 1]");
+      CFSF_VALIDATE(k == 0 || list[k - 1].similarity >= list[k].similarity,
+                    "iCluster list must be affinity-descending");
+    }
+  }
 }
 
 }  // namespace cfsf::cluster

@@ -81,6 +81,14 @@ class ClusterModel {
   double AffinityOf(std::span<const matrix::Entry> row, double row_mean,
                     std::uint32_t cluster) const;
 
+  /// Structural validation sweep against the matrix the model was built
+  /// from: assignment/size totals, finite deviations and smoothed cells,
+  /// original ratings preserved verbatim with the provenance mask set
+  /// exactly on them, iCluster lists covering every cluster once in
+  /// descending Eq. 9 order with affinities in [-1, 1].  Throws
+  /// util::InvariantError on violation.
+  void DebugValidate(const matrix::RatingMatrix& matrix) const;
+
  private:
   std::size_t num_clusters_ = 0;
   std::vector<std::uint32_t> assignments_;

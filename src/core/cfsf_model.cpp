@@ -6,6 +6,7 @@
 
 #include "parallel/parallel_for.hpp"
 #include "similarity/kernels.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -57,6 +58,11 @@ void CfsfModel::Fit(const matrix::RatingMatrix& train) {
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     cache_.assign(train_.num_users(), nullptr);
+  }
+  if constexpr (util::ChecksEnabled()) {
+    train_.DebugValidate();
+    gis_.DebugValidate();
+    clusters_.DebugValidate(train_);
   }
   fitted_ = true;
   CFSF_LOG_INFO << "CFSF fitted: " << train_.num_users() << " users, "
@@ -285,6 +291,7 @@ FusionBreakdown CfsfModel::PredictWithNeighbors(
     weight_sum += config_.delta;
   }
   result.fused = weight_sum > 0.0 ? value / weight_sum : user_mean;
+  CFSF_CHECK_FINITE(result.fused, "Eq. 14 fused prediction");
   return result;
 }
 

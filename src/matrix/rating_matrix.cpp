@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace cfsf::matrix {
@@ -160,6 +161,55 @@ double RatingMatrix::UserMean(UserId user) const {
 double RatingMatrix::ItemMean(ItemId item) const {
   CFSF_ASSERT(item < num_items_, "item id out of range");
   return item_means_[item];
+}
+
+void RatingMatrix::DebugValidate() const {
+  CFSF_VALIDATE(user_ptr_.size() == num_users_ + 1, "CSR pointer array size");
+  CFSF_VALIDATE(item_ptr_.size() == num_items_ + 1, "CSC pointer array size");
+  CFSF_VALIDATE(user_ptr_.front() == 0 && item_ptr_.front() == 0,
+                "index pointer arrays must start at 0");
+  CFSF_VALIDATE(user_ptr_.back() == user_entries_.size(),
+                "CSR pointer array must end at the entry count");
+  CFSF_VALIDATE(item_ptr_.back() == item_entries_.size(),
+                "CSC pointer array must end at the entry count");
+  CFSF_VALIDATE(user_entries_.size() == item_entries_.size(),
+                "CSR and CSC must hold the same ratings");
+  CFSF_VALIDATE(
+      user_timestamps_.empty() || user_timestamps_.size() == user_entries_.size(),
+      "timestamps must align 1:1 with CSR entries");
+  CFSF_VALIDATE(user_means_.size() == num_users_, "user mean table size");
+  CFSF_VALIDATE(item_means_.size() == num_items_, "item mean table size");
+  CFSF_VALIDATE(std::isfinite(global_mean_), "global mean must be finite");
+
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    CFSF_VALIDATE(user_ptr_[u] <= user_ptr_[u + 1],
+                  "CSR pointers must be monotone");
+    CFSF_VALIDATE(std::isfinite(user_means_[u]), "user mean must be finite");
+    const auto row = UserRow(static_cast<UserId>(u));
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      CFSF_VALIDATE(row[k].index < num_items_, "item id out of range in CSR");
+      CFSF_VALIDATE(std::isfinite(row[k].value), "non-finite rating in CSR");
+      CFSF_VALIDATE(k == 0 || row[k - 1].index < row[k].index,
+                    "user row must be strictly item-sorted");
+    }
+  }
+  for (std::size_t i = 0; i < num_items_; ++i) {
+    CFSF_VALIDATE(item_ptr_[i] <= item_ptr_[i + 1],
+                  "CSC pointers must be monotone");
+    CFSF_VALIDATE(std::isfinite(item_means_[i]), "item mean must be finite");
+    const auto col = ItemCol(static_cast<ItemId>(i));
+    for (std::size_t k = 0; k < col.size(); ++k) {
+      CFSF_VALIDATE(col[k].index < num_users_, "user id out of range in CSC");
+      CFSF_VALIDATE(std::isfinite(col[k].value), "non-finite rating in CSC");
+      CFSF_VALIDATE(k == 0 || col[k - 1].index < col[k].index,
+                    "item column must be strictly user-sorted");
+      // Dual-index agreement: the CSC cell must be findable in the CSR view
+      // with the identical value.
+      const auto csr = GetRating(col[k].index, static_cast<ItemId>(i));
+      CFSF_VALIDATE(csr.has_value() && *csr == col[k].value,
+                    "CSC entry missing from or disagreeing with CSR");
+    }
+  }
 }
 
 std::vector<RatingTriple> RatingMatrix::ToTriples() const {

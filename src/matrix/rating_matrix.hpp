@@ -93,6 +93,13 @@ class RatingMatrix {
 
   bool has_timestamps() const { return !user_timestamps_.empty(); }
 
+  /// Full structural validation sweep: CSR/CSC shape and monotonicity,
+  /// per-row/column index sortedness, id ranges, CSR↔CSC entry agreement,
+  /// finite ratings and means, timestamp alignment.  Throws
+  /// util::InvariantError on the first violation.  O(ratings·log) — called
+  /// from tests, and from model construction when CFSF_ENABLE_CHECKS is on.
+  void DebugValidate() const;
+
   /// All ratings as triples in user-major order (test helpers, re-splits).
   std::vector<RatingTriple> ToTriples() const;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "util/check.hpp"
+
 namespace cfsf::par {
 
 namespace {
@@ -26,6 +28,7 @@ void RunStatic(ThreadPool& pool, std::size_t begin, std::size_t end,
   for (std::size_t c = 0; c < num_chunks; ++c) {
     const std::size_t lo = begin + n * c / num_chunks;
     const std::size_t hi = begin + n * (c + 1) / num_chunks;
+    CFSF_DCHECK(lo <= hi && hi <= end, "static chunk outside [begin, end)");
     if (lo == hi) continue;
     pool.Submit([&body, lo, hi] { body(Range{lo, hi}); });
   }
@@ -54,6 +57,7 @@ void RunDynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
         const std::size_t lo = cursor->fetch_add(grain);
         if (lo >= end) return;
         const std::size_t hi = std::min(end, lo + grain);
+        CFSF_DCHECK(lo < hi, "dynamic chunk must be non-empty");
         body(Range{lo, hi});
       }
     });

@@ -1,11 +1,26 @@
 #include "parallel/thread_pool.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 
 #include "util/error.hpp"
 #include "util/string_utils.hpp"
 
 namespace cfsf::par {
+
+std::size_t ParseNumThreads(const char* value) {
+  if (value == nullptr) return 0;
+  std::int64_t parsed = 0;
+  try {
+    parsed = cfsf::util::ParseInt(value);
+  } catch (const cfsf::util::IoError&) {
+    return 0;  // malformed: fall back to hardware concurrency
+  }
+  if (parsed <= 0) return 0;
+  return std::min<std::size_t>(static_cast<std::size_t>(parsed),
+                               kMaxExplicitThreads);
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -72,18 +87,8 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool* pool = [] {
-    std::size_t n = 0;
-    if (const char* env = std::getenv("CFSF_NUM_THREADS")) {
-      try {
-        const auto parsed = cfsf::util::ParseInt(env);
-        if (parsed > 0) n = static_cast<std::size_t>(parsed);
-      } catch (const cfsf::util::IoError&) {
-        // Ignore malformed values; fall back to hardware concurrency.
-      }
-    }
-    return new ThreadPool(n);
-  }();
+  static ThreadPool* pool =
+      new ThreadPool(ParseNumThreads(std::getenv("CFSF_NUM_THREADS")));
   return *pool;
 }
 

@@ -24,6 +24,17 @@
 
 namespace cfsf::par {
 
+/// Hard ceiling on an explicitly requested pool size; values above it are
+/// clamped (a mistyped CFSF_NUM_THREADS must not try to spawn a million
+/// OS threads).
+inline constexpr std::size_t kMaxExplicitThreads = 512;
+
+/// Parses a CFSF_NUM_THREADS-style value.  Returns 0 — meaning "auto,
+/// use hardware concurrency" — for nullptr, garbage, zero or negative
+/// input; clamps values above kMaxExplicitThreads.  Exposed for tests;
+/// ThreadPool::Shared() is the production caller.
+std::size_t ParseNumThreads(const char* value);
+
 class ThreadPool {
  public:
   /// `num_threads == 0` selects std::thread::hardware_concurrency()

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "parallel/parallel_for.hpp"
 #include "similarity/kernels.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace cfsf::sim {
@@ -231,6 +233,54 @@ void GlobalItemSimilarity::RefreshItems(const matrix::RatingMatrix& matrix,
       if (config_.max_neighbors != 0 && row.size() > config_.max_neighbors) {
         row.resize(config_.max_neighbors);
       }
+    }
+  }
+}
+
+void GlobalItemSimilarity::DebugValidate() const {
+  const std::size_t q = rows_.size();
+  for (std::size_t i = 0; i < q; ++i) {
+    const auto& row = rows_[i];
+    CFSF_VALIDATE(config_.max_neighbors == 0 || row.size() <= config_.max_neighbors,
+                  "GIS row exceeds the max_neighbors cap");
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      CFSF_VALIDATE(row[k].index < q, "GIS neighbour id out of range");
+      CFSF_VALIDATE(row[k].index != i, "GIS row contains the item itself");
+      CFSF_VALIDATE(std::isfinite(row[k].similarity),
+                    "GIS similarity must be finite");
+      CFSF_VALIDATE(row[k].similarity >= -1.0F - 1e-5F &&
+                        row[k].similarity <= 1.0F + 1e-5F,
+                    "GIS similarity outside [-1, 1]");
+      CFSF_VALIDATE(static_cast<double>(row[k].similarity) > config_.min_similarity,
+                    "GIS similarity at or below the Eq. 5 threshold");
+      if (k > 0) {
+        const bool descending =
+            row[k - 1].similarity > row[k].similarity ||
+            (row[k - 1].similarity == row[k].similarity &&
+             row[k - 1].index < row[k].index);
+        CFSF_VALIDATE(descending,
+                      "GIS row must be similarity-descending with "
+                      "ascending-id tie-breaks");
+      }
+    }
+  }
+
+  // PCC is symmetric, so wherever both directions of a pair survived the
+  // thresholds their stored values must agree.  (A missing reciprocal is
+  // legal: max_neighbors truncates rows independently.)  The tolerance
+  // absorbs float rounding between the all-pairs build and the
+  // RefreshItems recomputation path.
+  std::vector<std::unordered_map<std::uint32_t, float>> by_index(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    by_index[i].reserve(rows_[i].size());
+    for (const auto& n : rows_[i]) by_index[i].emplace(n.index, n.similarity);
+  }
+  for (std::size_t i = 0; i < q; ++i) {
+    for (const auto& n : rows_[i]) {
+      const auto it = by_index[n.index].find(static_cast<std::uint32_t>(i));
+      if (it == by_index[n.index].end()) continue;
+      CFSF_VALIDATE(std::fabs(it->second - n.similarity) <= 1e-4F,
+                    "GIS must be value-symmetric where both directions exist");
     }
   }
 }

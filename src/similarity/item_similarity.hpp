@@ -86,6 +86,12 @@ class GlobalItemSimilarity {
   void RefreshItems(const matrix::RatingMatrix& matrix,
                     std::span<const matrix::ItemId> items);
 
+  /// Structural validation sweep: every row similarity-descending with
+  /// ascending-id tie-breaks, similarities finite and inside [-1, 1],
+  /// neighbour ids in range, no self-neighbours, rows within the
+  /// max_neighbors cap.  Throws util::InvariantError on violation.
+  void DebugValidate() const;
+
   const GisConfig& config() const { return config_; }
 
  private:

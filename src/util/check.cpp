@@ -1,0 +1,21 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cfsf::util {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "CFSF_CHECK failed at %s:%d: %s — %s\n", file, line,
+               expr, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void ValidateFailed(const char* expr, const std::string& message) {
+  throw InvariantError(std::string("invariant `") + expr +
+                       "` violated: " + message);
+}
+
+}  // namespace cfsf::util

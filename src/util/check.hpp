@@ -1,0 +1,109 @@
+// Runtime invariant checks for the CFSF libraries.
+//
+// Three tiers, complementing the always-on CFSF_REQUIRE/CFSF_ASSERT in
+// util/error.hpp:
+//
+//  * CFSF_CHECK(cond, msg)        — internal invariant, aborts with a
+//    diagnostic when violated.  Compiled in when the build defines
+//    CFSF_ENABLE_CHECKS (the `CFSF_ENABLE_CHECKS=ON` CMake option, on by
+//    default in Debug builds and in every sanitizer preset); compiled to
+//    nothing in plain Release builds so hot paths pay zero cost.
+//  * CFSF_DCHECK(cond, msg)       — like CFSF_CHECK but for per-element
+//    checks inside hot loops; additionally requires !NDEBUG so it is
+//    absent from optimised sanitizer builds.
+//  * CFSF_CHECK_FINITE(value, msg)— CFSF_CHECK that `value` is a finite
+//    floating-point number (the NaN/Inf tripwire for the smoothing and
+//    fusion math).
+//
+// Data structures expose DebugValidate() methods built on CFSF_VALIDATE,
+// which is *always* compiled in and throws cfsf::util::InvariantError —
+// callers (tests, and model construction under the checks flag) decide
+// when to pay for a full validation sweep.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace cfsf::util {
+
+/// Thrown by DebugValidate() sweeps when a data-structure invariant does
+/// not hold.  Deriving from Error keeps it catchable alongside the other
+/// recoverable CFSF exceptions in test harnesses.
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// True when CFSF_CHECK/CFSF_CHECK_FINITE are compiled in.
+constexpr bool ChecksEnabled() {
+#if defined(CFSF_ENABLE_CHECKS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Prints a diagnostic and aborts.  Out-of-line so the macro expansion
+/// stays small in hot functions.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Throws InvariantError; used by the always-on CFSF_VALIDATE.
+[[noreturn]] void ValidateFailed(const char* expr, const std::string& message);
+
+}  // namespace cfsf::util
+
+/// Always-on structural check used inside DebugValidate() sweeps; throws
+/// cfsf::util::InvariantError so tests can assert on violations.
+#define CFSF_VALIDATE(cond, msg)                         \
+  do {                                                   \
+    if (!(cond)) {                                       \
+      ::cfsf::util::ValidateFailed(#cond, (msg));        \
+    }                                                    \
+  } while (0)
+
+#if defined(CFSF_ENABLE_CHECKS)
+
+#define CFSF_CHECK(cond, msg)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::cfsf::util::CheckFailed(__FILE__, __LINE__, #cond, (msg));    \
+    }                                                                 \
+  } while (0)
+
+#define CFSF_CHECK_FINITE(value, msg)                                   \
+  do {                                                                  \
+    const double cfsf_check_finite_v_ = static_cast<double>(value);     \
+    if (!std::isfinite(cfsf_check_finite_v_)) {                         \
+      ::cfsf::util::CheckFailed(                                        \
+          __FILE__, __LINE__, #value " is finite",                      \
+          std::string(msg) +                                            \
+              " (value=" + std::to_string(cfsf_check_finite_v_) + ")"); \
+    }                                                                   \
+  } while (0)
+
+#if !defined(NDEBUG)
+#define CFSF_DCHECK(cond, msg) CFSF_CHECK(cond, msg)
+#else
+#define CFSF_DCHECK(cond, msg) CFSF_CHECK_DISABLED_(cond, msg)
+#endif
+
+#else  // !CFSF_ENABLE_CHECKS
+
+#define CFSF_CHECK(cond, msg) CFSF_CHECK_DISABLED_(cond, msg)
+#define CFSF_DCHECK(cond, msg) CFSF_CHECK_DISABLED_(cond, msg)
+#define CFSF_CHECK_FINITE(value, msg) \
+  CFSF_CHECK_DISABLED_(std::isfinite(static_cast<double>(value)), msg)
+
+#endif  // CFSF_ENABLE_CHECKS
+
+/// Compiled-out form: typechecks the condition and message without ever
+/// evaluating them, so checked-only variables do not warn under -Werror.
+#define CFSF_CHECK_DISABLED_(cond, msg)    \
+  do {                                     \
+    if (false && (cond)) {                 \
+      static_cast<void>(msg);              \
+    }                                      \
+  } while (0)

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "baselines/scbpcc.hpp"
 #include "baselines/sir.hpp"
@@ -23,12 +24,10 @@ class IntegrationFixture : public ::testing::Test {
     config.num_items = 300;
     config.min_ratings_per_user = 25;
     config.log_mean = 3.6;
-    base_ = new matrix::RatingMatrix(data::GenerateSynthetic(config));
+    base_ = std::make_unique<matrix::RatingMatrix>(
+        data::GenerateSynthetic(config));
   }
-  static void TearDownTestSuite() {
-    delete base_;
-    base_ = nullptr;
-  }
+  static void TearDownTestSuite() { base_.reset(); }
 
   static data::EvalSplit Split(std::size_t train_users, std::size_t given) {
     data::ProtocolConfig pconfig;
@@ -46,10 +45,10 @@ class IntegrationFixture : public ::testing::Test {
     return config;
   }
 
-  static matrix::RatingMatrix* base_;
+  static std::unique_ptr<matrix::RatingMatrix> base_;
 };
 
-matrix::RatingMatrix* IntegrationFixture::base_ = nullptr;
+std::unique_ptr<matrix::RatingMatrix> IntegrationFixture::base_;
 
 TEST_F(IntegrationFixture, EndToEndPipelineProducesSaneMae) {
   const auto split = Split(140, 10);

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
@@ -53,6 +54,49 @@ TEST(ThreadPool, ZeroRequestsHardwareConcurrency) {
   EXPECT_GE(pool.num_threads(), 1u);
 }
 
+TEST(ThreadPool, ExceptionRethrowClearsStateForReuse) {
+  ThreadPool pool(2);
+  // Several failing rounds in a row: each Wait() must rethrow exactly one
+  // stored error and reset, never a stale one from an earlier round.
+  for (int round = 0; round < 3; ++round) {
+    pool.Submit([] { throw util::ConfigError("round failure"); });
+    EXPECT_THROW(pool.Wait(), util::ConfigError);
+    // Immediately after the rethrow the pool accepts and runs work.
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 8; ++i) pool.Submit([&counter] { ++counter; });
+    pool.Wait();  // must not throw: the error was consumed above
+    EXPECT_EQ(counter.load(), 8);
+  }
+}
+
+TEST(ThreadPool, ParseNumThreadsAcceptsPlainIntegers) {
+  EXPECT_EQ(ParseNumThreads("1"), 1u);
+  EXPECT_EQ(ParseNumThreads("8"), 8u);
+  EXPECT_EQ(ParseNumThreads("512"), 512u);
+}
+
+TEST(ThreadPool, ParseNumThreadsFallsBackToAutoOnGarbage) {
+  EXPECT_EQ(ParseNumThreads(nullptr), 0u);
+  EXPECT_EQ(ParseNumThreads(""), 0u);
+  EXPECT_EQ(ParseNumThreads("four"), 0u);
+  EXPECT_EQ(ParseNumThreads("4x"), 0u);
+  EXPECT_EQ(ParseNumThreads("3.5"), 0u);
+  EXPECT_EQ(ParseNumThreads(" "), 0u);
+}
+
+TEST(ThreadPool, ParseNumThreadsTreatsZeroAndNegativeAsAuto) {
+  EXPECT_EQ(ParseNumThreads("0"), 0u);
+  EXPECT_EQ(ParseNumThreads("-1"), 0u);
+  EXPECT_EQ(ParseNumThreads("-999"), 0u);
+}
+
+TEST(ThreadPool, ParseNumThreadsClampsHugeValues) {
+  EXPECT_EQ(ParseNumThreads("513"), kMaxExplicitThreads);
+  EXPECT_EQ(ParseNumThreads("1000000"), kMaxExplicitThreads);
+  // Values that overflow int64 parsing count as garbage, not huge.
+  EXPECT_EQ(ParseNumThreads("99999999999999999999999999"), 0u);
+}
+
 TEST(ThreadPool, SharedPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
 }
@@ -94,6 +138,34 @@ TEST(ParallelFor, DynamicScheduleVisitsAll) {
   ParallelFor(0, visits.size(), [&](std::size_t i) { visits[i].fetch_add(1); },
               options);
   for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, SingleThreadPoolFallsBackToSerial) {
+  // With a one-thread pool parallel_for must not round-trip through the
+  // task queue: the body runs inline on the calling thread, so thread_local
+  // state and non-atomic writes are safe.
+  ThreadPool pool(1);
+  ForOptions options;
+  options.pool = &pool;
+  const auto caller = std::this_thread::get_id();
+  std::vector<int> visits(200, 0);  // non-atomic: serial fallback guarantees
+  std::atomic<int> off_thread{0};
+  ParallelFor(
+      0, visits.size(),
+      [&](std::size_t i) {
+        ++visits[i];
+        if (std::this_thread::get_id() != caller) off_thread.fetch_add(1);
+      },
+      options);
+  for (const int v : visits) EXPECT_EQ(v, 1);
+  EXPECT_EQ(off_thread.load(), 0);
+
+  // Same fallback for the dynamic schedule.
+  options.schedule = Schedule::kDynamic;
+  std::vector<int> dynamic_visits(200, 0);
+  ParallelFor(0, dynamic_visits.size(),
+              [&](std::size_t i) { ++dynamic_visits[i]; }, options);
+  for (const int v : dynamic_visits) EXPECT_EQ(v, 1);
 }
 
 TEST(ParallelFor, SerialOptionRunsInline) {

@@ -1,0 +1,270 @@
+// Stress tests (ctest label: stress) — concurrency hammers designed to
+// give the sanitizer presets, TSan in particular, real contention to
+// bite on: ThreadPool Submit/Wait cycles under concurrent producers,
+// parallel_for static/dynamic chunking, and concurrent online-phase
+// prediction against one shared CfsfModel (the serving scenario the
+// ROADMAP is heading toward).
+//
+// The tests are sized to finish in seconds uninstrumented and tens of
+// seconds under TSan; they assert full effect counts so a lost task,
+// double-claimed chunk or dropped wakeup fails loudly even without a
+// sanitizer attached.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/cfsf_model.hpp"
+#include "data/synthetic.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace cfsf {
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentSubmitters) {
+  par::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksEach = 500;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPoolStress, SubmitWaitChurn) {
+  par::ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    ASSERT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolStress, ExceptionStormLeavesPoolUsable) {
+  par::ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      if (i % 3 == 0) {
+        pool.Submit([] { throw util::ConfigError("storm"); });
+      } else {
+        pool.Submit([&completed] { completed.fetch_add(1); });
+      }
+    }
+    EXPECT_THROW(pool.Wait(), util::ConfigError);
+  }
+  // Every non-throwing task still ran, and the pool is reusable after
+  // the last rethrow cleared the stored exception.
+  EXPECT_EQ(completed.load(), 50 * 6);
+  pool.Submit([&completed] { completed.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(completed.load(), 50 * 6 + 1);
+}
+
+TEST(ThreadPoolStress, ConstructionDestructionChurn) {
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 50; ++round) {
+    par::ThreadPool pool(2);
+    for (int i = 0; i < 25; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must drain the queue without losing or
+    // double-running tasks.
+  }
+  EXPECT_EQ(counter.load(), 50 * 25);
+}
+
+TEST(ParallelForStress, StaticChunkingVisitsEachIndexOnce) {
+  par::ThreadPool pool(4);
+  par::ForOptions options;
+  options.pool = &pool;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::atomic<int>> visits(10007);
+    par::ParallelFor(
+        0, visits.size(), [&](std::size_t i) { visits[i].fetch_add(1); },
+        options);
+    for (const auto& v : visits) ASSERT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelForStress, DynamicChunkingVisitsEachIndexOnce) {
+  par::ThreadPool pool(4);
+  par::ForOptions options;
+  options.pool = &pool;
+  options.schedule = par::Schedule::kDynamic;
+  options.grain = 7;  // tiny grain: maximum cursor contention
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::atomic<int>> visits(4999);
+    par::ParallelFor(
+        0, visits.size(), [&](std::size_t i) { visits[i].fetch_add(1); },
+        options);
+    for (const auto& v : visits) ASSERT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelForStress, ConcurrentLoopsOnTheSharedPool) {
+  // Two threads each drive their own parallel_for on the *shared* pool —
+  // the overlap every offline phase step creates when benches run
+  // back-to-back model builds.
+  std::atomic<long> sum_a{0};
+  std::atomic<long> sum_b{0};
+  std::thread a([&sum_a] {
+    for (int r = 0; r < 10; ++r) {
+      par::ParallelFor(0, 2000, [&sum_a](std::size_t i) {
+        sum_a.fetch_add(static_cast<long>(i));
+      });
+    }
+  });
+  std::thread b([&sum_b] {
+    for (int r = 0; r < 10; ++r) {
+      par::ParallelFor(0, 2000, [&sum_b](std::size_t i) {
+        sum_b.fetch_add(static_cast<long>(i));
+      });
+    }
+  });
+  a.join();
+  b.join();
+  const long expected = 10L * (2000L * 1999L / 2);
+  EXPECT_EQ(sum_a.load(), expected);
+  EXPECT_EQ(sum_b.load(), expected);
+}
+
+TEST(ParallelForStress, ReduceMatchesSerialUnderContention) {
+  par::ThreadPool pool(4);
+  par::ForOptions options;
+  options.pool = &pool;
+  for (int round = 0; round < 10; ++round) {
+    const double parallel = par::ParallelReduce<double>(
+        0, 20000, [] { return 0.0; },
+        [](double& acc, std::size_t i) { acc += 1.0 / (1.0 + i); },
+        [](double& total, double& partial) { total += partial; }, 0.0,
+        options);
+    par::ForOptions serial;
+    serial.serial = true;
+    const double reference = par::ParallelReduce<double>(
+        0, 20000, [] { return 0.0; },
+        [](double& acc, std::size_t i) { acc += 1.0 / (1.0 + i); },
+        [](double& total, double& partial) { total += partial; }, 0.0,
+        serial);
+    ASSERT_NEAR(parallel, reference, 1e-9);
+  }
+}
+
+// --- Concurrent online phase against one shared model -------------------
+
+class ModelStress : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticConfig data_config;
+    data_config.num_users = 120;
+    data_config.num_items = 150;
+    data_config.min_ratings_per_user = 15;
+    data_config.max_ratings_per_user = 60;
+    data_config.log_mean = 3.2;
+
+    core::CfsfConfig config;
+    config.num_clusters = 8;
+    config.top_m_items = 25;
+    config.top_k_users = 10;
+    config.use_cache = true;
+    model_ = std::make_unique<core::CfsfModel>(config);
+    model_->Fit(data::GenerateSynthetic(data_config));
+  }
+  static void TearDownTestSuite() { model_.reset(); }
+
+  static std::unique_ptr<core::CfsfModel> model_;
+};
+
+std::unique_ptr<core::CfsfModel> ModelStress::model_;
+
+TEST_F(ModelStress, ConcurrentPredictionsShareTheCache) {
+  constexpr int kThreads = 4;
+  std::atomic<int> non_finite{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    // All threads sweep the same users so the per-user top-K cache sees
+    // concurrent misses, fills and hits on identical slots.
+    threads.emplace_back([&non_finite] {
+      for (matrix::UserId u = 0; u < 40; ++u) {
+        for (matrix::ItemId i = 0; i < 30; ++i) {
+          if (!std::isfinite(model_->Predict(u, i))) non_finite.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(non_finite.load(), 0);
+  EXPECT_GT(model_->CacheSize(), 0u);
+}
+
+TEST_F(ModelStress, ConcurrentBatchPredictionAndCacheClearing) {
+  std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries;
+  for (matrix::UserId u = 0; u < 60; ++u) {
+    for (matrix::ItemId i = 0; i < 10; ++i) queries.emplace_back(u, i);
+  }
+  std::atomic<bool> stop{false};
+  // Antagonist thread: keeps invalidating the cache while two batch
+  // predictions (each internally parallel on the shared pool) run.
+  std::thread antagonist([&stop] {
+    while (!stop.load()) {
+      model_->ClearCache();
+      std::this_thread::yield();
+    }
+  });
+  std::thread batch_a([&queries] {
+    for (int r = 0; r < 3; ++r) {
+      const auto out = model_->PredictBatch(queries);
+      ASSERT_EQ(out.size(), queries.size());
+      for (const double v : out) ASSERT_TRUE(std::isfinite(v));
+    }
+  });
+  std::thread batch_b([&queries] {
+    for (int r = 0; r < 3; ++r) {
+      const auto out = model_->PredictBatch(queries);
+      ASSERT_EQ(out.size(), queries.size());
+      for (const double v : out) ASSERT_TRUE(std::isfinite(v));
+    }
+  });
+  batch_a.join();
+  batch_b.join();
+  stop.store(true);
+  antagonist.join();
+}
+
+TEST_F(ModelStress, ConcurrentTopNAndSelection) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (matrix::UserId u = static_cast<matrix::UserId>(t); u < 48;
+           u += 4) {
+        const auto selected = model_->SelectTopKUsers(u);
+        ASSERT_LE(selected.size(), model_->config().top_k_users);
+        const auto recs = model_->RecommendTopN(u, 5);
+        ASSERT_LE(recs.size(), 5u);
+        for (const auto& r : recs) ASSERT_TRUE(std::isfinite(r.score));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace cfsf

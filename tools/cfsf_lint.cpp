@@ -1,0 +1,458 @@
+// cfsf_lint — repo-specific C++ linter for the CFSF tree.
+//
+// Enforces project rules that clang-tidy/compilers do not know about:
+//
+//   no-std-rand          std::rand/srand are banned everywhere; randomness
+//                        must go through cfsf::util::Rng so experiments
+//                        stay bit-reproducible.
+//   unseeded-mt19937     std::mt19937 default-constructed (fixed,
+//                        implementation-defined sequence masquerading as
+//                        randomness) — and the type is discouraged at all
+//                        in favour of cfsf::util::Rng.
+//   float-accumulator    `float` variables named like accumulators (sum,
+//                        acc, dot, total, …).  Similarity/metric sums must
+//                        accumulate in double; float storage of *results*
+//                        (e.g. Neighbor::similarity) is fine.
+//   missing-pragma-once  every .hpp must contain #pragma once.
+//   naked-new            `new`/`delete` outside smart pointers/containers.
+//                        (`= delete` declarations are not flagged.)
+//   iostream-in-library  std::cout/std::cerr/printf in src/ library code —
+//                        libraries must log through cfsf::util (CFSF_LOG);
+//                        tools, benches, examples and tests may print.
+//
+// Suppression, in order of preference:
+//   1. inline, same line:           // cfsf-lint: allow(rule-id)
+//   2. allowlist file entries:      rule-id  path-substring
+// Run with --self-test to verify every rule fires on a seeded violation
+// and stays quiet on the matching clean snippet (the ctest `lint` label
+// runs both modes).
+//
+// Usage: cfsf_lint [--allowlist FILE] [--self-test] [--list-rules] DIR...
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string path;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct AllowEntry {
+  std::string rule;  // "*" matches every rule
+  std::string path_substring;
+};
+
+// ---------------------------------------------------------------------------
+// Comment / string-literal stripping.
+//
+// Violations must not fire inside comments or literals, so the scanner
+// blanks them out (preserving newlines and offsets) before rule regexes
+// run.  Handles //, /* */ across lines, "..." and '...' with escapes, and
+// R"delim(...)delim" raw strings.  Inline `cfsf-lint: allow` markers are
+// read from the *original* text, since they live in comments.
+// ---------------------------------------------------------------------------
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out(text);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          std::size_t open = text.find('(', i + 2);
+          if (open == std::string::npos) break;
+          raw_delim = ")" + text.substr(i + 2, open - i - 2) + "\"";
+          for (std::size_t k = i; k <= open; ++k) out[k] = ' ';
+          i = open;
+          state = State::kRaw;
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) out[i + k] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+bool IsLibrarySource(const std::string& path) {
+  return path.find("src/") != std::string::npos;
+}
+
+bool IsHeader(const std::string& path) {
+  return path.size() > 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rules.  Each line-rule sees one comment/string-stripped line; file-rules
+// see the whole file.
+// ---------------------------------------------------------------------------
+struct LineRule {
+  std::string id;
+  std::string message;
+  std::regex pattern;
+  bool library_only = false;  // restrict to src/
+};
+
+const std::vector<LineRule>& LineRules() {
+  static const std::vector<LineRule> rules = {
+      {"no-std-rand",
+       "std::rand/srand are banned; use cfsf::util::Rng (seeded, "
+       "reproducible)",
+       std::regex(R"(\bstd\s*::\s*rand\b|\bsrand\s*\()"), false},
+      {"unseeded-mt19937",
+       "std::mt19937 without an explicit seed (and prefer cfsf::util::Rng "
+       "over <random> engines)",
+       std::regex(
+           R"(\bstd\s*::\s*mt19937(_64)?\s*(\{\s*\}|\(\s*\)|\s+\w+\s*(;|,|\))))"),
+       false},
+      {"float-accumulator",
+       "accumulate in double, not float: similarity/metric sums lose "
+       "precision (store results as float if needed)",
+       std::regex(
+           R"(\bfloat\s+\w*(sum|acc|total|dot|norm|rmse|mae|err)\w*\s*(=|;|\{|,))",
+           std::regex::icase),
+       false},
+      {"naked-new",
+       "naked new/delete; use std::make_unique/std::vector (or add an "
+       "allowlist entry for an intentional leak)",
+       std::regex(R"(\bnew\b|\bdelete\b)"), false},
+      {"iostream-in-library",
+       "library code must not print directly; use CFSF_LOG_* "
+       "(util/logging.hpp)",
+       std::regex(R"(\bstd\s*::\s*(cout|cerr|clog)\b|\b(printf|fprintf|puts)\s*\()"),
+       true},
+  };
+  return rules;
+}
+
+// `= delete;` / `= delete ;` function deletions and `delete` as part of
+// `=delete` must not count as naked-delete.  The regex above is permissive,
+// so re-examine the match context here.
+bool IsDeletedFunction(const std::string& line, std::size_t keyword_pos) {
+  std::size_t k = keyword_pos;
+  while (k > 0 && std::isspace(static_cast<unsigned char>(line[k - 1]))) --k;
+  return k > 0 && line[k - 1] == '=';
+}
+
+bool LineTriggersRule(const LineRule& rule, const std::string& stripped_line) {
+  if (!std::regex_search(stripped_line, rule.pattern)) return false;
+  if (rule.id != "naked-new") return true;
+  // Check every new/delete keyword on the line; the line triggers only if
+  // at least one is a genuine allocation/deallocation.
+  static const std::regex keyword(R"(\bnew\b|\bdelete\b)");
+  for (auto it = std::sregex_iterator(stripped_line.begin(),
+                                      stripped_line.end(), keyword);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t pos = static_cast<std::size_t>(it->position());
+    if (it->str() == "new") return true;  // `= new` is still a naked new
+    if (!IsDeletedFunction(stripped_line, pos)) return true;
+  }
+  return false;
+}
+
+bool InlineAllowed(const std::string& original_line, const std::string& rule) {
+  const std::size_t marker = original_line.find("cfsf-lint:");
+  if (marker == std::string::npos) return false;
+  const std::string tail = original_line.substr(marker);
+  return tail.find("allow(" + rule + ")") != std::string::npos ||
+         tail.find("allow(*)") != std::string::npos;
+}
+
+void LintFile(const std::string& display_path, const std::string& content,
+              std::vector<Violation>& out) {
+  const bool header = IsHeader(display_path);
+  if (header && content.find("#pragma once") == std::string::npos) {
+    out.push_back({display_path, 1, "missing-pragma-once",
+                   "header is missing #pragma once"});
+  }
+
+  const std::string stripped = StripCommentsAndStrings(content);
+  const std::vector<std::string> original_lines = SplitLines(content);
+  const std::vector<std::string> stripped_lines = SplitLines(stripped);
+  const bool library = IsLibrarySource(display_path);
+
+  for (std::size_t n = 0; n < stripped_lines.size(); ++n) {
+    for (const auto& rule : LineRules()) {
+      if (rule.library_only && !library) continue;
+      if (!LineTriggersRule(rule, stripped_lines[n])) continue;
+      if (InlineAllowed(original_lines[n], rule.id)) continue;
+      out.push_back({display_path, n + 1, rule.id, rule.message});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist.
+// ---------------------------------------------------------------------------
+std::vector<AllowEntry> LoadAllowlist(const std::string& path) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cfsf_lint: cannot open allowlist " << path << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    AllowEntry entry;
+    if (!(fields >> entry.rule)) continue;  // blank/comment-only line
+    if (!(fields >> entry.path_substring)) {
+      std::cerr << "cfsf_lint: allowlist " << path << ":" << line_no
+                << ": expected `<rule> <path-substring>`\n";
+      std::exit(2);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+bool Allowlisted(const Violation& v, const std::vector<AllowEntry>& allow) {
+  return std::any_of(allow.begin(), allow.end(), [&v](const AllowEntry& e) {
+    return (e.rule == "*" || e.rule == v.rule) &&
+           v.path.find(e.path_substring) != std::string::npos;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: every rule must fire on its seeded violation and stay quiet
+// on the clean twin; inline suppression must work.
+// ---------------------------------------------------------------------------
+struct SelfTestCase {
+  std::string name;
+  std::string path;  // governs path-scoped rules
+  std::string code;
+  std::string expect_rule;  // empty = expect no violations
+};
+
+int RunSelfTest() {
+  const std::vector<SelfTestCase> cases = {
+      {"std-rand fires", "src/x.cpp", "int r = std::rand();\n", "no-std-rand"},
+      {"srand fires", "src/x.cpp", "srand(42);\n", "no-std-rand"},
+      {"util::Rng clean", "src/x.cpp", "cfsf::util::Rng rng(7);\n", ""},
+      {"rand in comment clean", "src/x.cpp", "// std::rand() is banned\n", ""},
+      {"rand in string clean", "src/x.cpp",
+       "const char* s = \"std::rand()\";\n", ""},
+      {"unseeded mt19937 declaration fires", "src/x.cpp",
+       "std::mt19937 gen;\n", "unseeded-mt19937"},
+      {"default-constructed mt19937 temporary fires", "src/x.cpp",
+       "auto v = f(std::mt19937());\n", "unseeded-mt19937"},
+      {"seeded mt19937 clean", "src/x.cpp", "std::mt19937 gen(seed);\n", ""},
+      {"float accumulator fires", "src/x.cpp",
+       "float sum = 0.0F;\n", "float-accumulator"},
+      {"float dot accumulator fires", "src/x.cpp",
+       "float dot_product = 0;\n", "float-accumulator"},
+      {"double accumulator clean", "src/x.cpp", "double sum = 0.0;\n", ""},
+      {"float result storage clean", "src/x.cpp",
+       "float similarity = 0.0F;\n", ""},
+      {"missing pragma once fires", "src/x.hpp",
+       "struct S {};\n", "missing-pragma-once"},
+      {"pragma once clean", "src/x.hpp", "#pragma once\nstruct S {};\n", ""},
+      {"naked new fires", "src/x.cpp", "auto* p = new int(3);\n", "naked-new"},
+      {"naked delete fires", "src/x.cpp", "delete p;\n", "naked-new"},
+      {"deleted copy ctor clean", "src/x.cpp",
+       "S(const S&) = delete;\n", ""},
+      {"make_unique clean", "src/x.cpp",
+       "auto p = std::make_unique<int>(3);\n", ""},
+      {"cout in library fires", "src/x.cpp",
+       "std::cout << \"hi\";\n", "iostream-in-library"},
+      {"fprintf in library fires", "src/x.cpp",
+       "fprintf(stderr, \"x\");\n", "iostream-in-library"},
+      {"cout in example clean", "examples/x.cpp",
+       "std::cout << \"hi\";\n", ""},
+      {"inline allow suppresses", "src/x.cpp",
+       "auto* p = new int(3);  // cfsf-lint: allow(naked-new)\n", ""},
+  };
+
+  int failures = 0;
+  for (const auto& test : cases) {
+    std::vector<Violation> violations;
+    LintFile(test.path, test.code, violations);
+    bool ok = false;
+    if (test.expect_rule.empty()) {
+      ok = violations.empty();
+    } else {
+      ok = std::any_of(violations.begin(), violations.end(),
+                       [&test](const Violation& v) {
+                         return v.rule == test.expect_rule;
+                       });
+    }
+    if (!ok) {
+      ++failures;
+      std::cout << "FAIL: " << test.name << " (expected "
+                << (test.expect_rule.empty() ? "no violation"
+                                             : test.expect_rule)
+                << ", got " << violations.size() << " violation(s)";
+      for (const auto& v : violations) std::cout << " [" << v.rule << "]";
+      std::cout << ")\n";
+    }
+  }
+  std::cout << "cfsf_lint self-test: " << (cases.size() - failures) << "/"
+            << cases.size() << " cases passed\n";
+  return failures == 0 ? 0 : 1;
+}
+
+bool HasLintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string allowlist_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") return RunSelfTest();
+    if (arg == "--list-rules") {
+      std::cout << "missing-pragma-once\n";
+      for (const auto& rule : LineRules()) std::cout << rule.id << "\n";
+      return 0;
+    }
+    if (arg == "--allowlist") {
+      if (i + 1 >= argc) {
+        std::cerr << "cfsf_lint: --allowlist requires a file argument\n";
+        return 2;
+      }
+      allowlist_path = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "cfsf_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: cfsf_lint [--allowlist FILE] [--self-test] "
+                 "[--list-rules] DIR...\n";
+    return 2;
+  }
+
+  std::vector<AllowEntry> allow;
+  if (!allowlist_path.empty()) allow = LoadAllowlist(allowlist_path);
+
+  std::vector<Violation> violations;
+  std::size_t files_scanned = 0;
+  for (const auto& root : roots) {
+    if (!fs::exists(root)) {
+      std::cerr << "cfsf_lint: no such path: " << root << "\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file() || !HasLintableExtension(entry.path())) {
+        continue;
+      }
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const std::string display = entry.path().generic_string();
+      std::vector<Violation> file_violations;
+      LintFile(display, buffer.str(), file_violations);
+      ++files_scanned;
+      for (auto& v : file_violations) {
+        if (!Allowlisted(v, allow)) violations.push_back(std::move(v));
+      }
+    }
+  }
+
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return a.path != b.path ? a.path < b.path : a.line < b.line;
+            });
+  for (const auto& v : violations) {
+    std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  std::cout << "cfsf_lint: " << files_scanned << " files scanned, "
+            << violations.size() << " violation(s)\n";
+  return violations.empty() ? 0 : 1;
+}

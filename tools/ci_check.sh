@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# ci_check.sh — the single correctness gate a CI workflow invokes.
+#
+#   1. asan preset  (address+undefined sanitizers) : build + ctest -L "unit|stress"
+#   2. tsan preset  (thread sanitizer)             : build + ctest -L "unit|stress"
+#   3. cfsf_lint                                   : self-test + full-tree scan
+#
+# Any sanitizer report fails the corresponding test (UBSan is built
+# non-recoverable, TSan runs with halt_on_error=1), so a zero exit here
+# means: no data races, no UB, no leaks, no lint violations.
+#
+# Usage: tools/ci_check.sh [--jobs N] [--skip-tsan] [--skip-asan]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+RUN_ASAN=1
+RUN_TSAN=1
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs) JOBS="$2"; shift 2 ;;
+    --skip-tsan) RUN_TSAN=0; shift ;;
+    --skip-asan) RUN_ASAN=0; shift ;;
+    *) echo "usage: $0 [--jobs N] [--skip-tsan] [--skip-asan]" >&2; exit 2 ;;
+  esac
+done
+
+# The same sanitizer runtime options tests/CMakeLists.txt injects through
+# CFSF_SANITIZER_TEST_ENV, exported for anything run outside ctest.
+export TSAN_OPTIONS="suppressions=${ROOT}/cmake/suppressions/tsan.supp halt_on_error=1 second_deadlock_stack=1"
+export UBSAN_OPTIONS="suppressions=${ROOT}/cmake/suppressions/ubsan.supp print_stacktrace=1"
+export ASAN_OPTIONS="strict_string_checks=1"
+
+run_tier() {
+  local preset="$1"
+  echo "=== [${preset}] configure + build ==="
+  cmake --preset "${preset}" -S "${ROOT}"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  echo "=== [${preset}] ctest -L 'unit|stress' ==="
+  ctest --preset "${preset}" -j "${JOBS}"
+}
+
+if [[ "${RUN_ASAN}" -eq 1 ]]; then run_tier asan; fi
+if [[ "${RUN_TSAN}" -eq 1 ]]; then run_tier tsan; fi
+
+echo "=== cfsf_lint ==="
+# Either sanitizer build dir carries the linter; fall back to building one.
+LINT_BIN=""
+for d in "${ROOT}/build/asan" "${ROOT}/build/tsan" "${ROOT}/build/release" "${ROOT}/build"; do
+  if [[ -x "${d}/tools/cfsf_lint" ]]; then LINT_BIN="${d}/tools/cfsf_lint"; break; fi
+done
+if [[ -z "${LINT_BIN}" ]]; then
+  cmake --preset release -S "${ROOT}"
+  cmake --build --preset release -j "${JOBS}" --target cfsf_lint
+  LINT_BIN="${ROOT}/build/release/tools/cfsf_lint"
+fi
+"${LINT_BIN}" --self-test
+"${LINT_BIN}" --allowlist "${ROOT}/tools/cfsf_lint_allow.txt" \
+  "${ROOT}/src" "${ROOT}/bench" "${ROOT}/examples" "${ROOT}/tests"
+
+echo "ci_check: all tiers passed"
