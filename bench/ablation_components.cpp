@@ -21,7 +21,7 @@
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  auto ctx = bench::MakeContext(args);
+  auto ctx = bench::MakeContext(args, "ablation_components");
   args.RejectUnknown();
 
   std::vector<data::EvalSplit> splits;
@@ -100,7 +100,7 @@ int main(int argc, char** argv) try {
   }
 
   std::printf("CFSF component/design ablations on ML_300\n\n");
-  bench::EmitTable(ctx, table);
+  bench::EmitReport(ctx, table);
 
   // SCBPCC candidate-scan variants: the default full scan (accuracy upper
   // bound, the paper's Fig. 5 cost profile) vs Xue et al.'s cluster

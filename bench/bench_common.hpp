@@ -5,31 +5,60 @@
 //                          synthetic substitute
 //   --seed=<n>             synthetic dataset seed (default: paper catalogue)
 //   --csv=<path>           additionally write the table as CSV
+//   --json=<path>          machine-readable report path (default
+//                          BENCH_<name>.json; --json=none disables)
+//   --smoke                cut the workload down to a CI-sized smoke run
+//                          (fewer sweep points, smallest training set)
 //   --log=<level>          debug/info/warn/error (default warn: keep the
 //                          timed sections quiet)
+//
+// Besides the aligned table and optional CSV, every bench writes a JSON
+// report (see EmitReport) carrying the table plus a snapshot of the
+// process-wide metrics registry — offline per-stage timings, online
+// latency percentiles, cache hit rates.  docs/OBSERVABILITY.md documents
+// the schema.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/cfsf.hpp"
 #include "data/catalogue.hpp"
+#include "eval/evaluate.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/args.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/string_utils.hpp"
 #include "util/table.hpp"
 
 namespace cfsf::bench {
 
 struct BenchContext {
+  std::string name;            // bench identifier ("fig2_sweep_m", ...)
+  std::string csv_path;        // empty = no CSV
+  std::string json_path;       // empty = no JSON report
+  bool smoke = false;          // CI-sized workload
   std::unique_ptr<data::Catalogue> catalogue;
-  std::string csv_path;
 };
 
-inline BenchContext MakeContext(util::ArgParser& args) {
+/// Parses the common flags.  `name` names the bench in the JSON report
+/// and picks the default report path BENCH_<name>.json.
+inline BenchContext MakeContext(util::ArgParser& args,
+                                const std::string& name) {
   BenchContext ctx;
+  ctx.name = name;
   const std::string data_path = args.GetString("data", "");
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 20090101));
   ctx.csv_path = args.GetString("csv", "");
+  ctx.json_path = args.GetString("json", "BENCH_" + name + ".json");
+  if (ctx.json_path == "none") ctx.json_path.clear();
+  ctx.smoke = args.GetBool("smoke", false);
   util::SetLogLevel(util::ParseLogLevel(args.GetString("log", "warn")));
   ctx.catalogue = data_path.empty()
                       ? std::make_unique<data::Catalogue>(seed)
@@ -37,12 +66,89 @@ inline BenchContext MakeContext(util::ArgParser& args) {
   return ctx;
 }
 
-inline void EmitTable(const BenchContext& ctx, const util::Table& table) {
+/// Serialises `table` plus a snapshot of the global metrics registry:
+///   {"bench": name, "schema_version": 1, "smoke": b,
+///    "table": {"columns": [...], "rows": [[...], ...]},
+///    "metrics": {"counters": ..., "gauges": ..., "histograms": ...}}
+inline std::string ReportJson(const BenchContext& ctx,
+                              const util::Table& table) {
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("bench");
+  writer.String(ctx.name);
+  writer.Key("schema_version");
+  writer.Int(1);
+  writer.Key("smoke");
+  writer.Bool(ctx.smoke);
+  writer.Key("table");
+  writer.BeginObject();
+  writer.Key("columns");
+  writer.BeginArray();
+  for (const auto& column : table.header()) writer.String(column);
+  writer.EndArray();
+  writer.Key("rows");
+  writer.BeginArray();
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    writer.BeginArray();
+    for (const auto& cell : table.row(i)) writer.String(cell);
+    writer.EndArray();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  writer.Key("metrics");
+  obs::MetricsRegistry::Global().AppendJson(writer);
+  writer.EndObject();
+  return writer.str();
+}
+
+/// Prints the aligned table and writes the optional CSV and JSON report.
+inline void EmitReport(const BenchContext& ctx, const util::Table& table) {
   std::printf("%s", table.ToAligned().c_str());
   if (!ctx.csv_path.empty()) {
     table.WriteCsv(ctx.csv_path);
     std::printf("(csv written to %s)\n", ctx.csv_path.c_str());
   }
+  if (!ctx.json_path.empty()) {
+    std::ofstream out(ctx.json_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw util::IoError("cannot write JSON report to " + ctx.json_path);
+    }
+    out << ReportJson(ctx, table) << '\n';
+    std::printf("(json report written to %s)\n", ctx.json_path.c_str());
+  }
+}
+
+/// Shared sweep driver for the Figure 2/3/4/6/7/8 binaries: evaluate CFSF
+/// over ML_300 at Given5/10/20 for a list of (label, config) points and
+/// tabulate the MAE series, exactly the curves the paper plots.  Under
+/// --smoke only the first and last points run, on the smallest training
+/// set — enough to exercise the full pipeline without the full cost.
+inline util::Table SweepCfsf(
+    const BenchContext& ctx, const std::string& param_name,
+    std::vector<std::pair<std::string, core::CfsfConfig>> points,
+    std::size_t train_users = 300) {
+  if (ctx.smoke) {
+    if (points.size() > 2) {
+      points = {points.front(), points.back()};
+    }
+    train_users = data::Catalogue::TrainSizes().front();
+  }
+  util::Table table({param_name, "MAE Given5", "MAE Given10", "MAE Given20"});
+  // One split per GivenN, shared across all sweep points.
+  std::vector<data::EvalSplit> splits;
+  for (const std::size_t given : data::Catalogue::GivenValues()) {
+    splits.push_back(ctx.catalogue->Split(train_users, given));
+  }
+  for (const auto& [label, config] : points) {
+    std::vector<std::string> row{label};
+    for (const auto& split : splits) {
+      core::CfsfModel model(config);
+      const auto result = eval::Evaluate(model, split);
+      row.push_back(util::FormatFixed(result.mae, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
 }
 
 }  // namespace cfsf::bench

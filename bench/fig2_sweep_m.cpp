@@ -5,12 +5,12 @@
 #include <cstdio>
 #include <exception>
 
-#include "bench/sweep_common.hpp"
+#include "bench/bench_common.hpp"
 
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  auto ctx = bench::MakeContext(args);
+  auto ctx = bench::MakeContext(args, "fig2_sweep_m");
   args.RejectUnknown();
 
   std::vector<std::pair<std::string, core::CfsfConfig>> points;
@@ -20,7 +20,7 @@ int main(int argc, char** argv) try {
     points.emplace_back(std::to_string(m), config);
   }
   std::printf("Fig. 2 — MAE vs M (top similar items), ML_300\n\n");
-  bench::EmitTable(ctx, bench::SweepCfsf(ctx, "M", points));
+  bench::EmitReport(ctx, bench::SweepCfsf(ctx, "M", points));
   std::printf("\nshape check: MAE falls as M grows and flattens past "
               "M ~ 60 (paper: high MAE below 50, low beyond 60).\n");
   return 0;

@@ -5,12 +5,12 @@
 #include <cstdio>
 #include <exception>
 
-#include "bench/sweep_common.hpp"
+#include "bench/bench_common.hpp"
 
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  auto ctx = bench::MakeContext(args);
+  auto ctx = bench::MakeContext(args, "fig3_sweep_k");
   args.RejectUnknown();
 
   std::vector<std::pair<std::string, core::CfsfConfig>> points;
@@ -20,7 +20,7 @@ int main(int argc, char** argv) try {
     points.emplace_back(std::to_string(k), config);
   }
   std::printf("Fig. 3 — MAE vs K (top like-minded users), ML_300\n\n");
-  bench::EmitTable(ctx, bench::SweepCfsf(ctx, "K", points));
+  bench::EmitReport(ctx, bench::SweepCfsf(ctx, "K", points));
   std::printf("\nshape check: U-curve — steep improvement up to K ~ 30, a "
               "flat minimum, then degradation at large K (paper's minimum "
               "sits at 20-40; on the synthetic substitute it sits slightly "

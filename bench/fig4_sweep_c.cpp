@@ -5,12 +5,12 @@
 #include <cstdio>
 #include <exception>
 
-#include "bench/sweep_common.hpp"
+#include "bench/bench_common.hpp"
 
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  auto ctx = bench::MakeContext(args);
+  auto ctx = bench::MakeContext(args, "fig4_sweep_c");
   args.RejectUnknown();
 
   std::vector<std::pair<std::string, core::CfsfConfig>> points;
@@ -20,7 +20,7 @@ int main(int argc, char** argv) try {
     points.emplace_back(std::to_string(c), config);
   }
   std::printf("Fig. 4 — MAE vs C (user clusters), ML_300\n\n");
-  bench::EmitTable(ctx, bench::SweepCfsf(ctx, "C", points));
+  bench::EmitReport(ctx, bench::SweepCfsf(ctx, "C", points));
   std::printf("\nshape check: a broad flat valley in the middle with "
               "degradation toward both extremes.\n");
   return 0;

@@ -18,7 +18,7 @@
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  auto ctx = bench::MakeContext(args);
+  auto ctx = bench::MakeContext(args, "fig5_response_time");
   // Repeat the prediction pass to steady the clock on small testsets.
   const auto repeats = static_cast<std::size_t>(args.GetInt("repeats", 3));
   args.RejectUnknown();
@@ -67,7 +67,7 @@ int main(int argc, char** argv) try {
     row.insert(row.end(), scbpcc_cells.begin(), scbpcc_cells.end());
     table.AddRow(std::move(row));
   }
-  bench::EmitTable(ctx, table);
+  bench::EmitReport(ctx, table);
   std::printf("\nshape check: each column grows ~linearly with the testset "
               "percentage; CFSF columns sit below the SCBPCC column of the "
               "same training size, and the gap widens with training size "

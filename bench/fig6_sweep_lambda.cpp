@@ -6,12 +6,12 @@
 #include <cstdio>
 #include <exception>
 
-#include "bench/sweep_common.hpp"
+#include "bench/bench_common.hpp"
 
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  auto ctx = bench::MakeContext(args);
+  auto ctx = bench::MakeContext(args, "fig6_sweep_lambda");
   args.RejectUnknown();
 
   std::vector<std::pair<std::string, core::CfsfConfig>> points;
@@ -23,7 +23,7 @@ int main(int argc, char** argv) try {
   }
   std::printf("Fig. 6 — MAE vs lambda (SUR' weight within (1-delta)), "
               "ML_300\n\n");
-  bench::EmitTable(ctx, bench::SweepCfsf(ctx, "lambda", points));
+  bench::EmitReport(ctx, bench::SweepCfsf(ctx, "lambda", points));
   std::printf("\nshape check: decreasing then increasing, minimum at high "
               "lambda (~0.8-0.9): SUR' dominates but pure SUR' (lambda=1) "
               "is worse than the blend.\n");

@@ -6,12 +6,12 @@
 #include <cstdio>
 #include <exception>
 
-#include "bench/sweep_common.hpp"
+#include "bench/bench_common.hpp"
 
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  auto ctx = bench::MakeContext(args);
+  auto ctx = bench::MakeContext(args, "fig7_sweep_delta");
   args.RejectUnknown();
 
   std::vector<std::pair<std::string, core::CfsfConfig>> points;
@@ -22,7 +22,7 @@ int main(int argc, char** argv) try {
     points.emplace_back(util::FormatFixed(delta, 1), config);
   }
   std::printf("Fig. 7 — MAE vs delta (SUIR' weight), ML_300\n\n");
-  bench::EmitTable(ctx, bench::SweepCfsf(ctx, "delta", points));
+  bench::EmitReport(ctx, bench::SweepCfsf(ctx, "delta", points));
   std::printf("\nshape check: monotone rise from delta=0.1 to 1.0; minimum "
               "at 0.1 (the paper sweeps the same 0.1..1.0 range).\n");
   return 0;

@@ -7,12 +7,12 @@
 #include <cstdio>
 #include <exception>
 
-#include "bench/sweep_common.hpp"
+#include "bench/bench_common.hpp"
 
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  auto ctx = bench::MakeContext(args);
+  auto ctx = bench::MakeContext(args, "fig8_sweep_w");
   args.RejectUnknown();
 
   std::vector<std::pair<std::string, core::CfsfConfig>> points;
@@ -24,7 +24,7 @@ int main(int argc, char** argv) try {
   }
   std::printf("Fig. 8 — MAE vs w (smoothed-rating weight of Eq. 11), "
               "ML_300\n\n");
-  bench::EmitTable(ctx, bench::SweepCfsf(ctx, "w", points));
+  bench::EmitReport(ctx, bench::SweepCfsf(ctx, "w", points));
   std::printf("\nshape check: best accuracy at small-to-moderate w, clear "
               "degradation for w > 0.5 (smoothed ratings trusted too "
               "much); the left edge is flatter on the synthetic substitute "

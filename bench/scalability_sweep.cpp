@@ -16,15 +16,16 @@
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  util::SetLogLevel(util::ParseLogLevel(args.GetString("log", "warn")));
-  const std::string csv = args.GetString("csv", "");
+  auto ctx = bench::MakeContext(args, "scalability_sweep");
   args.RejectUnknown();
 
   std::printf("Scalability sweep — cost vs matrix size (Given10)\n\n");
   util::Table table({"Users", "Items", "Ratings", "CFSF fit (ms)",
                      "CFSF predict (us/query)", "SCBPCC predict (us/query)"});
 
-  for (const std::size_t scale : {200ul, 300ul, 400ul, 500ul, 700ul, 1000ul}) {
+  std::vector<std::size_t> scales = {200, 300, 400, 500, 700, 1000};
+  if (ctx.smoke) scales = {200, 400};
+  for (const std::size_t scale : scales) {
     data::SyntheticConfig gconfig;
     gconfig.num_users = scale;
     gconfig.num_items = scale * 2;
@@ -53,10 +54,7 @@ int main(int argc, char** argv) try {
                   util::FormatFixed(cfsf_result.predict_seconds * 1e6 / n, 1),
                   util::FormatFixed(scbpcc_result.predict_seconds * 1e6 / n, 1)});
   }
-  std::printf("%s", table.ToAligned().c_str());
-  if (!csv.empty()) {
-    std::printf("(csv written to %s)\n", csv.c_str());
-  }
+  bench::EmitReport(ctx, table);
   std::printf("\nshape check: CFSF per-query cost stays roughly flat as the "
               "matrix grows (it is O(MK)); SCBPCC per-query cost grows with "
               "the user count.\n");

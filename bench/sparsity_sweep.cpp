@@ -20,7 +20,7 @@
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  util::SetLogLevel(util::ParseLogLevel(args.GetString("log", "warn")));
+  auto ctx = bench::MakeContext(args, "sparsity_sweep");
   args.RejectUnknown();
 
   std::printf("Sparsity sweep — MAE vs rating density (ML_300-style split, "
@@ -34,8 +34,10 @@ int main(int argc, char** argv) try {
     double log_mean;
     std::size_t min_ratings;
   };
-  for (const Level level : {Level{3.2, 15}, Level{3.6, 20}, Level{4.0, 30},
-                            Level{4.46, 40}, Level{4.9, 60}}) {
+  std::vector<Level> levels = {Level{3.2, 15}, Level{3.6, 20}, Level{4.0, 30},
+                               Level{4.46, 40}, Level{4.9, 60}};
+  if (ctx.smoke) levels = {levels.front(), levels.back()};
+  for (const Level level : levels) {
     data::SyntheticConfig gconfig;
     gconfig.log_mean = level.log_mean;
     gconfig.min_ratings_per_user = level.min_ratings;
@@ -63,7 +65,7 @@ int main(int argc, char** argv) try {
                   util::FormatFixed(mae_sir, 4),
                   util::FormatFixed(std::min(mae_sur, mae_sir) - mae_cfsf, 4)});
   }
-  std::printf("%s", table.ToAligned().c_str());
+  bench::EmitReport(ctx, table);
   std::printf("\nshape check: every method degrades as density falls; CFSF "
               "stays lowest at every density, with the biggest margin over "
               "the plain baselines in the realistic 5-15%% band (at extreme "

@@ -12,7 +12,7 @@
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  auto ctx = bench::MakeContext(args);
+  auto ctx = bench::MakeContext(args, "table1_dataset_stats");
   args.RejectUnknown();
 
   const auto stats = matrix::ComputeStats(ctx.catalogue->base());
@@ -27,7 +27,7 @@ int main(int argc, char** argv) try {
                 util::FormatFixed(stats.density * 100.0, 2) + "%"});
   table.AddRow({"No. of rating values", "5",
                 std::to_string(stats.num_distinct_rating_values)});
-  bench::EmitTable(ctx, table);
+  bench::EmitReport(ctx, table);
 
   std::printf("\nFull statistics:\n%s", matrix::FormatStats(stats).c_str());
   return 0;

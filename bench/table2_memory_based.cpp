@@ -34,7 +34,7 @@ const std::map<std::string, std::map<std::string, std::array<double, 3>>>
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  auto ctx = bench::MakeContext(args);
+  auto ctx = bench::MakeContext(args, "table2_memory_based");
   args.RejectUnknown();
 
   std::printf("Table II — MAE for SIR, SUR and CFSF\n\n");
@@ -69,7 +69,7 @@ int main(int argc, char** argv) try {
                         util::FormatFixed(paper[2], 3)});
     }
   }
-  bench::EmitTable(ctx, table);
+  bench::EmitReport(ctx, table);
   std::printf("\nshape check: CFSF must be lowest in every column of every "
               "training set.\n");
   return 0;

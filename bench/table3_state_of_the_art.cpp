@@ -44,7 +44,7 @@ const std::map<std::string, std::map<std::string, std::array<double, 3>>>
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  auto ctx = bench::MakeContext(args);
+  auto ctx = bench::MakeContext(args, "table3_state_of_the_art");
   args.RejectUnknown();
 
   const std::vector<std::pair<std::string,
@@ -88,7 +88,7 @@ int main(int argc, char** argv) try {
                         util::FormatFixed(paper[2], 3)});
     }
   }
-  bench::EmitTable(ctx, table);
+  bench::EmitReport(ctx, table);
   std::printf("\nshape check: CFSF lowest everywhere; MAE falls with larger "
               "training sets and with more given ratings.\n");
   return 0;

@@ -22,7 +22,7 @@
 int main(int argc, char** argv) try {
   using namespace cfsf;
   util::ArgParser args(argc, argv);
-  auto ctx = bench::MakeContext(args);
+  auto ctx = bench::MakeContext(args, "topn_quality");
   const auto n = static_cast<std::size_t>(args.GetInt("n", 10));
   const auto max_users = static_cast<std::size_t>(args.GetInt("users", 60));
   args.RejectUnknown();
@@ -55,7 +55,7 @@ int main(int argc, char** argv) try {
                   util::FormatFixed(r.ndcg_at_n, 3),
                   util::FormatFixed(r.hit_rate_at_n, 3)});
   }
-  bench::EmitTable(ctx, table);
+  bench::EmitReport(ctx, table);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/timer.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
@@ -12,7 +13,8 @@ namespace cfsf::cluster {
 ClusterModel ClusterModel::Build(const matrix::RatingMatrix& matrix,
                                  std::span<const std::uint32_t> assignments,
                                  std::size_t num_clusters, bool parallel,
-                                 double deviation_shrinkage) {
+                                 double deviation_shrinkage,
+                                 obs::PhaseProfiler* profiler) {
   CFSF_REQUIRE(deviation_shrinkage >= 0.0,
                "deviation_shrinkage must be non-negative");
   const std::size_t p = matrix.num_users();
@@ -34,6 +36,8 @@ ClusterModel ClusterModel::Build(const matrix::RatingMatrix& matrix,
   for (std::size_t u = 0; u < p; ++u) {
     model.user_means_[u] = matrix.UserMean(static_cast<matrix::UserId>(u));
   }
+
+  if (profiler != nullptr) profiler->Begin("smoothing");
 
   // --- Eq. 8: per-cluster per-item mean-centred deviations -------------
   model.deviations_ = matrix::DenseMatrix(num_clusters, q);
@@ -99,6 +103,7 @@ ClusterModel ClusterModel::Build(const matrix::RatingMatrix& matrix,
       options);
 
   // --- Eq. 9: iCluster lists -------------------------------------------
+  if (profiler != nullptr) profiler->Begin("icluster");
   model.icluster_.assign(p, {});
   par::ParallelFor(
       0, p,
@@ -123,6 +128,7 @@ ClusterModel ClusterModel::Build(const matrix::RatingMatrix& matrix,
       },
       options);
 
+  if (profiler != nullptr) profiler->End();
   return model;
 }
 

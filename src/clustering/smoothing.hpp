@@ -18,6 +18,10 @@
 #include "matrix/dense_matrix.hpp"
 #include "matrix/rating_matrix.hpp"
 
+namespace cfsf::obs {
+class PhaseProfiler;
+}  // namespace cfsf::obs
+
 namespace cfsf::cluster {
 
 /// One entry of a user's iCluster list.
@@ -42,10 +46,14 @@ class ClusterModel {
   /// At the paper's scale a cluster of ~17 users covers an item with only
   /// 1–2 raters, so the raw Eq. 8 estimate is extremely noisy; m=0
   /// reproduces Eq. 8 verbatim (the ablation bench compares both).
+  /// `profiler`, when given, records the build's two stages as phases
+  /// "smoothing" (Eq. 7–8) and "icluster" (Eq. 9) — CfsfModel::Fit feeds
+  /// them into the cfsf.fit.* gauges (docs/OBSERVABILITY.md).
   static ClusterModel Build(const matrix::RatingMatrix& matrix,
                             std::span<const std::uint32_t> assignments,
                             std::size_t num_clusters, bool parallel = true,
-                            double deviation_shrinkage = 0.0);
+                            double deviation_shrinkage = 0.0,
+                            obs::PhaseProfiler* profiler = nullptr);
 
   std::size_t num_clusters() const { return num_clusters_; }
   std::size_t num_users() const { return smoothed_.rows(); }

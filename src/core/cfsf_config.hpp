@@ -80,19 +80,34 @@ struct CfsfConfig {
   bool time_decay = false;
   double time_half_life_days = 180.0;
 
-  /// Throws ConfigError on out-of-range values.
+  /// Throws ConfigError naming the offending field on out-of-range or
+  /// inconsistent values.  CfsfModel runs this exactly once, at
+  /// construction — callers never invoke it themselves.
   void Validate() const {
-    CFSF_REQUIRE(num_clusters > 0, "C must be positive");
-    CFSF_REQUIRE(top_m_items > 0, "M must be positive");
-    CFSF_REQUIRE(top_k_users > 0, "K must be positive");
-    CFSF_REQUIRE(lambda >= 0.0 && lambda <= 1.0, "lambda must be in [0,1]");
-    CFSF_REQUIRE(delta >= 0.0 && delta <= 1.0, "delta must be in [0,1]");
-    CFSF_REQUIRE(epsilon >= 0.0 && epsilon <= 1.0, "epsilon must be in [0,1]");
-    CFSF_REQUIRE(candidate_pool_factor >= 1, "pool factor must be >= 1");
+    CFSF_REQUIRE(num_clusters > 0,
+                 "CfsfConfig.num_clusters: C must be positive");
+    CFSF_REQUIRE(top_m_items > 0,
+                 "CfsfConfig.top_m_items: M must be positive");
+    CFSF_REQUIRE(top_k_users > 0,
+                 "CfsfConfig.top_k_users: K must be positive");
+    CFSF_REQUIRE(lambda >= 0.0 && lambda <= 1.0,
+                 "CfsfConfig.lambda: must be in [0,1] (got " +
+                     std::to_string(lambda) + ")");
+    CFSF_REQUIRE(delta >= 0.0 && delta <= 1.0,
+                 "CfsfConfig.delta: must be in [0,1] (got " +
+                     std::to_string(delta) + ")");
+    CFSF_REQUIRE(epsilon >= 0.0 && epsilon <= 1.0,
+                 "CfsfConfig.epsilon: must be in [0,1] (got " +
+                     std::to_string(epsilon) + ")");
+    CFSF_REQUIRE(candidate_pool_factor >= 1,
+                 "CfsfConfig.candidate_pool_factor: must be >= 1");
     CFSF_REQUIRE(use_sir || use_sur || use_suir,
-                 "at least one fusion component must be enabled");
+                 "CfsfConfig.use_sir/use_sur/use_suir: at least one fusion "
+                 "component must be enabled");
     CFSF_REQUIRE(!time_decay || time_half_life_days > 0.0,
-                 "time half-life must be positive");
+                 "CfsfConfig.time_half_life_days: must be positive when "
+                 "time_decay is on (got " +
+                     std::to_string(time_half_life_days) + ")");
   }
 };
 

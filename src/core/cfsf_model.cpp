@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "obs/timer.hpp"
 #include "parallel/parallel_for.hpp"
 #include "similarity/kernels.hpp"
 #include "util/check.hpp"
@@ -11,6 +12,49 @@
 #include "util/logging.hpp"
 
 namespace cfsf::core {
+namespace {
+
+// The model's instrumentation points, resolved against the global
+// registry once (thread-safe static init) and shared by every CfsfModel
+// instance.  Names are documented in docs/OBSERVABILITY.md.
+struct CfsfMetrics {
+  obs::Counter& fit_count;
+  obs::Gauge& fit_cum_seconds;
+  obs::Counter& predict_count;
+  obs::Histogram& predict_latency_us;
+  obs::Counter& batch_count;
+  obs::Histogram& batch_size;
+  obs::Counter& sir_used;
+  obs::Counter& sur_used;
+  obs::Counter& suir_used;
+  obs::Counter& cache_hit;
+  obs::Counter& cache_miss;
+  obs::Histogram& topk_pool_size;
+
+  static const CfsfMetrics& Get() {
+    static const CfsfMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return CfsfMetrics{
+          registry.GetCounter("cfsf.fit.count"),
+          registry.GetGauge("cfsf.fit.cum_seconds"),
+          registry.GetCounter("cfsf.predict.count"),
+          registry.GetHistogram("cfsf.predict.latency_us",
+                                obs::LatencyBucketsUs()),
+          registry.GetCounter("cfsf.predict.batch.count"),
+          registry.GetHistogram("cfsf.predict.batch.size", obs::SizeBuckets()),
+          registry.GetCounter("cfsf.predict.component.sir"),
+          registry.GetCounter("cfsf.predict.component.sur"),
+          registry.GetCounter("cfsf.predict.component.suir"),
+          registry.GetCounter("cfsf.topk.cache_hit"),
+          registry.GetCounter("cfsf.topk.cache_miss"),
+          registry.GetHistogram("cfsf.topk.pool_size", obs::SizeBuckets()),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 CfsfModel::CfsfModel(const CfsfConfig& config) : config_(config) {
   config_.Validate();
@@ -21,24 +65,31 @@ void CfsfModel::Fit(const matrix::RatingMatrix& train) {
                "cannot fit CFSF on an empty matrix");
   train_ = train;
 
+  obs::PhaseProfiler profiler;
+
   // Step 1: GIS (Eq. 5), thresholded and similarity-descending.
+  profiler.Begin("gis");
   sim::GisConfig gis_config = config_.gis;
   gis_config.parallel = config_.parallel;
   gis_ = sim::GlobalItemSimilarity::Build(train_, gis_config);
 
   // Step 2: K-means user clusters (Eq. 6).
+  profiler.Begin("kmeans");
   cluster::KMeansConfig kconfig;
   kconfig.num_clusters = std::min(config_.num_clusters, train_.num_users());
   kconfig.max_iterations = config_.kmeans_max_iterations;
   kconfig.seed = config_.seed;
   kconfig.parallel = config_.parallel;
   const auto kmeans = cluster::RunKMeans(train_, kconfig);
+  profiler.End();
 
-  // Step 3: smoothing (Eq. 7–8) and iCluster lists (Eq. 9).
+  // Step 3: smoothing (Eq. 7–8) and iCluster lists (Eq. 9) — recorded as
+  // the "smoothing" and "icluster" phases by Build itself.
   clusters_ = cluster::ClusterModel::Build(train_, kmeans.assignments,
                                            kconfig.num_clusters,
                                            config_.parallel,
-                                           config_.deviation_shrinkage);
+                                           config_.deviation_shrinkage,
+                                           &profiler);
 
   cluster_members_.assign(kconfig.num_clusters, {});
   for (std::size_t u = 0; u < train_.num_users(); ++u) {
@@ -65,6 +116,12 @@ void CfsfModel::Fit(const matrix::RatingMatrix& train) {
     clusters_.DebugValidate(train_);
   }
   fitted_ = true;
+
+  const auto& metrics = CfsfMetrics::Get();
+  metrics.fit_count.Increment();
+  profiler.CommitTo(obs::MetricsRegistry::Global(), "cfsf.fit");
+  metrics.fit_cum_seconds.Add(profiler.TotalSeconds());
+
   CFSF_LOG_INFO << "CFSF fitted: " << train_.num_users() << " users, "
                 << train_.num_items() << " items, GIS entries "
                 << gis_.TotalNeighbors() << ", C=" << kconfig.num_clusters;
@@ -135,6 +192,7 @@ std::vector<SelectedUser> CfsfModel::ComputeTopKUsers(matrix::UserId user) const
     }
     if (pooled >= want_pool) break;
   }
+  CfsfMetrics::Get().topk_pool_size.Record(static_cast<double>(pooled));
 
   const std::size_t k = std::min(config_.top_k_users, scored.size());
   std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
@@ -150,14 +208,20 @@ std::vector<SelectedUser> CfsfModel::ComputeTopKUsers(matrix::UserId user) const
 
 std::shared_ptr<const std::vector<SelectedUser>> CfsfModel::TopKUsersCached(
     matrix::UserId user) const {
+  const auto& metrics = CfsfMetrics::Get();
   if (!config_.use_cache) {
+    metrics.cache_miss.Increment();
     return std::make_shared<const std::vector<SelectedUser>>(
         ComputeTopKUsers(user));
   }
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
-    if (cache_[user]) return cache_[user];
+    if (cache_[user]) {
+      metrics.cache_hit.Increment();
+      return cache_[user];
+    }
   }
+  metrics.cache_miss.Increment();
   auto computed = std::make_shared<const std::vector<SelectedUser>>(
       ComputeTopKUsers(user));
   std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -292,6 +356,11 @@ FusionBreakdown CfsfModel::PredictWithNeighbors(
   }
   result.fused = weight_sum > 0.0 ? value / weight_sum : user_mean;
   CFSF_CHECK_FINITE(result.fused, "Eq. 14 fused prediction");
+
+  const auto& metrics = CfsfMetrics::Get();
+  if (result.sir) metrics.sir_used.Increment();
+  if (result.sur) metrics.sur_used.Increment();
+  if (result.suir) metrics.suir_used.Increment();
   return result;
 }
 
@@ -304,6 +373,9 @@ FusionBreakdown CfsfModel::PredictDetailed(matrix::UserId user,
   CFSF_REQUIRE(fitted_, "Predict before Fit");
   CFSF_REQUIRE(user < train_.num_users(), "user id out of range");
   CFSF_REQUIRE(item < train_.num_items(), "item id out of range");
+  const auto& metrics = CfsfMetrics::Get();
+  metrics.predict_count.Increment();
+  obs::ScopedTimer timer(metrics.predict_latency_us);
   const auto neighbors = TopKUsersCached(user);
   return PredictWithNeighbors(user, item, *neighbors);
 }
@@ -311,6 +383,10 @@ FusionBreakdown CfsfModel::PredictDetailed(matrix::UserId user,
 std::vector<double> CfsfModel::PredictBatch(
     std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries) const {
   CFSF_REQUIRE(fitted_, "PredictBatch before Fit");
+  const auto& metrics = CfsfMetrics::Get();
+  metrics.batch_count.Increment();
+  metrics.batch_size.Record(static_cast<double>(queries.size()));
+  metrics.predict_count.Increment(queries.size());
   std::vector<double> out(queries.size(), 0.0);
 
   // Group query indices by user so each worker selects a user's top-K
@@ -330,6 +406,7 @@ std::vector<double> CfsfModel::PredictBatch(
       [&](std::size_t g) {
         const auto neighbors = TopKUsersCached(groups[g].first);
         for (const std::size_t idx : groups[g].second) {
+          obs::ScopedTimer timer(metrics.predict_latency_us);
           out[idx] = PredictWithNeighbors(queries[idx].first,
                                           queries[idx].second, *neighbors)
                          .fused;

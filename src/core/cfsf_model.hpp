@@ -74,8 +74,11 @@ class CfsfModel : public eval::Predictor {
 
   /// Batch prediction, parallelised over distinct users (each worker
   /// selects that user's top-K once and reuses it for all their items).
+  /// Overrides the Predictor default (a serial Predict loop) — this is
+  /// the path eval::Evaluate and the bench sweeps drive.
   std::vector<double> PredictBatch(
-      std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries) const;
+      std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries)
+      const override;
 
   /// Top-N recommendation: highest predicted unrated items for `user`.
   struct Recommendation {

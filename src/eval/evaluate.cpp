@@ -1,6 +1,8 @@
 #include "eval/evaluate.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "util/stopwatch.hpp"
 
@@ -20,17 +22,25 @@ EvalResult Evaluate(Predictor& predictor, const data::EvalSplit& split,
 EvalResult EvaluateFitted(const Predictor& predictor,
                           std::span<const data::TestRating> test,
                           const EvalOptions& options) {
+  // Every approach is scored through the batch API — the one choke point
+  // where instrumentation and any method-specific amortisation apply.
+  std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries;
+  queries.reserve(test.size());
+  for (const auto& t : test) queries.emplace_back(t.user, t.item);
+
   EvalResult result;
-  ErrorAccumulator acc;
   util::Stopwatch predict_watch;
-  for (const auto& t : test) {
-    double predicted = predictor.Predict(t.user, t.item);
-    if (options.clamp_low <= options.clamp_high) {
-      predicted = std::clamp(predicted, options.clamp_low, options.clamp_high);
-    }
-    acc.Add(predicted, t.actual);
-  }
+  const std::vector<double> predicted = predictor.PredictBatch(queries);
   result.predict_seconds = predict_watch.ElapsedSeconds();
+
+  ErrorAccumulator acc;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    double value = predicted[i];
+    if (options.clamp_low <= options.clamp_high) {
+      value = std::clamp(value, options.clamp_low, options.clamp_high);
+    }
+    acc.Add(value, test[i].actual);
+  }
   result.mae = acc.Mae();
   result.rmse = acc.Rmse();
   result.num_predictions = acc.count();

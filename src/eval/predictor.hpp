@@ -2,7 +2,10 @@
 // CFSF itself and all the baselines of Tables II/III.
 #pragma once
 
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "matrix/rating_matrix.hpp"
 
@@ -22,6 +25,26 @@ class Predictor {
   /// Predicts the rating of `item` by `user`.  Must be total: approaches
   /// fall back to user/item/global means when no evidence is available.
   virtual double Predict(matrix::UserId user, matrix::ItemId item) const = 0;
+
+  /// Predicts a whole batch of (user, item) queries.  The default simply
+  /// loops Predict; approaches with a cheaper amortised path (CFSF's
+  /// per-user top-K reuse and parallel workers) override it.  Results are
+  /// positionally aligned with `queries` and must equal what per-query
+  /// Predict would return.
+  ///
+  /// This is the one choke point the evaluation driver and the bench
+  /// sweeps push every method through, so all approaches are driven —
+  /// and instrumented — identically.
+  virtual std::vector<double> PredictBatch(
+      std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries)
+      const {
+    std::vector<double> out;
+    out.reserve(queries.size());
+    for (const auto& [user, item] : queries) {
+      out.push_back(Predict(user, item));
+    }
+    return out;
+  }
 };
 
 }  // namespace cfsf::eval

@@ -1,0 +1,60 @@
+// Minimal JSON emission and validation for the observability layer.
+//
+// JsonWriter is a push-style serialiser (no intermediate DOM): the
+// metrics snapshot and the bench BENCH_*.json artefacts are written in
+// one forward pass.  Keys within an object are emitted in call order, so
+// writing from sorted containers yields byte-identical output across
+// runs — the snapshot-determinism property obs_test locks down.
+//
+// ValidateJson is the matching strict RFC-8259 recogniser (objects,
+// arrays, strings with escapes, numbers, true/false/null).  It exists so
+// the test suite and `cfsf_cli json-check` can verify emitted artefacts
+// without a third-party JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfsf::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object key; must be followed by exactly one value (or container).
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& Uint(std::uint64_t value);
+  /// Shortest round-trip representation; NaN/Inf are emitted as null
+  /// (JSON has no encoding for them).
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The document so far.  Valid JSON once every container is closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true = object, false = array.
+  std::vector<bool> stack_;
+  // Parallel to stack_: whether the container already holds an element.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+/// Strict validation of a complete JSON document.  Returns true when
+/// `text` is one well-formed JSON value with nothing but whitespace
+/// around it; on failure fills `error` (if non-null) with a message
+/// carrying the byte offset.
+bool ValidateJson(const std::string& text, std::string* error = nullptr);
+
+}  // namespace cfsf::obs

@@ -1,0 +1,198 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace cfsf::obs {
+
+// ---------------------------------------------------------------- histogram -
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()), buckets_(bounds.size() + 1) {
+  CFSF_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  CFSF_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                   std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                       bounds_.end(),
+               "histogram bounds must be strictly increasing");
+}
+
+std::size_t Histogram::BucketIndex(double value) const noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Percentile(double p) const {
+  const auto counts = BucketCounts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // 1-based rank of the order statistic the percentile names.
+  const double rank = clamped / 100.0 * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank && counts[i] > 0) {
+      if (i == counts.size() - 1) return bounds_.back();  // overflow bucket
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double within =
+          (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+  }
+  return bounds_.back();
+}
+
+void Histogram::Reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::span<const double> LatencyBucketsUs() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+      b.push_back(decade);
+      b.push_back(2.0 * decade);
+      b.push_back(5.0 * decade);
+    }
+    return b;  // 1us .. 5s
+  }();
+  return bounds;
+}
+
+std::span<const double> SizeBuckets() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double decade = 1.0; decade <= 1e5; decade *= 10.0) {
+      b.push_back(decade);
+      b.push_back(2.0 * decade);
+      b.push_back(5.0 * decade);
+    }
+    return b;  // 1 .. 500000
+  }();
+  return bounds;
+}
+
+// ----------------------------------------------------------------- registry -
+namespace {
+
+template <typename Map>
+void RequireUnregisteredElsewhere(const std::string& name, const Map& map,
+                                  const char* kind) {
+  CFSF_REQUIRE(map.find(name) == map.end(),
+               "metric '" + name + "' is already registered as a " + kind);
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  RequireUnregisteredElsewhere(name, gauges_, "gauge");
+  RequireUnregisteredElsewhere(name, histograms_, "histogram");
+  return *counters_.emplace(name, std::make_unique<Counter>()).first->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  RequireUnregisteredElsewhere(name, counters_, "counter");
+  RequireUnregisteredElsewhere(name, histograms_, "histogram");
+  return *gauges_.emplace(name, std::make_unique<Gauge>()).first->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  RequireUnregisteredElsewhere(name, counters_, "counter");
+  RequireUnregisteredElsewhere(name, gauges_, "gauge");
+  return *histograms_.emplace(name, std::make_unique<Histogram>(bounds))
+              .first->second;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+void MetricsRegistry::AppendJson(JsonWriter& writer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer.BeginObject();
+
+  writer.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    writer.Key(name).Uint(counter->Value());
+  }
+  writer.EndObject();
+
+  writer.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    writer.Key(name).Double(gauge->Value());
+  }
+  writer.EndObject();
+
+  writer.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    writer.Key(name).BeginObject();
+    writer.Key("count").Uint(histogram->Count());
+    writer.Key("sum").Double(histogram->Sum());
+    writer.Key("mean").Double(histogram->Mean());
+    writer.Key("p50").Double(histogram->Percentile(50.0));
+    writer.Key("p95").Double(histogram->Percentile(95.0));
+    writer.Key("p99").Double(histogram->Percentile(99.0));
+    writer.Key("buckets").BeginArray();
+    const auto counts = histogram->BucketCounts();
+    const auto bounds = histogram->bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      writer.BeginObject();
+      if (i < bounds.size()) {
+        writer.Key("le").Double(bounds[i]);
+      } else {
+        writer.Key("le").String("inf");
+      }
+      writer.Key("count").Uint(counts[i]);
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndObject();
+
+  writer.EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter writer;
+  AppendJson(writer);
+  return writer.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose (same pattern as par::ThreadPool::Shared): worker
+  // threads and atexit handlers may still record into the registry while
+  // statics are being torn down.
+  static MetricsRegistry* registry = new MetricsRegistry();  // cfsf-lint: allow(naked-new)
+  return *registry;
+}
+
+}  // namespace cfsf::obs

@@ -1,0 +1,235 @@
+// MetricsRegistry — named counters, gauges and fixed-bucket histograms
+// for the serving and offline paths.
+//
+// Design:
+//  * Counters are sharded: each thread increments one of kCounterShards
+//    cacheline-padded atomics selected by a thread-local hash, so
+//    hot-path increments from the batch-prediction workers never
+//    serialise on a single cacheline.  Reads sum the shards (weakly
+//    consistent, exact once writers quiesce — which is when snapshots
+//    are taken).
+//  * Gauges hold one double (set/add), histograms have fixed bucket
+//    upper bounds chosen at registration plus an overflow bucket.
+//    All updates are relaxed atomics: metrics never synchronise
+//    application state, they only count.
+//  * Everything is gated on CFSF_ENABLE_METRICS (a CMake option, on by
+//    default): with it off, Increment/Set/Add/Record compile to empty
+//    inline bodies and ScopedTimer never reads the clock, so the
+//    instrumented hot paths cost nothing.
+//  * Metric objects are owned by a MetricsRegistry and live as long as
+//    it does; instrumented code resolves names once (cold path) and
+//    keeps references.  MetricsRegistry::Global() is the process-wide
+//    instance everything in src/ records into; benches snapshot it into
+//    BENCH_*.json and `cfsf_cli --stats` dumps it.
+//
+// Naming convention: dot-separated lowercase paths, unit suffix where a
+// unit applies ("cfsf.predict.latency_us", "cfsf.fit.gis_seconds",
+// "pool.tasks_executed").  docs/OBSERVABILITY.md lists every metric the
+// stack emits.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cfsf::obs {
+
+class JsonWriter;
+
+/// True when the build compiles metric updates in (CFSF_ENABLE_METRICS).
+constexpr bool MetricsEnabled() {
+#if defined(CFSF_ENABLE_METRICS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+/// Stable per-thread shard index in [0, shards).
+inline std::size_t ThreadShard(std::size_t shards) {
+  static thread_local const std::size_t hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return hash % shards;
+}
+}  // namespace detail
+
+/// Monotonically increasing event count, sharded across cachelines.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void Increment(std::uint64_t n = 1) noexcept {
+#if defined(CFSF_ENABLE_METRICS)
+    shards_[detail::ThreadShard(kShards)].value.fetch_add(
+        n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  std::uint64_t Value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() noexcept {
+    for (auto& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-written double value with atomic add (queue depths, stage
+/// timings, configuration echoes).
+class Gauge {
+ public:
+  void Set(double value) noexcept {
+#if defined(CFSF_ENABLE_METRICS)
+    value_.store(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  void Add(double delta) noexcept {
+#if defined(CFSF_ENABLE_METRICS)
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+#else
+    (void)delta;
+#endif
+  }
+
+  double Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void Reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts values <= bounds[i]; one
+/// implicit overflow bucket catches the rest.  Bounds are strictly
+/// increasing and fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void Record(double value) noexcept {
+#if defined(CFSF_ENABLE_METRICS)
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double current = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(current, current + value,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
+#else
+    (void)value;
+#endif
+  }
+
+  std::uint64_t Count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const noexcept {
+    const std::uint64_t n = Count();
+    return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+  }
+
+  std::span<const double> bounds() const { return bounds_; }
+
+  /// Bucket counts including the final overflow bucket
+  /// (size = bounds().size() + 1).
+  std::vector<std::uint64_t> BucketCounts() const;
+
+  /// Percentile estimate for p in [0, 100], linearly interpolated inside
+  /// the containing bucket (the first bucket's lower edge is 0, the
+  /// overflow bucket reports the largest bound).  0 when empty.
+  double Percentile(double p) const;
+
+  void Reset() noexcept;
+
+ private:
+  std::size_t BucketIndex(double value) const noexcept;
+
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Bucket bounds for latency histograms, in microseconds: a 1-2-5
+/// decade ladder from 1 us to 5 s.
+std::span<const double> LatencyBucketsUs();
+
+/// Bucket bounds for size-ish histograms (candidate pools, batch sizes):
+/// a 1-2-5 ladder from 1 to 100 000.
+std::span<const double> SizeBuckets();
+
+/// Named metric store.  Registration is idempotent: the first call for a
+/// name creates the metric, later calls return the same object.  A name
+/// registered as one kind cannot be re-registered as another (throws
+/// util::ConfigError).  References stay valid for the registry's
+/// lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` is consulted only on first registration.
+  Histogram& GetHistogram(const std::string& name,
+                          std::span<const double> bounds);
+
+  /// Zeroes every registered metric (registrations survive).  For bench
+  /// repeats and tests; not meant to race live writers.
+  void Reset();
+
+  /// Serialises the current values:
+  ///   {"counters": {name: n, ...},
+  ///    "gauges":   {name: v, ...},
+  ///    "histograms": {name: {"count": n, "sum": s, "mean": m,
+  ///                          "p50": v, "p95": v, "p99": v,
+  ///                          "buckets": [{"le": b, "count": n}, ...,
+  ///                                      {"le": "inf", "count": n}]}}}
+  /// Keys are sorted, so equal states serialise identically.
+  void AppendJson(JsonWriter& writer) const;
+  std::string ToJson() const;
+
+  /// Process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cfsf::obs

@@ -1,0 +1,98 @@
+// ScopedTimer and PhaseProfiler — structured timing on top of the
+// metrics registry.
+//
+// ScopedTimer records the enclosing scope's wall time into a latency
+// histogram (microseconds) on destruction; with metrics compiled out it
+// never reads the clock.  PhaseProfiler names the sequential stages of a
+// long-running computation (the CFSF offline phase) and can commit the
+// per-stage seconds to registry gauges under a prefix.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cfsf::obs {
+
+/// Records elapsed microseconds into `histogram` when the scope exits.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram) : histogram_(histogram) {
+    if constexpr (MetricsEnabled()) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if constexpr (MetricsEnabled()) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      histogram_.Record(
+          std::chrono::duration<double, std::micro>(elapsed).count());
+    }
+  }
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Sequential named phases with wall-clock durations.  Begin(name) ends
+/// the previous phase; End() closes the last one.  Not thread-safe: one
+/// profiler instruments one thread's pipeline (the offline Fit path).
+class PhaseProfiler {
+ public:
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+  };
+
+  /// Ends the running phase (if any) and starts a new one.
+  void Begin(std::string name) {
+    End();
+    running_ = true;
+    current_ = std::move(name);
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Ends the running phase; no-op when none is running.
+  void End() {
+    if (!running_) return;
+    running_ = false;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    phases_.push_back(
+        Phase{std::move(current_),
+              std::chrono::duration<double>(elapsed).count()});
+  }
+
+  const std::vector<Phase>& phases() const { return phases_; }
+
+  double TotalSeconds() const {
+    double total = 0.0;
+    for (const auto& phase : phases_) total += phase.seconds;
+    return total;
+  }
+
+  /// Writes one gauge per phase — "<prefix>.<name>_seconds" — plus
+  /// "<prefix>.total_seconds".  Gauges hold the *last* committed run;
+  /// callers that want cumulative totals add them to their own counters.
+  void CommitTo(MetricsRegistry& registry, const std::string& prefix) const {
+    for (const auto& phase : phases_) {
+      registry.GetGauge(prefix + "." + phase.name + "_seconds")
+          .Set(phase.seconds);
+    }
+    registry.GetGauge(prefix + ".total_seconds").Set(TotalSeconds());
+  }
+
+ private:
+  std::vector<Phase> phases_;
+  std::string current_;
+  std::chrono::steady_clock::time_point start_{};
+  bool running_ = false;
+};
+
+}  // namespace cfsf::obs

@@ -4,10 +4,34 @@
 #include <cstdint>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/string_utils.hpp"
 
 namespace cfsf::par {
+
+namespace {
+
+// Pool-level observability: how many tasks ran and how deep the queue
+// currently is ("pool.queue_depth" is a gauge because depth goes both
+// ways).  Resolved once; the references stay valid for process lifetime.
+struct PoolMetrics {
+  obs::Counter& tasks_executed;
+  obs::Gauge& queue_depth;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return PoolMetrics{
+          registry.GetCounter("pool.tasks_executed"),
+          registry.GetGauge("pool.queue_depth"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::size_t ParseNumThreads(const char* value) {
   if (value == nullptr) return 0;
@@ -49,6 +73,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
+  PoolMetrics::Get().queue_depth.Add(1.0);
   work_available_.notify_one();
 }
 
@@ -73,8 +98,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    PoolMetrics::Get().queue_depth.Add(-1.0);
     try {
       task();
+      PoolMetrics::Get().tasks_executed.Increment();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();

@@ -49,23 +49,76 @@ TEST(Config, PaperDefaults) {
   config.Validate();
 }
 
-TEST(Config, ValidationRejectsBadValues) {
+// Constructing the model with a bad config must throw ConfigError whose
+// message names the offending field — the constructor is the one place
+// validation runs, so this exercises every rejection branch through it.
+void ExpectRejected(const CfsfConfig& config, const std::string& field) {
+  try {
+    CfsfModel model(config);
+    FAIL() << "expected ConfigError naming " << field;
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << "message does not name " << field << ": " << e.what();
+  }
+}
+
+TEST(Config, EachRejectionBranchNamesTheField) {
   CfsfConfig config;
-  config.lambda = 1.5;
-  EXPECT_THROW(config.Validate(), util::ConfigError);
-  config = CfsfConfig{};
-  config.delta = -0.1;
-  EXPECT_THROW(config.Validate(), util::ConfigError);
+  config.num_clusters = 0;
+  ExpectRejected(config, "num_clusters");
+
   config = CfsfConfig{};
   config.top_m_items = 0;
-  EXPECT_THROW(config.Validate(), util::ConfigError);
+  ExpectRejected(config, "top_m_items");
+
+  config = CfsfConfig{};
+  config.top_k_users = 0;
+  ExpectRejected(config, "top_k_users");
+
+  config = CfsfConfig{};
+  config.lambda = 1.5;
+  ExpectRejected(config, "lambda");
+  config.lambda = -0.1;
+  ExpectRejected(config, "lambda");
+
+  config = CfsfConfig{};
+  config.delta = -0.1;
+  ExpectRejected(config, "delta");
+  config.delta = 1.1;
+  ExpectRejected(config, "delta");
+
+  config = CfsfConfig{};
+  config.epsilon = 7.0;
+  ExpectRejected(config, "epsilon");
+  config.epsilon = -1.0;
+  ExpectRejected(config, "epsilon");
+
+  config = CfsfConfig{};
+  config.candidate_pool_factor = 0;
+  ExpectRejected(config, "candidate_pool_factor");
+
   config = CfsfConfig{};
   config.use_sir = config.use_sur = config.use_suir = false;
-  EXPECT_THROW(config.Validate(), util::ConfigError);
+  ExpectRejected(config, "use_sir");
+
   config = CfsfConfig{};
   config.time_decay = true;
   config.time_half_life_days = 0.0;
-  EXPECT_THROW(config.Validate(), util::ConfigError);
+  ExpectRejected(config, "time_half_life_days");
+  config.time_half_life_days = -5.0;
+  ExpectRejected(config, "time_half_life_days");
+}
+
+TEST(Config, OutOfRangeValueIsEchoedInTheMessage) {
+  CfsfConfig config;
+  config.lambda = 1.5;
+  try {
+    CfsfModel model(config);
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("1.5"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Config, ConstructorValidates) {

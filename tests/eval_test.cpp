@@ -2,8 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <initializer_list>
+#include <utility>
+#include <vector>
 
 #include "baselines/means.hpp"
+#include "core/cfsf_model.hpp"
 #include "data/protocol.hpp"
 #include "data/synthetic.hpp"
 #include "eval/evaluate.hpp"
@@ -143,6 +147,38 @@ TEST(EvaluateFitted, EmptyTestSetIsZero) {
   const auto result = EvaluateFitted(predictor, empty);
   EXPECT_EQ(result.num_predictions, 0u);
   EXPECT_DOUBLE_EQ(result.mae, 0.0);
+}
+
+// The batch API contract: PredictBatch must be positionally aligned with
+// its queries and agree with per-query Predict — for the default
+// implementation (baselines) and for CFSF's parallel override alike.
+// Since eval::Evaluate scores everything through PredictBatch, this is
+// what keeps every reported MAE identical to the per-query path.
+TEST(PredictBatch, AgreesWithPerQueryPredict) {
+  const auto split = SmallSplit();
+
+  core::CfsfConfig config;
+  config.num_clusters = 6;
+  config.top_m_items = 20;
+  config.top_k_users = 8;
+  core::CfsfModel cfsf(config);
+  baselines::GlobalMeanPredictor mean;
+
+  for (Predictor* predictor :
+       std::initializer_list<Predictor*>{&cfsf, &mean}) {
+    predictor->Fit(split.train);
+    std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries;
+    for (const auto& t : split.test) queries.emplace_back(t.user, t.item);
+
+    const auto batch = predictor->PredictBatch(queries);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_DOUBLE_EQ(batch[i],
+                       predictor->Predict(queries[i].first,
+                                          queries[i].second))
+          << predictor->Name() << " query " << i;
+    }
+  }
 }
 
 }  // namespace

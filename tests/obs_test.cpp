@@ -1,0 +1,304 @@
+// Unit tests for cfsf::obs — counters, gauges, histograms, the registry,
+// the JSON writer/validator and the phase profiler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "util/error.hpp"
+
+namespace cfsf::obs {
+namespace {
+
+// ------------------------------------------------------------- Counter ----
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(Counter, SumsAcrossThreadShards) {
+  // Each thread lands in some shard; Value() must see every shard.
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// --------------------------------------------------------------- Gauge ----
+
+TEST(Gauge, SetAddReset) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_EQ(gauge.Value(), 2.5);
+  gauge.Add(1.5);
+  EXPECT_EQ(gauge.Value(), 4.0);
+  gauge.Add(-5.0);
+  EXPECT_EQ(gauge.Value(), -1.0);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0.0);
+}
+
+// ----------------------------------------------------------- Histogram ----
+
+TEST(Histogram, RejectsBadBounds) {
+  const std::vector<double> empty;
+  EXPECT_THROW(Histogram{std::span<const double>(empty)}, util::ConfigError);
+  const std::vector<double> unsorted = {1.0, 1.0, 2.0};
+  EXPECT_THROW(Histogram{std::span<const double>(unsorted)},
+               util::ConfigError);
+}
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  const std::vector<double> bounds = {1.0, 2.0, 5.0};
+  Histogram hist{std::span<const double>(bounds)};
+  hist.Record(0.5);   // <= 1  -> bucket 0
+  hist.Record(1.0);   // == bound: still bucket 0 ("le" semantics)
+  hist.Record(1.5);   // bucket 1
+  hist.Record(5.0);   // bucket 2
+  hist.Record(7.0);   // overflow
+  const auto counts = hist.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(hist.Count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 0.5 + 1.0 + 1.5 + 5.0 + 7.0);
+  EXPECT_DOUBLE_EQ(hist.Mean(), hist.Sum() / 5.0);
+}
+
+TEST(Histogram, PercentilesOnKnownData) {
+  const std::vector<double> bounds = {10.0, 20.0, 30.0, 40.0};
+  Histogram hist{std::span<const double>(bounds)};
+  // 100 values uniformly in bucket 0, 100 in bucket 1.
+  for (int i = 0; i < 100; ++i) hist.Record(5.0);
+  for (int i = 0; i < 100; ++i) hist.Record(15.0);
+  EXPECT_EQ(hist.Percentile(0.0), 0.0);
+  // p50 sits at the edge between the two buckets.
+  EXPECT_NEAR(hist.Percentile(50.0), 10.0, 1e-9);
+  // p75 is halfway through the second bucket (10, 20].
+  EXPECT_NEAR(hist.Percentile(75.0), 15.0, 1e-9);
+  EXPECT_NEAR(hist.Percentile(100.0), 20.0, 1e-9);
+}
+
+TEST(Histogram, OverflowPercentileReportsLargestBound) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  Histogram hist{std::span<const double>(bounds)};
+  for (int i = 0; i < 10; ++i) hist.Record(100.0);
+  EXPECT_EQ(hist.Percentile(99.0), 2.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  const std::vector<double> bounds = {1.0};
+  Histogram hist{std::span<const double>(bounds)};
+  EXPECT_EQ(hist.Percentile(50.0), 0.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  Histogram hist{std::span<const double>(bounds)};
+  hist.Record(0.5);
+  hist.Record(3.0);
+  hist.Reset();
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.Sum(), 0.0);
+  for (const auto count : hist.BucketCounts()) EXPECT_EQ(count, 0u);
+}
+
+TEST(BucketLadders, AreStrictlyIncreasing) {
+  for (const auto bounds : {LatencyBucketsUs(), SizeBuckets()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+// ------------------------------------------------------ MetricsRegistry ----
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x.count");
+  Counter& b = registry.GetCounter("x.count");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.GetHistogram("x.latency", LatencyBucketsUs());
+  Histogram& h2 = registry.GetHistogram("x.latency", SizeBuckets());
+  EXPECT_EQ(&h1, &h2);  // bounds consulted only on first registration
+}
+
+TEST(MetricsRegistry, KindCollisionThrows) {
+  MetricsRegistry registry;
+  registry.GetCounter("name");
+  EXPECT_THROW(registry.GetGauge("name"), util::ConfigError);
+  EXPECT_THROW(registry.GetHistogram("name", SizeBuckets()),
+               util::ConfigError);
+  registry.GetGauge("gauge_name");
+  EXPECT_THROW(registry.GetCounter("gauge_name"), util::ConfigError);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  counter.Increment(5);
+  registry.GetGauge("g").Set(3.0);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(registry.GetGauge("g").Value(), 0.0);
+  EXPECT_EQ(&registry.GetCounter("c"), &counter);
+}
+
+TEST(MetricsRegistry, SnapshotIsValidJson) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count").Increment(3);
+  registry.GetGauge("b.gauge").Set(1.25);
+  auto& hist = registry.GetHistogram("c.latency", LatencyBucketsUs());
+  hist.Record(4.0);
+  std::string error;
+  EXPECT_TRUE(ValidateJson(registry.ToJson(), &error)) << error;
+  EXPECT_NE(registry.ToJson().find("\"p95\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, SnapshotIsDeterministic) {
+  // Two registries in the same state serialise byte-identically,
+  // regardless of registration order (keys are sorted).
+  MetricsRegistry first;
+  first.GetCounter("z.count").Increment(2);
+  first.GetCounter("a.count").Increment(1);
+  first.GetGauge("m.gauge").Set(0.5);
+
+  MetricsRegistry second;
+  second.GetGauge("m.gauge").Set(0.5);
+  second.GetCounter("a.count").Increment(1);
+  second.GetCounter("z.count").Increment(2);
+
+  EXPECT_EQ(first.ToJson(), second.ToJson());
+}
+
+TEST(MetricsRegistry, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+// ------------------------------------------------------------ JsonWriter ----
+
+TEST(JsonWriter, WritesNestedContainers) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("list");
+  writer.BeginArray();
+  writer.Int(-1);
+  writer.Uint(2);
+  writer.Bool(true);
+  writer.Null();
+  writer.EndArray();
+  writer.Key("nested");
+  writer.BeginObject();
+  writer.Key("d");
+  writer.Double(0.5);
+  writer.EndObject();
+  writer.EndObject();
+  EXPECT_EQ(writer.str(),
+            R"({"list":[-1,2,true,null],"nested":{"d":0.5}})");
+  EXPECT_TRUE(ValidateJson(writer.str()));
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter writer;
+  writer.String("a\"b\\c\n\t\x01");
+  EXPECT_EQ(writer.str(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+  EXPECT_TRUE(ValidateJson(writer.str()));
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter writer;
+  writer.BeginArray();
+  writer.Double(std::nan(""));
+  writer.Double(INFINITY);
+  writer.EndArray();
+  EXPECT_EQ(writer.str(), "[null,null]");
+}
+
+// ----------------------------------------------------------- ValidateJson ----
+
+TEST(ValidateJson, AcceptsWellFormedDocuments) {
+  for (const std::string text :
+       {R"({})", R"([])", R"(null)", R"(true)", R"(-12.5e3)",
+        R"("escaped \" \\ é")", R"({"a":[1,2,{"b":null}],"c":false})"}) {
+    std::string error;
+    EXPECT_TRUE(ValidateJson(text, &error)) << text << ": " << error;
+  }
+}
+
+TEST(ValidateJson, RejectsMalformedDocuments) {
+  for (const std::string text :
+       {"", "{", "[1,]", "{\"a\":}", "{'a':1}", "01", "1 2", "nul",
+        "\"unterminated", "{\"a\":1,}", "[1 2]", "+1", "NaN"}) {
+    EXPECT_FALSE(ValidateJson(text)) << "accepted: " << text;
+  }
+}
+
+// --------------------------------------------------------- PhaseProfiler ----
+
+TEST(PhaseProfiler, RecordsPhasesInOrder) {
+  PhaseProfiler profiler;
+  profiler.Begin("first");
+  profiler.Begin("second");  // implicitly ends "first"
+  profiler.End();
+  profiler.End();  // no-op: nothing running
+  ASSERT_EQ(profiler.phases().size(), 2u);
+  EXPECT_EQ(profiler.phases()[0].name, "first");
+  EXPECT_EQ(profiler.phases()[1].name, "second");
+  for (const auto& phase : profiler.phases()) {
+    EXPECT_GE(phase.seconds, 0.0);
+  }
+  EXPECT_NEAR(profiler.TotalSeconds(),
+              profiler.phases()[0].seconds + profiler.phases()[1].seconds,
+              1e-12);
+}
+
+TEST(PhaseProfiler, CommitWritesGauges) {
+  PhaseProfiler profiler;
+  profiler.Begin("stage");
+  profiler.End();
+  MetricsRegistry registry;
+  profiler.CommitTo(registry, "test.fit");
+  EXPECT_GE(registry.GetGauge("test.fit.stage_seconds").Value(), 0.0);
+  EXPECT_GE(registry.GetGauge("test.fit.total_seconds").Value(), 0.0);
+}
+
+// ------------------------------------------------------------ ScopedTimer ----
+
+TEST(ScopedTimer, RecordsOnceOnScopeExit) {
+  const std::vector<double> bounds = {1e6};
+  Histogram hist{std::span<const double>(bounds)};
+  {
+    ScopedTimer timer(hist);
+  }
+  if constexpr (MetricsEnabled()) {
+    EXPECT_EQ(hist.Count(), 1u);
+    EXPECT_GE(hist.Sum(), 0.0);
+  } else {
+    EXPECT_EQ(hist.Count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cfsf::obs

@@ -19,6 +19,7 @@
 
 #include "core/cfsf_model.hpp"
 #include "data/synthetic.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
@@ -264,6 +265,73 @@ TEST_F(ModelStress, ConcurrentTopNAndSelection) {
     });
   }
   for (auto& t : threads) t.join();
+}
+
+// Hammer one shared Counter/Gauge/Histogram from many threads at once.
+// Sharded counters and relaxed-atomic histograms must come out exact
+// (every increment lands in some shard) and TSan must stay silent.
+TEST(MetricsStress, ConcurrentRecordingIsExactAndRaceFree) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.GetCounter("stress.count");
+  obs::Gauge& gauge = registry.GetGauge("stress.gauge");
+  obs::Histogram& histogram =
+      registry.GetHistogram("stress.latency_us", obs::LatencyBucketsUs());
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsEach = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &gauge, &histogram, t] {
+      for (int i = 0; i < kOpsEach; ++i) {
+        counter.Increment();
+        gauge.Add(1.0);
+        // Spread records across the whole bucket ladder.
+        histogram.Record(static_cast<double>((t * kOpsEach + i) % 2000000));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  if constexpr (obs::MetricsEnabled()) {
+    constexpr std::uint64_t kTotal =
+        static_cast<std::uint64_t>(kThreads) * kOpsEach;
+    EXPECT_EQ(counter.Value(), kTotal);
+    EXPECT_EQ(gauge.Value(), static_cast<double>(kTotal));
+    EXPECT_EQ(histogram.Count(), kTotal);
+    std::uint64_t bucket_sum = 0;
+    for (const auto c : histogram.BucketCounts()) bucket_sum += c;
+    EXPECT_EQ(bucket_sum, kTotal);
+  }
+
+  // Snapshotting after writers quiesce must be consistent and valid.
+  const std::string snapshot = registry.ToJson();
+  EXPECT_NE(snapshot.find("stress.count"), std::string::npos);
+}
+
+// Concurrent snapshotting WHILE writers are active: the snapshot is
+// weakly consistent by design, but it must not race or crash.
+TEST(MetricsStress, SnapshotDuringConcurrentWrites) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.GetCounter("live.count");
+  obs::Histogram& histogram =
+      registry.GetHistogram("live.size", obs::SizeBuckets());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&counter, &histogram, &stop] {
+      while (!stop.load()) {
+        counter.Increment();
+        histogram.Record(42.0);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(registry.ToJson().empty());
+  }
+  stop.store(true);
+  for (auto& writer : writers) writer.join();
 }
 
 }  // namespace

@@ -9,16 +9,23 @@
 //   cfsf_cli add-user  --model=model.bin --ratings=ITEM:R,ITEM:R,...
 //                      [--save=model2.bin] [--n=10]
 //   cfsf_cli evaluate  --data=u.data [--train=300 --given=10]
+//   cfsf_cli json-check --file=out.json
 //
 // Without --data, `fit`/`evaluate` fall back to the synthetic MovieLens
-// substitute (same data every bench uses).
+// substitute (same data every bench uses).  Every command accepts
+// --stats: after the command finishes, the process-wide metrics registry
+// (counters, gauges, latency histograms) is dumped to stdout as JSON.
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/cfsf.hpp"
 #include "core/model_io.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/args.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -53,7 +60,8 @@ core::CfsfConfig ConfigFromFlags(util::ArgParser& args) {
   config.lambda = args.GetDouble("lambda", config.lambda);
   config.delta = args.GetDouble("delta", config.delta);
   config.epsilon = args.GetDouble("w", config.epsilon);
-  config.Validate();
+  // No Validate() call here: CfsfModel's constructor validates exactly
+  // once and reports the offending field.
   return config;
 }
 
@@ -200,11 +208,49 @@ int CmdEvaluate(util::ArgParser& args) {
   return 0;
 }
 
+int CmdJsonCheck(util::ArgParser& args) {
+  const std::string path = args.GetString("file", "");
+  args.RejectUnknown();
+  if (path.empty()) {
+    std::fprintf(stderr, "json-check requires --file=PATH\n");
+    return 2;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "json-check: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::string error;
+  if (!obs::ValidateJson(text, &error)) {
+    std::fprintf(stderr, "%s: invalid JSON: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("%s: valid JSON (%zu bytes)\n", path.c_str(), text.size());
+  return 0;
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: cfsf_cli <generate|stats|fit|predict|recommend|"
-               "add-user|evaluate> [flags]\n(see the header of "
+               "add-user|evaluate|json-check> [flags]\n(see the header of "
                "tools/cfsf_cli.cpp for the full flag list)\n");
+}
+
+int Dispatch(const std::string& command, util::ArgParser& args) {
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "fit") return CmdFit(args);
+  if (command == "predict") return CmdPredict(args);
+  if (command == "recommend") return CmdRecommend(args);
+  if (command == "add-user") return CmdAddUser(args);
+  if (command == "evaluate") return CmdEvaluate(args);
+  if (command == "json-check") return CmdJsonCheck(args);
+  PrintUsage();
+  return 2;
 }
 
 }  // namespace
@@ -217,16 +263,13 @@ int main(int argc, char** argv) try {
   const std::string command = argv[1];
   util::ArgParser args(argc - 1, argv + 1);
   util::SetLogLevel(util::ParseLogLevel(args.GetString("log", "warn")));
+  const bool dump_stats = args.GetBool("stats", false);
 
-  if (command == "generate") return CmdGenerate(args);
-  if (command == "stats") return CmdStats(args);
-  if (command == "fit") return CmdFit(args);
-  if (command == "predict") return CmdPredict(args);
-  if (command == "recommend") return CmdRecommend(args);
-  if (command == "add-user") return CmdAddUser(args);
-  if (command == "evaluate") return CmdEvaluate(args);
-  PrintUsage();
-  return 2;
+  const int code = Dispatch(command, args);
+  if (dump_stats) {
+    std::printf("%s\n", obs::MetricsRegistry::Global().ToJson().c_str());
+  }
+  return code;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

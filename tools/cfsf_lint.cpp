@@ -19,6 +19,12 @@
 //   iostream-in-library  std::cout/std::cerr/printf in src/ library code —
 //                        libraries must log through cfsf::util (CFSF_LOG);
 //                        tools, benches, examples and tests may print.
+//   stopwatch-in-library raw util::Stopwatch in src/ library code outside
+//                        obs/ — library timing must go through the metrics
+//                        layer (obs::ScopedTimer / obs::PhaseProfiler) so
+//                        it lands in the registry; measurements that *are*
+//                        the product (eval's reported seconds) are
+//                        allowlisted.
 //
 // Suppression, in order of preference:
 //   1. inline, same line:           // cfsf-lint: allow(rule-id)
@@ -176,6 +182,9 @@ struct LineRule {
   std::string message;
   std::regex pattern;
   bool library_only = false;  // restrict to src/
+  // Paths containing any of these substrings are exempt (for rules whose
+  // target has a legitimate home, e.g. the obs/ timing layer itself).
+  std::vector<std::string> exempt_path_substrings;
 };
 
 const std::vector<LineRule>& LineRules() {
@@ -183,29 +192,34 @@ const std::vector<LineRule>& LineRules() {
       {"no-std-rand",
        "std::rand/srand are banned; use cfsf::util::Rng (seeded, "
        "reproducible)",
-       std::regex(R"(\bstd\s*::\s*rand\b|\bsrand\s*\()"), false},
+       std::regex(R"(\bstd\s*::\s*rand\b|\bsrand\s*\()"), false, {}},
       {"unseeded-mt19937",
        "std::mt19937 without an explicit seed (and prefer cfsf::util::Rng "
        "over <random> engines)",
        std::regex(
            R"(\bstd\s*::\s*mt19937(_64)?\s*(\{\s*\}|\(\s*\)|\s+\w+\s*(;|,|\))))"),
-       false},
+       false, {}},
       {"float-accumulator",
        "accumulate in double, not float: similarity/metric sums lose "
        "precision (store results as float if needed)",
        std::regex(
            R"(\bfloat\s+\w*(sum|acc|total|dot|norm|rmse|mae|err)\w*\s*(=|;|\{|,))",
            std::regex::icase),
-       false},
+       false, {}},
       {"naked-new",
        "naked new/delete; use std::make_unique/std::vector (or add an "
        "allowlist entry for an intentional leak)",
-       std::regex(R"(\bnew\b|\bdelete\b)"), false},
+       std::regex(R"(\bnew\b|\bdelete\b)"), false, {}},
       {"iostream-in-library",
        "library code must not print directly; use CFSF_LOG_* "
        "(util/logging.hpp)",
        std::regex(R"(\bstd\s*::\s*(cout|cerr|clog)\b|\b(printf|fprintf|puts)\s*\()"),
-       true},
+       true, {}},
+      {"stopwatch-in-library",
+       "raw Stopwatch in library code; time through obs::ScopedTimer/"
+       "PhaseProfiler so the measurement reaches the metrics registry",
+       std::regex(R"(\bStopwatch\b)"), true,
+       {"src/obs/", "src/util/stopwatch"}},
   };
   return rules;
 }
@@ -259,6 +273,13 @@ void LintFile(const std::string& display_path, const std::string& content,
   for (std::size_t n = 0; n < stripped_lines.size(); ++n) {
     for (const auto& rule : LineRules()) {
       if (rule.library_only && !library) continue;
+      if (std::any_of(rule.exempt_path_substrings.begin(),
+                      rule.exempt_path_substrings.end(),
+                      [&display_path](const std::string& sub) {
+                        return display_path.find(sub) != std::string::npos;
+                      })) {
+        continue;
+      }
       if (!LineTriggersRule(rule, stripped_lines[n])) continue;
       if (InlineAllowed(original_lines[n], rule.id)) continue;
       out.push_back({display_path, n + 1, rule.id, rule.message});
@@ -350,6 +371,15 @@ int RunSelfTest() {
        "std::cout << \"hi\";\n", ""},
       {"inline allow suppresses", "src/x.cpp",
        "auto* p = new int(3);  // cfsf-lint: allow(naked-new)\n", ""},
+      {"stopwatch in library fires", "src/x.cpp",
+       "util::Stopwatch watch;\n", "stopwatch-in-library"},
+      {"stopwatch in bench clean", "bench/x.cpp",
+       "util::Stopwatch watch;\n", ""},
+      {"stopwatch in obs clean", "src/obs/timer.hpp",
+       "#pragma once\nutil::Stopwatch watch;\n", ""},
+      {"stopwatch inline allow suppresses", "src/x.cpp",
+       "util::Stopwatch watch;  // cfsf-lint: allow(stopwatch-in-library)\n",
+       ""},
   };
 
   int failures = 0;

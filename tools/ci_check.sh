@@ -4,25 +4,30 @@
 #   1. asan preset  (address+undefined sanitizers) : build + ctest -L "unit|stress"
 #   2. tsan preset  (thread sanitizer)             : build + ctest -L "unit|stress"
 #   3. cfsf_lint                                   : self-test + full-tree scan
+#   4. bench smoke                                 : one CI-sized sweep must
+#      emit a BENCH_smoke.json that parses and carries latency percentiles
 #
 # Any sanitizer report fails the corresponding test (UBSan is built
 # non-recoverable, TSan runs with halt_on_error=1), so a zero exit here
-# means: no data races, no UB, no leaks, no lint violations.
+# means: no data races, no UB, no leaks, no lint violations, and a live
+# observability pipeline.
 #
-# Usage: tools/ci_check.sh [--jobs N] [--skip-tsan] [--skip-asan]
+# Usage: tools/ci_check.sh [--jobs N] [--skip-tsan] [--skip-asan] [--skip-bench]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_ASAN=1
 RUN_TSAN=1
+RUN_BENCH=1
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --jobs) JOBS="$2"; shift 2 ;;
     --skip-tsan) RUN_TSAN=0; shift ;;
     --skip-asan) RUN_ASAN=0; shift ;;
-    *) echo "usage: $0 [--jobs N] [--skip-tsan] [--skip-asan]" >&2; exit 2 ;;
+    --skip-bench) RUN_BENCH=0; shift ;;
+    *) echo "usage: $0 [--jobs N] [--skip-tsan] [--skip-asan] [--skip-bench]" >&2; exit 2 ;;
   esac
 done
 
@@ -58,5 +63,20 @@ fi
 "${LINT_BIN}" --self-test
 "${LINT_BIN}" --allowlist "${ROOT}/tools/cfsf_lint_allow.txt" \
   "${ROOT}/src" "${ROOT}/bench" "${ROOT}/examples" "${ROOT}/tests"
+
+if [[ "${RUN_BENCH}" -eq 1 ]]; then
+  echo "=== bench smoke (BENCH_smoke.json) ==="
+  cmake --preset release -S "${ROOT}"
+  cmake --build --preset release -j "${JOBS}" --target fig2_sweep_m cfsf_cli
+  SMOKE_JSON="${ROOT}/build/release/BENCH_smoke.json"
+  "${ROOT}/build/release/bench/fig2_sweep_m" --smoke --json="${SMOKE_JSON}" \
+    > /dev/null
+  "${ROOT}/build/release/tools/cfsf_cli" json-check --file="${SMOKE_JSON}"
+  # The report must carry the online latency percentiles the smoke run
+  # just produced (histogram snapshot, not just the table).
+  grep -q '"p95"' "${SMOKE_JSON}" || {
+    echo "ci_check: BENCH_smoke.json lacks latency percentiles" >&2; exit 1;
+  }
+fi
 
 echo "ci_check: all tiers passed"
