@@ -1,7 +1,9 @@
 #include "core/model_io.hpp"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #include "util/error.hpp"
 
@@ -124,34 +126,55 @@ CfsfConfig ReadConfig(std::istream& in) {
 
 void SaveModel(const CfsfModel& model, const std::string& path) {
   CFSF_REQUIRE(model.fitted(), "SaveModel requires a fitted model");
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw util::IoError("cannot open for writing: " + path);
+  // Write to a sibling temp file and rename into place, so a crash (or
+  // any failure) mid-write can never leave a torn bundle at `path`: the
+  // target either keeps its previous contents or holds the complete new
+  // ones.  rename(2) within one directory is atomic on POSIX.
+  const std::string tmp_path = path + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!out) throw util::IoError("cannot open for writing: " + tmp_path);
 
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kModelFormatVersion);
-  WriteConfig(out, model.config());
+      out.write(kMagic, sizeof(kMagic));
+      WritePod(out, kModelFormatVersion);
+      WriteConfig(out, model.config());
 
-  // Training matrix as triples.
-  const auto& train = model.train();
-  WriteU64(out, train.num_users());
-  WriteU64(out, train.num_items());
-  WriteVector(out, train.ToTriples());
+      // Training matrix as triples.
+      const auto& train = model.train();
+      WriteU64(out, train.num_users());
+      WriteU64(out, train.num_items());
+      WriteVector(out, train.ToTriples());
 
-  // GIS rows.
-  WriteU64(out, model.gis().num_items());
-  for (std::size_t i = 0; i < model.gis().num_items(); ++i) {
-    const auto row = model.gis().Neighbors(static_cast<matrix::ItemId>(i));
-    WriteVector(out, std::vector<sim::Neighbor>(row.begin(), row.end()));
+      // GIS rows.
+      WriteU64(out, model.gis().num_items());
+      for (std::size_t i = 0; i < model.gis().num_items(); ++i) {
+        const auto row = model.gis().Neighbors(static_cast<matrix::ItemId>(i));
+        WriteVector(out, std::vector<sim::Neighbor>(row.begin(), row.end()));
+      }
+
+      // Cluster assignments.
+      std::vector<std::uint32_t> assignments(train.num_users());
+      for (std::size_t u = 0; u < train.num_users(); ++u) {
+        assignments[u] =
+            model.cluster_model().ClusterOf(static_cast<matrix::UserId>(u));
+      }
+      WriteVector(out, assignments);
+
+      out.flush();
+      if (!out) throw util::IoError("write failed: " + tmp_path);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, path, ec);
+    if (ec) {
+      throw util::IoError("cannot rename " + tmp_path + " to " + path + ": " +
+                          ec.message());
+    }
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);  // best-effort cleanup
+    throw;
   }
-
-  // Cluster assignments.
-  std::vector<std::uint32_t> assignments(train.num_users());
-  for (std::size_t u = 0; u < train.num_users(); ++u) {
-    assignments[u] = model.cluster_model().ClusterOf(static_cast<matrix::UserId>(u));
-  }
-  WriteVector(out, assignments);
-
-  if (!out) throw util::IoError("write failed: " + path);
 }
 
 std::unique_ptr<CfsfModel> LoadModel(const std::string& path) {
