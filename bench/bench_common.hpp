@@ -142,9 +142,21 @@ inline util::Table SweepCfsf(
   for (const auto& [label, config] : points) {
     std::vector<std::string> row{label};
     for (const auto& split : splits) {
-      core::CfsfModel model(config);
-      const auto result = eval::Evaluate(model, split);
-      row.push_back(util::FormatFixed(result.mae, 4));
+      // One failing configuration (bad config, injected fault, …) must
+      // not abort the whole sweep: it becomes an "error" cell — still a
+      // valid JSON string in the report — and the sweep moves on.
+      try {
+        core::CfsfModel model(config);
+        const auto result = eval::Evaluate(model, split);
+        row.push_back(util::FormatFixed(result.mae, 4));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "sweep point '%s' failed: %s\n", label.c_str(),
+                     e.what());
+        obs::MetricsRegistry::Global()
+            .GetCounter("bench.config_errors")
+            .Increment();
+        row.push_back("error");
+      }
     }
     table.AddRow(std::move(row));
   }

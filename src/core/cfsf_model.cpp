@@ -6,6 +6,7 @@
 
 #include "obs/timer.hpp"
 #include "parallel/parallel_for.hpp"
+#include "robust/failpoint.hpp"
 #include "similarity/kernels.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
@@ -63,6 +64,7 @@ CfsfModel::CfsfModel(const CfsfConfig& config) : config_(config) {
 void CfsfModel::Fit(const matrix::RatingMatrix& train) {
   CFSF_REQUIRE(train.num_users() > 0 && train.num_items() > 0,
                "cannot fit CFSF on an empty matrix");
+  CFSF_FAILPOINT("cfsf.fit");
   train_ = train;
 
   obs::PhaseProfiler profiler;
@@ -252,39 +254,60 @@ double CfsfModel::TimeDecayWeight(matrix::UserId user, matrix::ItemId item) cons
   return std::exp2(-std::max(age_days, 0.0) / config_.time_half_life_days);
 }
 
+// --- SIR′: the active user's ratings on the top-M similar items
+// (Eq. 12, first line; item-mean anchored by default, see
+// CfsfConfig::center_on_item_means).  The local matrix is filled from
+// the original ratings; smoothed cells only participate (at weight w)
+// when local_matrix_smoothed is set.  Shared between the full fusion
+// path and the degraded SIR′-only serving path.
+std::optional<double> CfsfModel::SirEstimate(
+    matrix::UserId user, matrix::ItemId item,
+    std::span<const sim::Neighbor> top_items) const {
+  const auto active_mask = clusters_.OriginalMask(user);
+  const auto active_profile = clusters_.SmoothedProfile(user);
+  const bool center = config_.center_on_item_means;
+
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& n : top_items) {
+    const bool original = active_mask[n.index] != 0;
+    if (!original && !config_.local_matrix_smoothed) continue;
+    double w = sim::ProvenanceWeight(original, config_.epsilon);
+    if (original) w *= TimeDecayWeight(user, n.index);
+    const double value = center ? active_profile[n.index] -
+                                      train_.ItemMean(n.index)
+                                : active_profile[n.index];
+    num += w * n.similarity * value;
+    den += w * n.similarity;
+  }
+  if (den <= 0.0) return std::nullopt;
+  const double item_anchor = center ? train_.ItemMean(item) : 0.0;
+  return item_anchor + num / den;
+}
+
+std::optional<double> CfsfModel::PredictSirOnly(matrix::UserId user,
+                                                matrix::ItemId item) const {
+  CFSF_REQUIRE(fitted_, "PredictSirOnly before Fit");
+  CFSF_REQUIRE(user < train_.num_users(), "user id out of range");
+  CFSF_REQUIRE(item < train_.num_items(), "item id out of range");
+  CFSF_FAILPOINT("cfsf.predict.sir");
+  return SirEstimate(user, item, gis_.TopM(item, config_.top_m_items));
+}
+
 FusionBreakdown CfsfModel::PredictWithNeighbors(
     matrix::UserId user, matrix::ItemId item,
     std::span<const SelectedUser> neighbors) const {
+  CFSF_FAILPOINT("cfsf.predict");
   const auto top_items = gis_.TopM(item, config_.top_m_items);
   const double user_mean = train_.UserMean(user);
-  const auto active_mask = clusters_.OriginalMask(user);
-  const auto active_profile = clusters_.SmoothedProfile(user);
 
   FusionBreakdown result;
 
   const bool center = config_.center_on_item_means;
   const double item_anchor = center ? train_.ItemMean(item) : 0.0;
 
-  // --- SIR′: the active user's ratings on the top-M similar items
-  // (Eq. 12, first line; item-mean anchored by default, see
-  // CfsfConfig::center_on_item_means).  The local matrix is filled from
-  // the original ratings; smoothed cells only participate (at weight w)
-  // when local_matrix_smoothed is set.
   if (config_.use_sir) {
-    double num = 0.0;
-    double den = 0.0;
-    for (const auto& n : top_items) {
-      const bool original = active_mask[n.index] != 0;
-      if (!original && !config_.local_matrix_smoothed) continue;
-      double w = sim::ProvenanceWeight(original, config_.epsilon);
-      if (original) w *= TimeDecayWeight(user, n.index);
-      const double value = center ? active_profile[n.index] -
-                                        train_.ItemMean(n.index)
-                                  : active_profile[n.index];
-      num += w * n.similarity * value;
-      den += w * n.similarity;
-    }
-    if (den > 0.0) result.sir = item_anchor + num / den;
+    result.sir = SirEstimate(user, item, top_items);
   }
 
   // --- SUR′: mean-centred ratings of the top-K like-minded users on the

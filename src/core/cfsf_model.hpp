@@ -28,6 +28,7 @@
 #include "clustering/smoothing.hpp"
 #include "core/cfsf_config.hpp"
 #include "eval/predictor.hpp"
+#include "robust/fallback.hpp"
 #include "similarity/item_similarity.hpp"
 
 namespace cfsf::core {
@@ -47,7 +48,7 @@ struct SelectedUser {
   double similarity = 0.0;
 };
 
-class CfsfModel : public eval::Predictor {
+class CfsfModel : public eval::Predictor, public robust::DegradableModel {
  public:
   explicit CfsfModel(const CfsfConfig& config = {});
 
@@ -71,6 +72,29 @@ class CfsfModel : public eval::Predictor {
 
   /// Predict with the per-component breakdown.
   FusionBreakdown PredictDetailed(matrix::UserId user, matrix::ItemId item) const;
+
+  /// SIR′ alone, straight off the GIS row (Eq. 12, first line) — no top-K
+  /// user selection, so it skips the expensive online step entirely.
+  /// This is the degraded serving path (robust::FallbackPredictor rung 1)
+  /// and works regardless of config.use_sir.  nullopt when the active
+  /// user has no evidence on the item's top-M similar items.
+  std::optional<double> PredictSirOnly(matrix::UserId user,
+                                       matrix::ItemId item) const;
+
+  // robust::DegradableModel — the graceful-degradation ladder's view.
+  std::size_t NumUsers() const override { return train_.num_users(); }
+  std::size_t NumItems() const override { return train_.num_items(); }
+  double PredictFull(matrix::UserId user, matrix::ItemId item) const override {
+    return Predict(user, item);
+  }
+  std::optional<double> PredictDegraded(matrix::UserId user,
+                                        matrix::ItemId item) const override {
+    return PredictSirOnly(user, item);
+  }
+  double UserMeanOf(matrix::UserId user) const override {
+    return train_.UserMean(user);
+  }
+  double GlobalMeanOf() const override { return train_.GlobalMean(); }
 
   /// Batch prediction, parallelised over distinct users (each worker
   /// selects that user's top-K once and reuses it for all their items).
@@ -126,6 +150,9 @@ class CfsfModel : public eval::Predictor {
   std::vector<SelectedUser> ComputeTopKUsers(matrix::UserId user) const;
   std::shared_ptr<const std::vector<SelectedUser>> TopKUsersCached(
       matrix::UserId user) const;
+  std::optional<double> SirEstimate(
+      matrix::UserId user, matrix::ItemId item,
+      std::span<const sim::Neighbor> top_items) const;
   FusionBreakdown PredictWithNeighbors(
       matrix::UserId user, matrix::ItemId item,
       std::span<const SelectedUser> neighbors) const;

@@ -5,7 +5,10 @@
 #include <map>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "robust/failpoint.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/string_utils.hpp"
 
 namespace cfsf::data {
@@ -36,15 +39,28 @@ std::vector<std::string> SplitByString(std::string_view text,
 }
 
 std::vector<RawRating> ParseLines(std::istream& in,
-                                  const std::string& delimiter) {
+                                  const std::string& delimiter, bool lenient,
+                                  std::size_t* quarantined_lines) {
   if (delimiter.empty()) {
     throw util::IoError("empty u.data field delimiter");
   }
   std::vector<RawRating> raw;
   std::string line;
   std::size_t line_no = 0;
+  std::size_t quarantined = 0;
+  // In lenient mode a malformed line is quarantined (skipped + counted)
+  // instead of aborting the load; `sink` centralises that policy.
+  const auto sink = [&](util::IoError error) {
+    if (!lenient) throw error;
+    ++quarantined;
+    if (quarantined == 1) {
+      CFSF_LOG_WARN << "lenient u.data load: skipping malformed line ("
+                    << error.what() << ")";
+    }
+  };
   while (std::getline(in, line)) {
     ++line_no;
+    CFSF_FAILPOINT("movielens.parse_line");
     const auto trimmed = util::Trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
     const auto fields =
@@ -53,9 +69,10 @@ std::vector<RawRating> ParseLines(std::istream& in,
             ? util::Split(std::string(trimmed), delimiter.front())
             : SplitByString(trimmed, delimiter);
     if (fields.size() < 3) {
-      throw util::IoError("u.data line " + std::to_string(line_no) +
-                          ": expected >=3 fields, got " +
-                          std::to_string(fields.size()));
+      sink(util::IoError("u.data line " + std::to_string(line_no) +
+                         ": expected >=3 fields, got " +
+                         std::to_string(fields.size())));
+      continue;
     }
     RawRating r{};
     try {
@@ -64,11 +81,20 @@ std::vector<RawRating> ParseLines(std::istream& in,
       r.value = static_cast<float>(util::ParseDouble(fields[2]));
       r.timestamp = fields.size() >= 4 ? util::ParseInt(fields[3]) : 0;
     } catch (const util::IoError& e) {
-      throw util::IoError("u.data line " + std::to_string(line_no) + ": " +
-                          e.what());
+      sink(util::IoError("u.data line " + std::to_string(line_no) + ": " +
+                         e.what()));
+      continue;
     }
     raw.push_back(r);
   }
+  if (quarantined > 0) {
+    CFSF_LOG_WARN << "lenient u.data load: quarantined " << quarantined
+                  << " malformed line(s) out of " << line_no;
+    obs::MetricsRegistry::Global()
+        .GetCounter("data.quarantined_lines")
+        .Increment(quarantined);
+  }
+  if (quarantined_lines != nullptr) *quarantined_lines = quarantined;
   return raw;
 }
 
@@ -142,13 +168,24 @@ MovieLensData BuildFromRaw(std::vector<RawRating> raw,
 MovieLensData LoadUData(const std::string& path, const MovieLensOptions& options) {
   std::ifstream in(path);
   if (!in) throw util::IoError("cannot open dataset file: " + path);
-  return BuildFromRaw(ParseLines(in, options.delimiter), options);
+  CFSF_FAILPOINT("movielens.open");
+  std::size_t quarantined = 0;
+  auto out = BuildFromRaw(
+      ParseLines(in, options.delimiter, options.lenient, &quarantined),
+      options);
+  out.quarantined_lines = quarantined;
+  return out;
 }
 
 MovieLensData ParseUData(const std::string& content,
                          const MovieLensOptions& options) {
   std::istringstream in(content);
-  return BuildFromRaw(ParseLines(in, options.delimiter), options);
+  std::size_t quarantined = 0;
+  auto out = BuildFromRaw(
+      ParseLines(in, options.delimiter, options.lenient, &quarantined),
+      options);
+  out.quarantined_lines = quarantined;
+  return out;
 }
 
 void SaveUData(const matrix::RatingMatrix& matrix, const std::string& path) {

@@ -32,6 +32,12 @@ struct MovieLensOptions {
   /// Drop users with fewer than this many ratings *before* applying
   /// max_users (the paper keeps users with >= 40 ratings).
   std::size_t min_ratings_per_user = 0;
+  /// Strict mode (default) throws IoError on the first malformed line.
+  /// Lenient mode skips and counts it instead (MovieLensData::
+  /// quarantined_lines, plus the `data.quarantined_lines` metric and one
+  /// warning log per load) — for serving jobs that must come up even on
+  /// a partially damaged export.
+  bool lenient = false;
 };
 
 struct MovieLensData {
@@ -39,9 +45,13 @@ struct MovieLensData {
   /// dense id -> original id maps, for reporting recommendations.
   std::vector<std::uint64_t> user_ids;
   std::vector<std::uint64_t> item_ids;
+  /// Malformed lines skipped under Options::lenient (0 in strict mode,
+  /// which throws instead).
+  std::size_t quarantined_lines = 0;
 };
 
-/// Parses a u.data-style stream.  Throws IoError on malformed lines.
+/// Parses a u.data-style stream.  Throws IoError on malformed lines
+/// unless options.lenient is set.
 MovieLensData LoadUData(const std::string& path,
                         const MovieLensOptions& options = {});
 

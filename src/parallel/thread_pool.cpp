@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.hpp"
+#include "robust/failpoint.hpp"
 #include "util/error.hpp"
 #include "util/string_utils.hpp"
 
@@ -100,6 +101,9 @@ void ThreadPool::WorkerLoop() {
     }
     PoolMetrics::Get().queue_depth.Add(-1.0);
     try {
+      // Injected faults ride the pool's normal error path: captured here,
+      // rethrown to the submitter at Wait().
+      CFSF_FAILPOINT("threadpool.task");
       task();
       PoolMetrics::Get().tasks_executed.Increment();
     } catch (...) {

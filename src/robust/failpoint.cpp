@@ -1,0 +1,210 @@
+#include "robust/failpoint.hpp"
+
+#include <cstdlib>
+#include <functional>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace cfsf::robust {
+
+namespace detail {
+std::atomic<std::size_t> g_armed_count{0};
+}  // namespace detail
+
+namespace {
+
+obs::Counter& TripsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("robust.failpoint_trips");
+  return counter;
+}
+
+// The macro's fast path reads g_armed_count without ever touching
+// Global(), so CFSF_FAILPOINTS must be armed eagerly (during static
+// initialization), not lazily on first registry use — otherwise a
+// binary that only hits failpoint sites would never arm from the env.
+const bool g_env_armed = (FailPointRegistry::Global(), true);
+
+}  // namespace
+
+FailPointRegistry& FailPointRegistry::Global() {
+  // Meyers singleton; env arming happens exactly once, on first use.
+  static FailPointRegistry* instance = [] {
+    static FailPointRegistry registry;
+    registry.ArmFromEnv();
+    return &registry;
+  }();
+  return *instance;
+}
+
+FailPointRegistry::Point FailPointRegistry::ParseSpec(const std::string& name,
+                                                     const std::string& spec,
+                                                     std::uint64_t seed) {
+  Point point;
+  const std::string trimmed{util::Trim(spec)};
+  const auto parse_n = [&](const std::string& text) -> std::uint64_t {
+    try {
+      const std::int64_t n = util::ParseInt(text);
+      CFSF_REQUIRE(n >= 0, "failpoint `" + name + "`: negative count");
+      return static_cast<std::uint64_t>(n);
+    } catch (const util::IoError&) {
+      throw util::ConfigError("failpoint `" + name +
+                              "`: malformed count in trigger '" + spec + "'");
+    }
+  };
+  if (trimmed == "always") {
+    point.mode = Mode::kAlways;
+  } else if (trimmed == "off") {
+    point.mode = Mode::kOff;
+  } else if (trimmed == "once") {
+    point.mode = Mode::kFirst;
+    point.n = 1;
+  } else if (trimmed.rfind("first:", 0) == 0) {
+    point.mode = Mode::kFirst;
+    point.n = parse_n(trimmed.substr(6));
+    CFSF_REQUIRE(point.n >= 1, "failpoint `" + name + "`: first:N needs N >= 1");
+  } else if (trimmed.rfind("after:", 0) == 0) {
+    point.mode = Mode::kAfter;
+    point.n = parse_n(trimmed.substr(6));
+  } else if (trimmed.rfind("every:", 0) == 0) {
+    point.mode = Mode::kEvery;
+    point.n = parse_n(trimmed.substr(6));
+    CFSF_REQUIRE(point.n >= 1, "failpoint `" + name + "`: every:N needs N >= 1");
+  } else if (trimmed.rfind("prob:", 0) == 0) {
+    point.mode = Mode::kProb;
+    try {
+      point.probability = util::ParseDouble(trimmed.substr(5));
+    } catch (const util::IoError&) {
+      throw util::ConfigError("failpoint `" + name +
+                              "`: malformed probability in '" + spec + "'");
+    }
+    CFSF_REQUIRE(point.probability >= 0.0 && point.probability <= 1.0,
+                 "failpoint `" + name + "`: prob:P needs P in [0,1]");
+    // Fork a per-point stream from the registry seed and the point name,
+    // so the trip pattern is a pure function of (seed, name).
+    point.rng = util::Rng(seed).Fork(std::hash<std::string>{}(name));
+  } else {
+    throw util::ConfigError(
+        "failpoint `" + name + "`: unknown trigger '" + spec +
+        "' (expected always|off|once|first:N|after:N|every:N|prob:P)");
+  }
+  return point;
+}
+
+void FailPointRegistry::Arm(const std::string& name, const std::string& spec) {
+  CFSF_REQUIRE(!name.empty(), "failpoint name must be non-empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Point point = ParseSpec(name, spec, seed_);
+  const bool existed = points_.contains(name);
+  points_[name] = std::move(point);
+  if (!existed) {
+    detail::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPointRegistry::ArmMany(const std::string& multi_spec) {
+  for (const auto& field : util::Split(multi_spec, ';')) {
+    const std::string entry{util::Trim(field)};
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      throw util::ConfigError("failpoint spec '" + entry +
+                              "': expected name=trigger");
+    }
+    Arm(std::string(util::Trim(entry.substr(0, eq))),
+        entry.substr(eq + 1));
+  }
+}
+
+std::size_t FailPointRegistry::ArmFromEnv() {
+  if (const char* seed_text = std::getenv("CFSF_FAILPOINTS_SEED")) {
+    try {
+      SetSeed(static_cast<std::uint64_t>(util::ParseInt(seed_text)));
+    } catch (const util::IoError&) {
+      CFSF_LOG_WARN << "CFSF_FAILPOINTS_SEED is not an integer: '" << seed_text
+                    << "' (ignored)";
+    }
+  }
+  const char* spec = std::getenv("CFSF_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return 0;
+  std::size_t armed = 0;
+  for (const auto& field : util::Split(spec, ';')) {
+    const std::string entry{util::Trim(field)};
+    if (entry.empty()) continue;
+    try {
+      ArmMany(entry);
+      ++armed;
+    } catch (const util::ConfigError& e) {
+      CFSF_LOG_WARN << "CFSF_FAILPOINTS: " << e.what() << " (entry skipped)";
+    }
+  }
+  return armed;
+}
+
+void FailPointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (points_.erase(name) != 0) {
+    detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  detail::g_armed_count.fetch_sub(points_.size(), std::memory_order_relaxed);
+  points_.clear();
+}
+
+void FailPointRegistry::SetSeed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+}
+
+void FailPointRegistry::MaybeTrip(std::string_view name) {
+  bool trip = false;
+  std::uint64_t hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = points_.find(name);
+    if (it == points_.end()) return;
+    Point& point = it->second;
+    hit = ++point.hits;
+    switch (point.mode) {
+      case Mode::kAlways: trip = true; break;
+      case Mode::kOff: trip = false; break;
+      case Mode::kFirst: trip = hit <= point.n; break;
+      case Mode::kAfter: trip = hit > point.n; break;
+      case Mode::kEvery: trip = hit % point.n == 0; break;
+      case Mode::kProb: trip = point.rng.NextDouble() < point.probability; break;
+    }
+    if (trip) ++point.trips;
+  }
+  if (trip) {
+    TripsCounter().Increment();
+    throw InjectedFault("failpoint `" + std::string(name) + "` tripped (hit " +
+                        std::to_string(hit) + ")");
+  }
+}
+
+std::uint64_t FailPointRegistry::HitCount(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FailPointRegistry::TripCount(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.trips;
+}
+
+std::vector<std::string> FailPointRegistry::ArmedNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) names.push_back(name);
+  return names;
+}
+
+}  // namespace cfsf::robust

@@ -1,0 +1,47 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace cfsf::util {
+
+namespace {
+
+// Reflected CRC-32, polynomial 0xEDB88320 (IEEE 802.3).
+std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1U) ? 0xEDB88320U : 0U);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+std::uint32_t Feed(std::uint32_t state, const unsigned char* bytes,
+                   std::size_t size) {
+  const auto& table = Table();
+  for (std::size_t i = 0; i < size; ++i) {
+    state = (state >> 8) ^ table[(state ^ bytes[i]) & 0xFFU];
+  }
+  return state;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  return Feed(0xFFFFFFFFU, static_cast<const unsigned char*>(data), size) ^
+         0xFFFFFFFFU;
+}
+
+void Crc32Accumulator::Update(const void* data, std::size_t size) {
+  state_ = Feed(state_, static_cast<const unsigned char*>(data), size);
+}
+
+}  // namespace cfsf::util

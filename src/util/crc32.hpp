@@ -1,0 +1,37 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) — the checksum guarding the
+// model-bundle format (core/model_io, format v2).
+//
+// Table-driven, one byte per step; the table is computed once at first
+// use.  This is the same CRC as zlib's crc32() and POSIX cksum's cousin,
+// so bundles can be cross-checked with standard tools.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cfsf::util {
+
+/// One-shot CRC-32 of a buffer.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+inline std::uint32_t Crc32(std::string_view bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+/// Incremental CRC-32 over a stream of buffers.
+class Crc32Accumulator {
+ public:
+  void Update(const void* data, std::size_t size);
+  void Update(std::string_view bytes) { Update(bytes.data(), bytes.size()); }
+
+  /// CRC of everything fed so far.
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFU; }
+
+  void Reset() { state_ = 0xFFFFFFFFU; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFU;
+};
+
+}  // namespace cfsf::util

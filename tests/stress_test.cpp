@@ -22,6 +22,8 @@
 #include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "robust/failpoint.hpp"
+#include "robust/fallback.hpp"
 #include "util/error.hpp"
 
 namespace cfsf {
@@ -265,6 +267,39 @@ TEST_F(ModelStress, ConcurrentTopNAndSelection) {
     });
   }
   for (auto& t : threads) t.join();
+}
+
+// Many threads hammer one shared FallbackPredictor while prob:
+// failpoints randomly blow up the full and SIR′ rungs underneath them.
+// Every call must still produce a finite in-range value (the ladder is
+// total), and the registry's counter updates must stay race-free.
+TEST_F(ModelStress, FallbackLadderIsTotalUnderConcurrentFaults) {
+  auto& registry = robust::FailPointRegistry::Global();
+  registry.DisarmAll();
+  registry.SetSeed(1234);
+  robust::ScopedFailPoint full("cfsf.predict", "prob:0.3");
+  robust::ScopedFailPoint sir("cfsf.predict.sir", "prob:0.3");
+  robust::FallbackPredictor ladder(*model_);
+
+  constexpr int kThreads = 4;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ladder, &bad, t] {
+      for (int round = 0; round < 20; ++round) {
+        for (matrix::UserId u = static_cast<matrix::UserId>(t); u < 60;
+             u += kThreads) {
+          const double v = ladder.Predict(u, (u + round) % 100);
+          if (!std::isfinite(v) || v < 1.0 || v > 5.0) bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GT(registry.TripCount("cfsf.predict"), 0u);
+  registry.DisarmAll();
 }
 
 // Hammer one shared Counter/Gauge/Histogram from many threads at once.

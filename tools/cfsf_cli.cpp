@@ -9,15 +9,23 @@
 //   cfsf_cli add-user  --model=model.bin --ratings=ITEM:R,ITEM:R,...
 //                      [--save=model2.bin] [--n=10]
 //   cfsf_cli evaluate  --data=u.data [--train=300 --given=10]
+//   cfsf_cli verify-model --model=model.bin
 //   cfsf_cli json-check --file=out.json
 //
 // Without --data, `fit`/`evaluate` fall back to the synthetic MovieLens
 // substitute (same data every bench uses).  Every command accepts
 // --stats: after the command finishes, the process-wide metrics registry
 // (counters, gauges, latency histograms) is dumped to stdout as JSON.
+//
+// Robustness flags: commands that read --data accept --lenient (skip and
+// count malformed dataset lines instead of failing); `predict` and
+// `evaluate` accept --deadline-ms=N and --degradation=<throw|fallback>
+// to serve through robust::FallbackPredictor's degradation ladder.
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,6 +34,7 @@
 #include "core/model_io.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "robust/fallback.hpp"
 #include "util/args.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -46,7 +55,36 @@ matrix::RatingMatrix LoadData(util::ArgParser& args) {
   options.min_ratings_per_user =
       static_cast<std::size_t>(args.GetInt("min-ratings", 0));
   options.max_users = static_cast<std::size_t>(args.GetInt("max-users", 0));
-  return data::LoadUData(path, options).matrix;
+  options.lenient = args.GetBool("lenient", false);
+  auto loaded = data::LoadUData(path, options);
+  if (loaded.quarantined_lines > 0) {
+    std::fprintf(stderr, "note: quarantined %zu malformed line(s) in %s\n",
+                 loaded.quarantined_lines, path.c_str());
+  }
+  return loaded.matrix;
+}
+
+// --deadline-ms / --degradation: nullopt when neither flag is present
+// (serve through the model directly, today's behaviour).
+std::optional<robust::FallbackOptions> FallbackFromFlags(
+    util::ArgParser& args) {
+  const auto deadline_ms = args.GetInt("deadline-ms", 0);
+  const std::string degradation = args.GetString("degradation", "");
+  if (deadline_ms <= 0 && degradation.empty()) return std::nullopt;
+  robust::FallbackOptions options;
+  if (degradation == "throw") {
+    options.policy = robust::DegradationPolicy::kThrow;
+  } else if (degradation.empty() || degradation == "fallback") {
+    options.policy = robust::DegradationPolicy::kFallback;
+  } else {
+    throw util::ConfigError("--degradation must be 'throw' or 'fallback', got '" +
+                            degradation + "'");
+  }
+  if (deadline_ms > 0) {
+    options.budget = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::milliseconds(deadline_ms));
+  }
+  return options;
 }
 
 core::CfsfConfig ConfigFromFlags(util::ArgParser& args) {
@@ -105,8 +143,20 @@ int CmdPredict(util::ArgParser& args) {
   const std::string model_path = args.GetString("model", "model.bin");
   const auto user = static_cast<matrix::UserId>(args.GetInt("user", 0));
   const auto item = static_cast<matrix::ItemId>(args.GetInt("item", 0));
+  const auto fallback = FallbackFromFlags(args);
   args.RejectUnknown();
   const auto model = core::LoadModel(model_path);
+  if (fallback) {
+    robust::FallbackPredictor predictor(*model, *fallback);
+    const auto deadline = fallback->budget.count() > 0
+                              ? robust::Deadline::After(fallback->budget)
+                              : robust::Deadline();
+    const auto result = predictor.PredictWithLadder(user, item, deadline);
+    std::printf("user %u, item %u -> %.3f (rung %s%s)\n", user, item,
+                result.value, robust::ToString(result.rung),
+                result.deadline_overrun ? ", deadline overrun" : "");
+    return 0;
+  }
   const auto parts = model->PredictDetailed(user, item);
   std::printf("user %u, item %u -> %.3f\n", user, item, parts.fused);
   if (parts.sir) std::printf("  SIR'  = %.3f\n", *parts.sir);
@@ -175,6 +225,7 @@ int CmdEvaluate(util::ArgParser& args) {
   const auto test = static_cast<std::size_t>(args.GetInt("test", 200));
   const auto given = static_cast<std::size_t>(args.GetInt("given", 10));
   const auto holdout = static_cast<std::size_t>(args.GetInt("holdout", 1));
+  const auto fallback = FallbackFromFlags(args);
   args.RejectUnknown();
 
   data::EvalSplit split;
@@ -199,12 +250,38 @@ int CmdEvaluate(util::ArgParser& args) {
     return 2;
   }
   core::CfsfModel model(config);
-  const auto result = eval::Evaluate(model, split);
+  robust::FallbackPredictor ladder(model, fallback.value_or(
+                                              robust::FallbackOptions{}));
+  eval::Predictor& predictor =
+      fallback ? static_cast<eval::Predictor&>(ladder)
+               : static_cast<eval::Predictor&>(model);
+  const auto result = eval::Evaluate(predictor, split);
   std::printf("%s/%s: MAE %.4f, RMSE %.4f (%zu predictions; fit %.2fs, "
               "predict %.2fs)\n",
               data::TrainSetLabel(train).c_str(), label.c_str(), result.mae,
               result.rmse, result.num_predictions, result.fit_seconds,
               result.predict_seconds);
+  return 0;
+}
+
+int CmdVerifyModel(util::ArgParser& args) {
+  const std::string model_path = args.GetString("model", "model.bin");
+  args.RejectUnknown();
+  // VerifyModel throws IoError on any structural or checksum failure;
+  // main's catch turns that into a nonzero exit with the message.
+  const auto report = core::VerifyModel(model_path);
+  std::printf("%s: OK (format v%u, %llu bytes)\n", model_path.c_str(),
+              report.version,
+              static_cast<unsigned long long>(report.file_bytes));
+  for (const auto& section : report.sections) {
+    std::printf("  section %-12s %10llu bytes  crc32 %08x\n",
+                section.name.c_str(),
+                static_cast<unsigned long long>(section.payload_bytes),
+                section.crc);
+  }
+  if (report.sections.empty()) {
+    std::printf("  (v1 bundle: no checksums, structural parse only)\n");
+  }
   return 0;
 }
 
@@ -236,8 +313,8 @@ int CmdJsonCheck(util::ArgParser& args) {
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: cfsf_cli <generate|stats|fit|predict|recommend|"
-               "add-user|evaluate|json-check> [flags]\n(see the header of "
-               "tools/cfsf_cli.cpp for the full flag list)\n");
+               "add-user|evaluate|verify-model|json-check> [flags]\n(see the "
+               "header of tools/cfsf_cli.cpp for the full flag list)\n");
 }
 
 int Dispatch(const std::string& command, util::ArgParser& args) {
@@ -248,6 +325,7 @@ int Dispatch(const std::string& command, util::ArgParser& args) {
   if (command == "recommend") return CmdRecommend(args);
   if (command == "add-user") return CmdAddUser(args);
   if (command == "evaluate") return CmdEvaluate(args);
+  if (command == "verify-model") return CmdVerifyModel(args);
   if (command == "json-check") return CmdJsonCheck(args);
   PrintUsage();
   return 2;

@@ -220,6 +220,14 @@ const std::vector<LineRule>& LineRules() {
        "PhaseProfiler so the measurement reaches the metrics registry",
        std::regex(R"(\bStopwatch\b)"), true,
        {"src/obs/", "src/util/stopwatch"}},
+      {"naked-system-exit",
+       "std::abort/std::exit/std::terminate in library code; recoverable "
+       "failures must throw cfsf::util::Error subclasses (util/check.hpp "
+       "owns the abort path)",
+       std::regex(
+           R"(\bstd\s*::\s*(abort|exit|_Exit|quick_exit|terminate)\s*\(|\b(abort|exit|_Exit|quick_exit)\s*\()"),
+       true,
+       {"src/util/check"}},
   };
   return rules;
 }
@@ -380,6 +388,16 @@ int RunSelfTest() {
       {"stopwatch inline allow suppresses", "src/x.cpp",
        "util::Stopwatch watch;  // cfsf-lint: allow(stopwatch-in-library)\n",
        ""},
+      {"std::abort in library fires", "src/x.cpp",
+       "std::abort();\n", "naked-system-exit"},
+      {"bare exit in library fires", "src/x.cpp",
+       "exit(1);\n", "naked-system-exit"},
+      {"std::terminate in library fires", "src/x.cpp",
+       "std::terminate();\n", "naked-system-exit"},
+      {"abort in check.hpp clean", "src/util/check.hpp",
+       "#pragma once\nstd::abort();\n", ""},
+      {"exit in tools clean", "tools/x.cpp", "std::exit(2);\n", ""},
+      {"abort in comment clean", "src/x.cpp", "// calls std::abort()\n", ""},
   };
 
   int failures = 0;

@@ -2,10 +2,14 @@
 # ci_check.sh — the single correctness gate a CI workflow invokes.
 #
 #   1. asan preset  (address+undefined sanitizers) : build + ctest -L "unit|stress"
-#   2. tsan preset  (thread sanitizer)             : build + ctest -L "unit|stress"
-#   3. cfsf_lint                                   : self-test + full-tree scan
-#   4. bench smoke                                 : one CI-sized sweep must
-#      emit a BENCH_smoke.json that parses and carries latency percentiles
+#   2. fault tier   (asan build)                   : ctest -L fault with
+#      CFSF_FAILPOINTS exported — fault-injection paths under ASan
+#   3. tsan preset  (thread sanitizer)             : build + ctest -L "unit|stress"
+#   4. cfsf_lint                                   : self-test + full-tree scan
+#   5. bench smoke                                 : one CI-sized sweep must
+#      emit a BENCH_smoke.json that parses and carries latency percentiles,
+#      plus a corrupted-bundle check: verify-model must reject a bit flip
+#      with a nonzero (but clean) exit
 #
 # Any sanitizer report fails the corresponding test (UBSan is built
 # non-recoverable, TSan runs with halt_on_error=1), so a zero exit here
@@ -46,7 +50,16 @@ run_tier() {
   ctest --preset "${preset}" -j "${JOBS}"
 }
 
-if [[ "${RUN_ASAN}" -eq 1 ]]; then run_tier asan; fi
+if [[ "${RUN_ASAN}" -eq 1 ]]; then
+  run_tier asan
+  echo "=== [asan] ctest -L fault (failpoints armed via env) ==="
+  # The env spec itself is exercised too: ci.noop targets no call site,
+  # proving an armed-but-unreferenced failpoint is harmless, while the
+  # tests arm their own points on top through the API.
+  CFSF_FAILPOINTS="ci.noop=always" \
+    ctest --test-dir "${ROOT}/build/asan" -L fault --output-on-failure \
+    -j "${JOBS}"
+fi
 if [[ "${RUN_TSAN}" -eq 1 ]]; then run_tier tsan; fi
 
 echo "=== cfsf_lint ==="
@@ -77,6 +90,23 @@ if [[ "${RUN_BENCH}" -eq 1 ]]; then
   grep -q '"p95"' "${SMOKE_JSON}" || {
     echo "ci_check: BENCH_smoke.json lacks latency percentiles" >&2; exit 1;
   }
+
+  echo "=== corrupted-bundle check (verify-model) ==="
+  CLI="${ROOT}/build/release/tools/cfsf_cli"
+  BUNDLE_DIR="$(mktemp -d)"
+  trap 'rm -rf "${BUNDLE_DIR}"' EXIT
+  "${CLI}" generate --users=60 --items=90 --out="${BUNDLE_DIR}/u.data" \
+    > /dev/null
+  "${CLI}" fit --data="${BUNDLE_DIR}/u.data" --model="${BUNDLE_DIR}/m.bin" \
+    --clusters=5 --m=15 --k=5 > /dev/null
+  "${CLI}" verify-model --model="${BUNDLE_DIR}/m.bin"
+  # Flip one byte well inside the payload; verify-model must reject it
+  # with a clean nonzero exit (an IoError naming the section, not a crash).
+  printf '\xff' | dd of="${BUNDLE_DIR}/m.bin" bs=1 seek=120 count=1 \
+    conv=notrunc status=none
+  if "${CLI}" verify-model --model="${BUNDLE_DIR}/m.bin" 2>/dev/null; then
+    echo "ci_check: verify-model accepted a corrupted bundle" >&2; exit 1
+  fi
 fi
 
 echo "ci_check: all tiers passed"
