@@ -109,7 +109,7 @@ void CfsfModel::Fit(const matrix::RatingMatrix& train) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    util::MutexLock lock(&cache_mutex_);
     cache_.assign(train_.num_users(), nullptr);
   }
   if constexpr (util::ChecksEnabled()) {
@@ -163,7 +163,7 @@ std::unique_ptr<CfsfModel> CfsfModel::Restore(
     }
   }
   {
-    std::lock_guard<std::mutex> lock(model->cache_mutex_);
+    util::MutexLock lock(&model->cache_mutex_);
     model->cache_.assign(model->train_.num_users(), nullptr);
   }
   model->fitted_ = true;
@@ -217,7 +217,7 @@ std::shared_ptr<const std::vector<SelectedUser>> CfsfModel::TopKUsersCached(
         ComputeTopKUsers(user));
   }
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    util::MutexLock lock(&cache_mutex_);
     if (cache_[user]) {
       metrics.cache_hit.Increment();
       return cache_[user];
@@ -226,7 +226,7 @@ std::shared_ptr<const std::vector<SelectedUser>> CfsfModel::TopKUsersCached(
   metrics.cache_miss.Increment();
   auto computed = std::make_shared<const std::vector<SelectedUser>>(
       ComputeTopKUsers(user));
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  util::MutexLock lock(&cache_mutex_);
   if (!cache_[user]) cache_[user] = computed;
   return cache_[user];
 }
@@ -547,14 +547,14 @@ matrix::UserId CfsfModel::AddUser(
   gis_.RefreshItems(train_, touched);
 
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    util::MutexLock lock(&cache_mutex_);
     cache_.assign(train_.num_users(), nullptr);
   }
   return new_user;
 }
 
 std::size_t CfsfModel::CacheSize() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  util::MutexLock lock(&cache_mutex_);
   std::size_t alive = 0;
   for (const auto& entry : cache_) {
     if (entry) ++alive;
@@ -563,7 +563,7 @@ std::size_t CfsfModel::CacheSize() const {
 }
 
 void CfsfModel::ClearCache() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  util::MutexLock lock(&cache_mutex_);
   for (auto& entry : cache_) entry = nullptr;
 }
 

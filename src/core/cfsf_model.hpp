@@ -20,7 +20,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -30,6 +29,7 @@
 #include "eval/predictor.hpp"
 #include "robust/fallback.hpp"
 #include "similarity/item_similarity.hpp"
+#include "util/mutex.hpp"
 
 namespace cfsf::core {
 
@@ -141,8 +141,8 @@ class CfsfModel : public eval::Predictor, public robust::DegradableModel {
   bool fitted() const { return fitted_; }
 
   /// Number of cached user-selection entries currently alive.
-  std::size_t CacheSize() const;
-  void ClearCache() const;
+  std::size_t CacheSize() const CFSF_EXCLUDES(cache_mutex_);
+  void ClearCache() const CFSF_EXCLUDES(cache_mutex_);
 
  private:
   struct Components;
@@ -167,8 +167,12 @@ class CfsfModel : public eval::Predictor, public robust::DegradableModel {
   matrix::Timestamp latest_timestamp_ = 0;
 
   // Per-user neighbour cache ("caching intermediate results", Fig. 5).
-  mutable std::mutex cache_mutex_;
-  mutable std::vector<std::shared_ptr<const std::vector<SelectedUser>>> cache_;
+  // The vector (slots and the shared_ptr values in them) is guarded; the
+  // pointed-to selection lists are immutable once published, so readers
+  // may use them after the lock is released.
+  mutable util::Mutex cache_mutex_;
+  mutable std::vector<std::shared_ptr<const std::vector<SelectedUser>>> cache_
+      CFSF_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace cfsf::core

@@ -100,7 +100,7 @@ void RequireUnregisteredElsewhere(const std::string& name, const Map& map,
 }  // namespace
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   RequireUnregisteredElsewhere(name, gauges_, "gauge");
@@ -109,7 +109,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   RequireUnregisteredElsewhere(name, counters_, "counter");
@@ -119,7 +119,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::span<const double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   RequireUnregisteredElsewhere(name, counters_, "counter");
@@ -129,14 +129,14 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 void MetricsRegistry::AppendJson(JsonWriter& writer) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   writer.BeginObject();
 
   writer.Key("counters").BeginObject();

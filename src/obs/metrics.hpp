@@ -33,11 +33,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace cfsf::obs {
 
@@ -201,15 +202,16 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
+  Counter& GetCounter(const std::string& name) CFSF_EXCLUDES(mutex_);
+  Gauge& GetGauge(const std::string& name) CFSF_EXCLUDES(mutex_);
   /// `bounds` is consulted only on first registration.
   Histogram& GetHistogram(const std::string& name,
-                          std::span<const double> bounds);
+                          std::span<const double> bounds)
+      CFSF_EXCLUDES(mutex_);
 
   /// Zeroes every registered metric (registrations survive).  For bench
   /// repeats and tests; not meant to race live writers.
-  void Reset();
+  void Reset() CFSF_EXCLUDES(mutex_);
 
   /// Serialises the current values:
   ///   {"counters": {name: n, ...},
@@ -219,17 +221,25 @@ class MetricsRegistry {
   ///                          "buckets": [{"le": b, "count": n}, ...,
   ///                                      {"le": "inf", "count": n}]}}}
   /// Keys are sorted, so equal states serialise identically.
-  void AppendJson(JsonWriter& writer) const;
-  std::string ToJson() const;
+  void AppendJson(JsonWriter& writer) const CFSF_EXCLUDES(mutex_);
+  std::string ToJson() const CFSF_EXCLUDES(mutex_);
 
   /// Process-wide registry used by all built-in instrumentation.
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The mutex guards the name → metric maps (registration and snapshot
+  // iteration).  The metric objects themselves are deliberately NOT
+  // guarded: counter shards and histogram buckets are relaxed atomics,
+  // updated lock-free on the hot path; the returned references outlive
+  // any lock scope by design.
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CFSF_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      CFSF_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CFSF_GUARDED_BY(mutex_);
 };
 
 }  // namespace cfsf::obs

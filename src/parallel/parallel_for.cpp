@@ -54,7 +54,9 @@ void RunDynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
   for (std::size_t t = 0; t < workers; ++t) {
     pool.Submit([cursor, end, grain, &body] {
       for (;;) {
-        const std::size_t lo = cursor->fetch_add(grain);
+        // Relaxed is enough: each claimed slice is used only by the
+        // claiming worker, and Wait() orders everything afterwards.
+        const std::size_t lo = cursor->fetch_add(grain, std::memory_order_relaxed);
         if (lo >= end) return;
         const std::size_t hi = std::min(end, lo + grain);
         CFSF_DCHECK(lo < hi, "dynamic chunk must be non-empty");

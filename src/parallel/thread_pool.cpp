@@ -60,41 +60,42 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     CFSF_ASSERT(!shutting_down_, "Submit after shutdown");
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
   PoolMetrics::Get().queue_depth.Add(1.0);
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = first_error_;
+  std::exception_ptr error;
+  {
+    util::MutexLock lock(&mutex_);
+    while (in_flight_ != 0) all_done_.Wait(lock);
+    error = first_error_;
     first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
   }
+  // Rethrown outside the lock: the handler may Submit() again.
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      util::MutexLock lock(&mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -107,12 +108,12 @@ void ThreadPool::WorkerLoop() {
       task();
       PoolMetrics::Get().tasks_executed.Increment();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      util::MutexLock lock(&mutex_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -13,14 +13,14 @@
 //    advice that errors must not vanish on worker threads.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace cfsf::par {
 
@@ -49,11 +49,11 @@ class ThreadPool {
 
   /// Enqueues a task.  Tasks must not themselves call Submit/Wait on the
   /// same pool (no nested parallelism; parallel_for never nests).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) CFSF_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished.  Rethrows the first
   /// task exception, if any, and clears it.
-  void Wait();
+  void Wait() CFSF_EXCLUDES(mutex_);
 
   /// Process-wide shared pool, created on first use.  Size is taken from
   /// the CFSF_NUM_THREADS environment variable if set, otherwise the
@@ -61,16 +61,16 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() CFSF_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;  // queued + running
-  bool shutting_down_ = false;
-  std::exception_ptr first_error_;
+  util::Mutex mutex_;
+  std::deque<std::function<void()>> queue_ CFSF_GUARDED_BY(mutex_);
+  util::CondVar work_available_;
+  util::CondVar all_done_;
+  std::size_t in_flight_ CFSF_GUARDED_BY(mutex_) = 0;  // queued + running
+  bool shutting_down_ CFSF_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ CFSF_GUARDED_BY(mutex_);
 };
 
 }  // namespace cfsf::par

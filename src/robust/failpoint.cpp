@@ -95,7 +95,7 @@ FailPointRegistry::Point FailPointRegistry::ParseSpec(const std::string& name,
 
 void FailPointRegistry::Arm(const std::string& name, const std::string& spec) {
   CFSF_REQUIRE(!name.empty(), "failpoint name must be non-empty");
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   Point point = ParseSpec(name, spec, seed_);
   const bool existed = points_.contains(name);
   points_[name] = std::move(point);
@@ -144,20 +144,20 @@ std::size_t FailPointRegistry::ArmFromEnv() {
 }
 
 void FailPointRegistry::Disarm(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (points_.erase(name) != 0) {
     detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FailPointRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   detail::g_armed_count.fetch_sub(points_.size(), std::memory_order_relaxed);
   points_.clear();
 }
 
 void FailPointRegistry::SetSeed(std::uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   seed_ = seed;
 }
 
@@ -165,7 +165,7 @@ void FailPointRegistry::MaybeTrip(std::string_view name) {
   bool trip = false;
   std::uint64_t hit = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     const auto it = points_.find(name);
     if (it == points_.end()) return;
     Point& point = it->second;
@@ -187,20 +187,26 @@ void FailPointRegistry::MaybeTrip(std::string_view name) {
   }
 }
 
-std::uint64_t FailPointRegistry::HitCount(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+const FailPointRegistry::Point* FailPointRegistry::FindLocked(
+    std::string_view name) const {
   const auto it = points_.find(name);
-  return it == points_.end() ? 0 : it->second.hits;
+  return it == points_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t FailPointRegistry::HitCount(std::string_view name) const {
+  util::MutexLock lock(&mutex_);
+  const Point* point = FindLocked(name);
+  return point == nullptr ? 0 : point->hits;
 }
 
 std::uint64_t FailPointRegistry::TripCount(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = points_.find(name);
-  return it == points_.end() ? 0 : it->second.trips;
+  util::MutexLock lock(&mutex_);
+  const Point* point = FindLocked(name);
+  return point == nullptr ? 0 : point->trips;
 }
 
 std::vector<std::string> FailPointRegistry::ArmedNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   std::vector<std::string> names;
   names.reserve(points_.size());
   for (const auto& [name, point] : points_) names.push_back(name);

@@ -35,12 +35,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace cfsf::robust {
@@ -81,31 +81,32 @@ class FailPointRegistry {
   /// Arms (or re-arms) one point.  Throws ConfigError on a malformed
   /// trigger spec.  Re-arming resets the point's hit/trip counts and
   /// re-forks its RNG from the current seed.
-  void Arm(const std::string& name, const std::string& spec);
+  void Arm(const std::string& name, const std::string& spec)
+      CFSF_EXCLUDES(mutex_);
 
   /// Arms a semicolon-separated list: "a=always;b=prob:0.1".
-  void ArmMany(const std::string& multi_spec);
+  void ArmMany(const std::string& multi_spec) CFSF_EXCLUDES(mutex_);
 
   /// Reads CFSF_FAILPOINTS / CFSF_FAILPOINTS_SEED and arms accordingly.
   /// Malformed entries are logged (warn) and skipped.  Returns the
   /// number of points armed.
-  std::size_t ArmFromEnv();
+  std::size_t ArmFromEnv() CFSF_EXCLUDES(mutex_);
 
-  void Disarm(const std::string& name);
-  void DisarmAll();
+  void Disarm(const std::string& name) CFSF_EXCLUDES(mutex_);
+  void DisarmAll() CFSF_EXCLUDES(mutex_);
 
   /// Seed for prob: points armed *after* this call (Arm re-forks).
-  void SetSeed(std::uint64_t seed);
+  void SetSeed(std::uint64_t seed) CFSF_EXCLUDES(mutex_);
 
   /// Evaluates the point: counts the hit and throws InjectedFault when
   /// the trigger fires.  Unarmed names pass through untouched.  Called
   /// via the CFSF_FAILPOINT macro, which gates on AnyArmed() first.
-  void MaybeTrip(std::string_view name);
+  void MaybeTrip(std::string_view name) CFSF_EXCLUDES(mutex_);
 
   /// Diagnostics (0 for unknown names).
-  std::uint64_t HitCount(std::string_view name) const;
-  std::uint64_t TripCount(std::string_view name) const;
-  std::vector<std::string> ArmedNames() const;
+  std::uint64_t HitCount(std::string_view name) const CFSF_EXCLUDES(mutex_);
+  std::uint64_t TripCount(std::string_view name) const CFSF_EXCLUDES(mutex_);
+  std::vector<std::string> ArmedNames() const CFSF_EXCLUDES(mutex_);
 
  private:
   enum class Mode { kAlways, kOff, kFirst, kAfter, kEvery, kProb };
@@ -122,9 +123,15 @@ class FailPointRegistry {
   static Point ParseSpec(const std::string& name, const std::string& spec,
                          std::uint64_t seed);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Point, std::less<>> points_;
-  std::uint64_t seed_ = 0x5EEDF417;  // default; override via SetSeed/env
+  /// Read-only lookup for the diagnostics accessors; nullptr for
+  /// unknown names.  Caller must hold mutex_ (compiler-enforced).
+  const Point* FindLocked(std::string_view name) const
+      CFSF_REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_;
+  std::map<std::string, Point, std::less<>> points_ CFSF_GUARDED_BY(mutex_);
+  std::uint64_t seed_ CFSF_GUARDED_BY(mutex_) =
+      0x5EEDF417;  // default; override via SetSeed/env
 };
 
 /// RAII arming for tests: arms in the constructor, disarms on scope exit.

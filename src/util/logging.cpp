@@ -4,15 +4,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 
 namespace cfsf::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_mutex;
+Mutex g_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,9 +26,15 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+// Relaxed ordering throughout: the level is an independent filter knob,
+// never a synchronisation point for other state.
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
 
 LogLevel ParseLogLevel(const std::string& name) {
   std::string lower(name);
@@ -60,7 +66,7 @@ void LogMessage(LogLevel level, const std::string& message) {
   char stamp[32];
   std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
                 tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(ms));
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(&g_mutex);
   std::fprintf(stderr, "[%s %s] %s\n", stamp, LevelName(level), message.c_str());
 }
 

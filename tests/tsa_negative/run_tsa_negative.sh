@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runner for the thread-safety negative-compile test (see CMakeLists.txt
+# beside this script).  Skips — ctest SKIP_RETURN_CODE 77 — when clang++
+# is not on PATH, since the analysis is Clang-only.
+#
+# Usage: run_tsa_negative.sh <repo-root> <scratch-build-dir>
+set -u
+
+root="${1:?usage: run_tsa_negative.sh <repo-root> <scratch-build-dir>}"
+scratch="${2:?usage: run_tsa_negative.sh <repo-root> <scratch-build-dir>}"
+
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "SKIP: clang++ not on PATH; thread-safety analysis is Clang-only"
+  exit 77
+fi
+
+rm -rf "$scratch"
+exec cmake -S "$root/tests/tsa_negative" -B "$scratch" \
+           -DCMAKE_CXX_COMPILER=clang++ \
+           -DCFSF_SOURCE_ROOT="$root"

@@ -1,0 +1,31 @@
+// Corrected twin of tsa_violation.cpp: every access to the
+// CFSF_GUARDED_BY field holds the mutex through a MutexLock scope, so
+// this file must compile cleanly under -Wthread-safety -Werror.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  int Balance() const {
+    cfsf::util::MutexLock lock(&mutex_);
+    return balance_;
+  }
+
+  void Deposit(int amount) {
+    cfsf::util::MutexLock lock(&mutex_);
+    balance_ += amount;
+  }
+
+ private:
+  mutable cfsf::util::Mutex mutex_;
+  int balance_ CFSF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.Balance();
+}

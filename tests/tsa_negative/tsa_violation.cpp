@@ -1,0 +1,31 @@
+// Seeded thread-safety violation: Balance() reads a CFSF_GUARDED_BY
+// field without holding its mutex.  The tsa_negative harness asserts
+// Clang REJECTS this file under -Wthread-safety -Werror; tsa_clean.cpp
+// is the corrected twin that must compile.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  int Balance() const {
+    return balance_;  // BUG: mutex_ not held
+  }
+
+  void Deposit(int amount) {
+    cfsf::util::MutexLock lock(&mutex_);
+    balance_ += amount;
+  }
+
+ private:
+  mutable cfsf::util::Mutex mutex_;
+  int balance_ CFSF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.Balance();
+}

@@ -1,6 +1,13 @@
-// cfsf_lint — repo-specific C++ linter for the CFSF tree.
+// cfsf_lint — repo-specific C++ linter for the CFSF tree (v2).
 //
-// Enforces project rules that clang-tidy/compilers do not know about:
+// Two rule engines share one scan:
+//
+//  * line rules — regexes over comment/string-stripped single lines;
+//  * token rules — a lightweight tokenizer plus a per-file state
+//    machine, for rules that are inherently cross-line (a declaration
+//    on one line changes what an expression three lines later means).
+//
+// Line rules:
 //
 //   no-std-rand          std::rand/srand are banned everywhere; randomness
 //                        must go through cfsf::util::Rng so experiments
@@ -25,21 +32,47 @@
 //                        it lands in the registry; measurements that *are*
 //                        the product (eval's reported seconds) are
 //                        allowlisted.
+//   naked-system-exit    std::abort/std::exit/std::terminate in library
+//                        code; recoverable failures must throw.
+//
+// Token rules (cross-line, src/ only):
+//
+//   raw-mutex-in-library    std::mutex / std::lock_guard / std::unique_lock
+//                           / std::condition_variable & friends — library
+//                           code must lock through the Clang-thread-safety
+//                           annotated wrappers in src/util/mutex.hpp so the
+//                           `tsa` build tier can prove the lock contracts.
+//   lock-scope-leak         manual .lock()/.unlock()/.try_lock() member
+//                           calls — lock lifetimes must be RAII scopes
+//                           (util::MutexLock), never open-coded pairs that
+//                           leak on an early return or a throw.
+//   atomic-rmw-discipline   operations on std::atomic variables must spell
+//                           their memory order out (no defaulted seq_cst
+//                           load/store/fetch_*, no bare ++/--/+=/-= on
+//                           hot-path atomics): the order IS the contract,
+//                           write what you mean.
 //
 // Suppression, in order of preference:
 //   1. inline, same line:           // cfsf-lint: allow(rule-id)
+//      (for missing-pragma-once the marker may sit on any line)
 //   2. allowlist file entries:      rule-id  path-substring
-// Run with --self-test to verify every rule fires on a seeded violation
-// and stays quiet on the matching clean snippet (the ctest `lint` label
-// runs both modes).
+// An allowlist entry whose path-substring matches no scanned file is
+// *stale* and fails the run (exit 3) so tools/cfsf_lint_allow.txt cannot
+// rot.
+//
+// Run with --self-test to verify every rule fires on a seeded violation,
+// stays quiet on the matching clean snippet, and is silenced by its
+// inline allow marker (the ctest `lint` label runs both modes).
 //
 // Usage: cfsf_lint [--allowlist FILE] [--self-test] [--list-rules] DIR...
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <regex>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -65,9 +98,10 @@ struct AllowEntry {
 //
 // Violations must not fire inside comments or literals, so the scanner
 // blanks them out (preserving newlines and offsets) before rule regexes
-// run.  Handles //, /* */ across lines, "..." and '...' with escapes, and
-// R"delim(...)delim" raw strings.  Inline `cfsf-lint: allow` markers are
-// read from the *original* text, since they live in comments.
+// and the tokenizer run.  Handles //, /* */ across lines, "..." and '...'
+// with escapes, and R"delim(...)delim" raw strings.  Inline `cfsf-lint:
+// allow` markers are read from the *original* text, since they live in
+// comments.
 // ---------------------------------------------------------------------------
 std::string StripCommentsAndStrings(const std::string& text) {
   std::string out(text);
@@ -173,9 +207,16 @@ bool IsHeader(const std::string& path) {
   return path.size() > 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
 }
 
+bool PathExempt(const std::string& display_path,
+                const std::vector<std::string>& exempt_substrings) {
+  return std::any_of(exempt_substrings.begin(), exempt_substrings.end(),
+                     [&display_path](const std::string& sub) {
+                       return display_path.find(sub) != std::string::npos;
+                     });
+}
+
 // ---------------------------------------------------------------------------
-// Rules.  Each line-rule sees one comment/string-stripped line; file-rules
-// see the whole file.
+// Line rules.  Each sees one comment/string-stripped line.
 // ---------------------------------------------------------------------------
 struct LineRule {
   std::string id;
@@ -257,6 +298,245 @@ bool LineTriggersRule(const LineRule& rule, const std::string& stripped_line) {
   return false;
 }
 
+// ---------------------------------------------------------------------------
+// Tokenizer for the cross-line rules.  Runs on the stripped text, so
+// comments and string literals are already blank; it only needs to carve
+// identifiers, numbers and (multi-char) punctuation, remembering the
+// 1-based line each token starts on.
+// ---------------------------------------------------------------------------
+struct Token {
+  std::string text;
+  std::size_t line = 0;
+};
+
+bool IsIdentifierToken(const std::string& text) {
+  return !text.empty() && (std::isalpha(static_cast<unsigned char>(text[0])) ||
+                           text[0] == '_');
+}
+
+std::vector<Token> Tokenize(const std::string& stripped) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while (i < stripped.size()) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i + 1;
+      while (j < stripped.size() && is_ident(stripped[j])) ++j;
+      tokens.push_back({stripped.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < stripped.size() &&
+             (is_ident(stripped[j]) || stripped[j] == '.' ||
+              stripped[j] == '\'')) {
+        ++j;
+      }
+      tokens.push_back({stripped.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    static constexpr std::array<const char*, 14> kTwoCharOps = {
+        "::", "++", "--", "->", "+=", "-=", "<<",
+        ">>", "==", "!=", "<=", ">=", "&&", "||"};
+    bool matched = false;
+    if (i + 1 < stripped.size()) {
+      for (const char* op : kTwoCharOps) {
+        if (c == op[0] && stripped[i + 1] == op[1]) {
+          tokens.push_back({std::string(op), line});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      tokens.push_back({std::string(1, c), line});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Token rules.  Each sees the whole file's token stream and reports the
+// 1-based lines that violate it.
+// ---------------------------------------------------------------------------
+struct TokenRule {
+  std::string id;
+  std::string message;
+  bool library_only = false;
+  std::vector<std::string> exempt_path_substrings;
+  void (*check)(const std::vector<Token>& tokens,
+                std::vector<std::size_t>& violation_lines);
+};
+
+// raw-mutex-in-library: std::<locking type> anywhere in src/.  Cross-line
+// because `std::` and the type name may be split across lines.
+void CheckRawMutex(const std::vector<Token>& tokens,
+                   std::vector<std::size_t>& violation_lines) {
+  static const std::set<std::string> kRawLockingTypes = {
+      "mutex",         "timed_mutex",        "recursive_mutex",
+      "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex",
+      "lock_guard",    "unique_lock",        "scoped_lock",
+      "shared_lock",   "condition_variable", "condition_variable_any"};
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].text == "std" && tokens[i + 1].text == "::" &&
+        kRawLockingTypes.count(tokens[i + 2].text) != 0) {
+      violation_lines.push_back(tokens[i].line);
+    }
+  }
+}
+
+// lock-scope-leak: explicit .lock()/.unlock()/.try_lock() member calls.
+void CheckLockScopeLeak(const std::vector<Token>& tokens,
+                        std::vector<std::size_t>& violation_lines) {
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if ((tokens[i].text == "." || tokens[i].text == "->") &&
+        (tokens[i + 1].text == "lock" || tokens[i + 1].text == "unlock" ||
+         tokens[i + 1].text == "try_lock") &&
+        tokens[i + 2].text == "(") {
+      violation_lines.push_back(tokens[i + 1].line);
+    }
+  }
+}
+
+// atomic-rmw-discipline, pass 1: collect the names declared as
+// std::atomic<...> / std::atomic_xxx in this file.
+std::set<std::string> CollectAtomicNames(const std::vector<Token>& tokens) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].text != "std" || tokens[i + 1].text != "::") continue;
+    std::size_t j = i + 2;
+    if (tokens[j].text == "atomic") {
+      ++j;
+      if (j < tokens.size() && tokens[j].text == "<") {
+        // Skip the balanced template argument list; `>>` closes two.
+        int depth = 0;
+        while (j < tokens.size()) {
+          if (tokens[j].text == "<") {
+            ++depth;
+          } else if (tokens[j].text == ">") {
+            if (--depth == 0) {
+              ++j;
+              break;
+            }
+          } else if (tokens[j].text == ">>") {
+            depth -= 2;
+            if (depth <= 0) {
+              ++j;
+              break;
+            }
+          }
+          ++j;
+        }
+      }
+    } else if (tokens[j].text.rfind("atomic_", 0) == 0) {
+      ++j;  // std::atomic_bool and friends
+    } else {
+      continue;
+    }
+    if (j < tokens.size() && IsIdentifierToken(tokens[j].text)) {
+      names.insert(tokens[j].text);
+    }
+  }
+  return names;
+}
+
+// atomic-rmw-discipline, pass 2: every use of a collected name must spell
+// its memory order; ++/--/+=/-= never can, so they are banned outright.
+void CheckAtomicRmwDiscipline(const std::vector<Token>& tokens,
+                              std::vector<std::size_t>& violation_lines) {
+  static const std::set<std::string> kOrderedMethods = {
+      "load",          "store",
+      "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_and",
+      "fetch_or",      "fetch_xor",
+      "compare_exchange_weak", "compare_exchange_strong",
+      "test_and_set",  "clear"};
+  const std::set<std::string> atomics = CollectAtomicNames(tokens);
+  if (atomics.empty()) return;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (atomics.count(tokens[i].text) == 0) continue;
+    // Skip the declaration site itself (`std::atomic<T> name` /
+    // `std::atomic_bool name`).
+    if (i > 0 && (tokens[i - 1].text == ">" || tokens[i - 1].text == ">>" ||
+                  tokens[i - 1].text == "atomic" ||
+                  tokens[i - 1].text.rfind("atomic_", 0) == 0)) {
+      continue;
+    }
+    if (i > 0 && (tokens[i - 1].text == "++" || tokens[i - 1].text == "--")) {
+      violation_lines.push_back(tokens[i].line);
+      continue;
+    }
+    if (i + 1 >= tokens.size()) continue;
+    const std::string& next = tokens[i + 1].text;
+    if (next == "++" || next == "--" || next == "+=" || next == "-=") {
+      violation_lines.push_back(tokens[i].line);
+      continue;
+    }
+    if ((next == "." || next == "->") && i + 3 < tokens.size() &&
+        kOrderedMethods.count(tokens[i + 2].text) != 0 &&
+        tokens[i + 3].text == "(") {
+      // Scan the (possibly multi-line) argument list for an explicit
+      // std::memory_order_* token.
+      int depth = 0;
+      bool has_order = false;
+      for (std::size_t j = i + 3; j < tokens.size(); ++j) {
+        if (tokens[j].text == "(") {
+          ++depth;
+        } else if (tokens[j].text == ")") {
+          if (--depth == 0) break;
+        } else if (tokens[j].text.rfind("memory_order", 0) == 0) {
+          has_order = true;
+        }
+      }
+      if (!has_order) violation_lines.push_back(tokens[i + 2].line);
+    }
+  }
+}
+
+const std::vector<TokenRule>& TokenRules() {
+  static const std::vector<TokenRule> rules = {
+      {"raw-mutex-in-library",
+       "raw std:: locking primitive in library code; use the annotated "
+       "wrappers (util/mutex.hpp: Mutex/MutexLock/CondVar) so the `tsa` "
+       "tier can compile-check the lock contract",
+       true,
+       {"src/util/mutex.hpp"},
+       &CheckRawMutex},
+      {"lock-scope-leak",
+       "manual .lock()/.unlock() call; hold locks as RAII scopes "
+       "(util::MutexLock) so early returns and exceptions cannot leak "
+       "the critical section",
+       true,
+       {"src/util/mutex.hpp"},
+       &CheckLockScopeLeak},
+      {"atomic-rmw-discipline",
+       "atomic operation without an explicit memory order (or a bare "
+       "++/--/+=/-=); spell std::memory_order_* out — the ordering is the "
+       "contract",
+       true,
+       {},
+       &CheckAtomicRmwDiscipline},
+  };
+  return rules;
+}
+
 bool InlineAllowed(const std::string& original_line, const std::string& rule) {
   const std::size_t marker = original_line.find("cfsf-lint:");
   if (marker == std::string::npos) return false;
@@ -267,30 +547,48 @@ bool InlineAllowed(const std::string& original_line, const std::string& rule) {
 
 void LintFile(const std::string& display_path, const std::string& content,
               std::vector<Violation>& out) {
+  const std::vector<std::string> original_lines = SplitLines(content);
+
   const bool header = IsHeader(display_path);
   if (header && content.find("#pragma once") == std::string::npos) {
-    out.push_back({display_path, 1, "missing-pragma-once",
-                   "header is missing #pragma once"});
+    // File-level rule: the allow marker may sit on any line.
+    const bool allowed = std::any_of(
+        original_lines.begin(), original_lines.end(),
+        [](const std::string& line) {
+          return InlineAllowed(line, "missing-pragma-once");
+        });
+    if (!allowed) {
+      out.push_back({display_path, 1, "missing-pragma-once",
+                     "header is missing #pragma once"});
+    }
   }
 
   const std::string stripped = StripCommentsAndStrings(content);
-  const std::vector<std::string> original_lines = SplitLines(content);
   const std::vector<std::string> stripped_lines = SplitLines(stripped);
   const bool library = IsLibrarySource(display_path);
 
   for (std::size_t n = 0; n < stripped_lines.size(); ++n) {
     for (const auto& rule : LineRules()) {
       if (rule.library_only && !library) continue;
-      if (std::any_of(rule.exempt_path_substrings.begin(),
-                      rule.exempt_path_substrings.end(),
-                      [&display_path](const std::string& sub) {
-                        return display_path.find(sub) != std::string::npos;
-                      })) {
-        continue;
-      }
+      if (PathExempt(display_path, rule.exempt_path_substrings)) continue;
       if (!LineTriggersRule(rule, stripped_lines[n])) continue;
       if (InlineAllowed(original_lines[n], rule.id)) continue;
       out.push_back({display_path, n + 1, rule.id, rule.message});
+    }
+  }
+
+  const std::vector<Token> tokens = Tokenize(stripped);
+  for (const auto& rule : TokenRules()) {
+    if (rule.library_only && !library) continue;
+    if (PathExempt(display_path, rule.exempt_path_substrings)) continue;
+    std::vector<std::size_t> lines;
+    rule.check(tokens, lines);
+    for (const std::size_t line : lines) {
+      if (line >= 1 && line <= original_lines.size() &&
+          InlineAllowed(original_lines[line - 1], rule.id)) {
+        continue;
+      }
+      out.push_back({display_path, line, rule.id, rule.message});
     }
   }
 }
@@ -332,8 +630,9 @@ bool Allowlisted(const Violation& v, const std::vector<AllowEntry>& allow) {
 }
 
 // ---------------------------------------------------------------------------
-// Self-test: every rule must fire on its seeded violation and stay quiet
-// on the clean twin; inline suppression must work.
+// Self-test: every rule must fire on its seeded violation, stay quiet on
+// the clean twin, and be silenced by its inline allow marker (checked
+// automatically for every firing case below).
 // ---------------------------------------------------------------------------
 struct SelfTestCase {
   std::string name;
@@ -342,8 +641,8 @@ struct SelfTestCase {
   std::string expect_rule;  // empty = expect no violations
 };
 
-int RunSelfTest() {
-  const std::vector<SelfTestCase> cases = {
+const std::vector<SelfTestCase>& SelfTestCases() {
+  static const std::vector<SelfTestCase> cases = {
       {"std-rand fires", "src/x.cpp", "int r = std::rand();\n", "no-std-rand"},
       {"srand fires", "src/x.cpp", "srand(42);\n", "no-std-rand"},
       {"util::Rng clean", "src/x.cpp", "cfsf::util::Rng rng(7);\n", ""},
@@ -377,17 +676,12 @@ int RunSelfTest() {
        "fprintf(stderr, \"x\");\n", "iostream-in-library"},
       {"cout in example clean", "examples/x.cpp",
        "std::cout << \"hi\";\n", ""},
-      {"inline allow suppresses", "src/x.cpp",
-       "auto* p = new int(3);  // cfsf-lint: allow(naked-new)\n", ""},
       {"stopwatch in library fires", "src/x.cpp",
        "util::Stopwatch watch;\n", "stopwatch-in-library"},
       {"stopwatch in bench clean", "bench/x.cpp",
        "util::Stopwatch watch;\n", ""},
       {"stopwatch in obs clean", "src/obs/timer.hpp",
        "#pragma once\nutil::Stopwatch watch;\n", ""},
-      {"stopwatch inline allow suppresses", "src/x.cpp",
-       "util::Stopwatch watch;  // cfsf-lint: allow(stopwatch-in-library)\n",
-       ""},
       {"std::abort in library fires", "src/x.cpp",
        "std::abort();\n", "naked-system-exit"},
       {"bare exit in library fires", "src/x.cpp",
@@ -398,20 +692,90 @@ int RunSelfTest() {
        "#pragma once\nstd::abort();\n", ""},
       {"exit in tools clean", "tools/x.cpp", "std::exit(2);\n", ""},
       {"abort in comment clean", "src/x.cpp", "// calls std::abort()\n", ""},
+
+      // --- raw-mutex-in-library ------------------------------------------
+      {"std::mutex in library fires", "src/x.cpp",
+       "std::mutex m;\n", "raw-mutex-in-library"},
+      {"std::lock_guard in library fires", "src/x.cpp",
+       "std::lock_guard<std::mutex> l(m);\n", "raw-mutex-in-library"},
+      {"std::condition_variable in library fires", "src/x.cpp",
+       "std::condition_variable cv;\n", "raw-mutex-in-library"},
+      {"cross-line std::mutex fires", "src/x.cpp",
+       "std::\n    mutex m;\n", "raw-mutex-in-library"},
+      {"annotated wrappers clean", "src/x.cpp",
+       "util::Mutex m;\nutil::MutexLock lock(&m);\n", ""},
+      {"std::mutex in tests clean", "tests/x.cpp", "std::mutex m;\n", ""},
+      {"std::mutex in wrapper home clean", "src/util/mutex.hpp",
+       "#pragma once\nstd::mutex m;\n", ""},
+      {"mutex in comment clean", "src/x.cpp",
+       "// std::mutex is banned here\n", ""},
+
+      // --- lock-scope-leak -----------------------------------------------
+      {"manual lock/unlock pair fires", "src/x.cpp",
+       "m.lock();\nwork();\nm.unlock();\n", "lock-scope-leak"},
+      {"cross-line .lock() fires", "src/x.cpp",
+       "mutex_\n    .lock();\n", "lock-scope-leak"},
+      {"pointer ->try_lock() fires", "src/x.cpp",
+       "if (mu->try_lock()) {}\n", "lock-scope-leak"},
+      {"RAII MutexLock clean", "src/x.cpp",
+       "util::MutexLock lock(&mutex_);\n", ""},
+      {"lock identifier clean", "src/x.cpp",
+       "int lock = 0; f(lock);\n", ""},
+      {"manual lock in tests clean", "tests/x.cpp",
+       "m.lock();\nm.unlock();\n", ""},
+
+      // --- atomic-rmw-discipline -----------------------------------------
+      {"bare atomic ++ fires", "src/x.cpp",
+       "std::atomic<int> n{0};\nn++;\n", "atomic-rmw-discipline"},
+      {"bare atomic prefix ++ fires", "src/x.cpp",
+       "std::atomic<int> n{0};\n++n;\n", "atomic-rmw-discipline"},
+      {"bare atomic += fires", "src/x.cpp",
+       "std::atomic<int> n{0};\nn += 2;\n", "atomic-rmw-discipline"},
+      {"orderless fetch_add fires", "src/x.cpp",
+       "std::atomic<int> n{0};\nn.fetch_add(1);\n", "atomic-rmw-discipline"},
+      {"orderless load fires", "src/x.cpp",
+       "std::atomic<int> n{0};\nint v = n.load();\n",
+       "atomic-rmw-discipline"},
+      {"orderless store on atomic_bool fires", "src/x.cpp",
+       "std::atomic_bool stop{false};\nstop.store(true);\n",
+       "atomic-rmw-discipline"},
+      {"explicit relaxed fetch_add clean", "src/x.cpp",
+       "std::atomic<int> n{0};\nn.fetch_add(1, std::memory_order_relaxed);\n",
+       ""},
+      {"multi-line CAS with orders clean", "src/x.cpp",
+       "std::atomic<double> s{0.0};\ndouble c = 0.0;\n"
+       "s.compare_exchange_weak(c, c + 1.0,\n"
+       "                        std::memory_order_relaxed,\n"
+       "                        std::memory_order_relaxed);\n",
+       ""},
+      {"non-atomic increment clean", "src/x.cpp",
+       "int i = 0;\ni++;\n", ""},
+      {"orderless atomic in tests clean", "tests/x.cpp",
+       "std::atomic<int> n{0};\nn++;\nn.fetch_add(1);\n", ""},
+  };
+  return cases;
+}
+
+int RunSelfTest() {
+  int failures = 0;
+  std::size_t checks = 0;
+
+  const auto fires = [](const std::vector<Violation>& violations,
+                        const std::string& rule) {
+    return std::any_of(
+        violations.begin(), violations.end(),
+        [&rule](const Violation& v) { return v.rule == rule; });
   };
 
-  int failures = 0;
-  for (const auto& test : cases) {
+  for (const auto& test : SelfTestCases()) {
     std::vector<Violation> violations;
     LintFile(test.path, test.code, violations);
+    ++checks;
     bool ok = false;
     if (test.expect_rule.empty()) {
       ok = violations.empty();
     } else {
-      ok = std::any_of(violations.begin(), violations.end(),
-                       [&test](const Violation& v) {
-                         return v.rule == test.expect_rule;
-                       });
+      ok = fires(violations, test.expect_rule);
     }
     if (!ok) {
       ++failures;
@@ -422,9 +786,30 @@ int RunSelfTest() {
       for (const auto& v : violations) std::cout << " [" << v.rule << "]";
       std::cout << ")\n";
     }
+
+    // Inline-suppression twin: every firing snippet must go quiet when
+    // each line carries its `// cfsf-lint: allow(rule)` marker.
+    if (test.expect_rule.empty()) continue;
+    std::string suppressed;
+    std::istringstream lines(test.code);
+    std::string line;
+    while (std::getline(lines, line)) {
+      suppressed +=
+          line + "  // cfsf-lint: allow(" + test.expect_rule + ")\n";
+    }
+    std::vector<Violation> suppressed_violations;
+    LintFile(test.path, suppressed, suppressed_violations);
+    ++checks;
+    if (fires(suppressed_violations, test.expect_rule)) {
+      ++failures;
+      std::cout << "FAIL: " << test.name
+                << " [inline allow(" << test.expect_rule
+                << ") did not suppress]\n";
+    }
   }
-  std::cout << "cfsf_lint self-test: " << (cases.size() - failures) << "/"
-            << cases.size() << " cases passed\n";
+
+  std::cout << "cfsf_lint self-test: " << (checks - failures) << "/" << checks
+            << " checks passed\n";
   return failures == 0 ? 0 : 1;
 }
 
@@ -444,6 +829,7 @@ int main(int argc, char** argv) {
     if (arg == "--list-rules") {
       std::cout << "missing-pragma-once\n";
       for (const auto& rule : LineRules()) std::cout << rule.id << "\n";
+      for (const auto& rule : TokenRules()) std::cout << rule.id << "\n";
       return 0;
     }
     if (arg == "--allowlist") {
@@ -469,7 +855,7 @@ int main(int argc, char** argv) {
   if (!allowlist_path.empty()) allow = LoadAllowlist(allowlist_path);
 
   std::vector<Violation> violations;
-  std::size_t files_scanned = 0;
+  std::vector<std::string> scanned_paths;
   for (const auto& root : roots) {
     if (!fs::exists(root)) {
       std::cerr << "cfsf_lint: no such path: " << root << "\n";
@@ -485,7 +871,7 @@ int main(int argc, char** argv) {
       const std::string display = entry.path().generic_string();
       std::vector<Violation> file_violations;
       LintFile(display, buffer.str(), file_violations);
-      ++files_scanned;
+      scanned_paths.push_back(display);
       for (auto& v : file_violations) {
         if (!Allowlisted(v, allow)) violations.push_back(std::move(v));
       }
@@ -500,7 +886,28 @@ int main(int argc, char** argv) {
     std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
               << v.message << "\n";
   }
-  std::cout << "cfsf_lint: " << files_scanned << " files scanned, "
+
+  // An allowlist entry that matches no scanned file is rot: the code it
+  // excused is gone (or renamed), so the entry must go too.  Distinct
+  // message + exit code so CI failures are unambiguous.
+  bool stale = false;
+  for (const auto& entry : allow) {
+    const bool matches_any = std::any_of(
+        scanned_paths.begin(), scanned_paths.end(),
+        [&entry](const std::string& path) {
+          return path.find(entry.path_substring) != std::string::npos;
+        });
+    if (!matches_any) {
+      std::cerr << "cfsf_lint: stale allowlist entry `" << entry.rule << " "
+                << entry.path_substring
+                << "`: matches no scanned file — remove it from the "
+                   "allowlist\n";
+      stale = true;
+    }
+  }
+
+  std::cout << "cfsf_lint: " << scanned_paths.size() << " files scanned, "
             << violations.size() << " violation(s)\n";
+  if (stale) return 3;
   return violations.empty() ? 0 : 1;
 }

@@ -5,8 +5,12 @@
 #   2. fault tier   (asan build)                   : ctest -L fault with
 #      CFSF_FAILPOINTS exported — fault-injection paths under ASan
 #   3. tsan preset  (thread sanitizer)             : build + ctest -L "unit|stress"
-#   4. cfsf_lint                                   : self-test + full-tree scan
-#   5. bench smoke                                 : one CI-sized sweep must
+#   4. tsa preset   (clang -Wthread-safety -Werror): static lock-contract
+#      check over src/ — skipped with a notice when clang++ is not on PATH
+#   5. clang-tidy   (advisory)                     : `tidy` target when
+#      clang-tidy is on PATH, skip notice otherwise; never fails the gate
+#   6. cfsf_lint                                   : self-test + full-tree scan
+#   7. bench smoke                                 : one CI-sized sweep must
 #      emit a BENCH_smoke.json that parses and carries latency percentiles,
 #      plus a corrupted-bundle check: verify-model must reject a bit flip
 #      with a nonzero (but clean) exit
@@ -16,7 +20,8 @@
 # means: no data races, no UB, no leaks, no lint violations, and a live
 # observability pipeline.
 #
-# Usage: tools/ci_check.sh [--jobs N] [--skip-tsan] [--skip-asan] [--skip-bench]
+# Usage: tools/ci_check.sh [--jobs N] [--skip-tsan] [--skip-asan]
+#                          [--skip-bench] [--skip-tsa]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -24,6 +29,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_ASAN=1
 RUN_TSAN=1
 RUN_BENCH=1
+RUN_TSA=1
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -31,7 +37,8 @@ while [[ $# -gt 0 ]]; do
     --skip-tsan) RUN_TSAN=0; shift ;;
     --skip-asan) RUN_ASAN=0; shift ;;
     --skip-bench) RUN_BENCH=0; shift ;;
-    *) echo "usage: $0 [--jobs N] [--skip-tsan] [--skip-asan] [--skip-bench]" >&2; exit 2 ;;
+    --skip-tsa) RUN_TSA=0; shift ;;
+    *) echo "usage: $0 [--jobs N] [--skip-tsan] [--skip-asan] [--skip-bench] [--skip-tsa]" >&2; exit 2 ;;
   esac
 done
 
@@ -61,6 +68,43 @@ if [[ "${RUN_ASAN}" -eq 1 ]]; then
     -j "${JOBS}"
 fi
 if [[ "${RUN_TSAN}" -eq 1 ]]; then run_tier tsan; fi
+
+if [[ "${RUN_TSA}" -eq 1 ]]; then
+  echo "=== [tsa] clang thread-safety analysis ==="
+  if command -v clang++ >/dev/null 2>&1; then
+    # Build (not just configure): -Wthread-safety diagnostics surface at
+    # compile time, and CFSF_WERROR=ON makes each one a build break.
+    cmake --preset tsa -S "${ROOT}"
+    cmake --build --preset tsa -j "${JOBS}"
+    echo "=== [tsa] ctest -L lint (negative-compile proof) ==="
+    ctest --test-dir "${ROOT}/build/tsa" -L lint -R tsa_negative_compile \
+      --output-on-failure
+  else
+    echo "ci_check: clang++ not on PATH; skipping the thread-safety tier" \
+         "(annotations still compile as no-ops under this toolchain)"
+  fi
+fi
+
+echo "=== clang-tidy (advisory) ==="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Advisory only: surface the report, never fail the gate on it.  The
+  # `tidy` target needs a configured build dir with compile commands.
+  TIDY_DIR=""
+  for d in "${ROOT}/build/release" "${ROOT}/build/asan" "${ROOT}/build/tsan"; do
+    if [[ -f "${d}/compile_commands.json" ]]; then TIDY_DIR="${d}"; break; fi
+  done
+  if [[ -z "${TIDY_DIR}" ]]; then
+    cmake --preset release -S "${ROOT}"
+    TIDY_DIR="${ROOT}/build/release"
+  fi
+  if cmake --build "${TIDY_DIR}" --target tidy; then
+    echo "ci_check: clang-tidy clean"
+  else
+    echo "ci_check: clang-tidy reported findings (advisory — not failing the gate)"
+  fi
+else
+  echo "ci_check: clang-tidy not on PATH; skipping the advisory tidy step"
+fi
 
 echo "=== cfsf_lint ==="
 # Either sanitizer build dir carries the linter; fall back to building one.
