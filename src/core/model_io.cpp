@@ -7,13 +7,12 @@
 #include <sstream>
 #include <string_view>
 #include <system_error>
-#include <thread>
 
 #include "obs/metrics.hpp"
 #include "robust/failpoint.hpp"
+#include "util/backoff.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
-#include "util/rng.hpp"
 
 namespace cfsf::core {
 
@@ -444,24 +443,26 @@ std::unique_ptr<CfsfModel> LoadModelWithRetry(const std::string& path,
                "LoadModelWithRetry: backoff_multiplier must be >= 1");
   CFSF_REQUIRE(options.jitter >= 0.0 && options.jitter < 1.0,
                "LoadModelWithRetry: jitter must be in [0, 1)");
-  auto& retries =
-      obs::MetricsRegistry::Global().GetCounter("robust.model_load.retries");
-  util::Rng rng(options.jitter_seed);
-  double backoff_ms =
-      std::chrono::duration<double, std::milli>(options.initial_backoff)
-          .count();
+  auto& registry = obs::MetricsRegistry::Global();
+  auto& retries = registry.GetCounter("robust.load.retry");
+  auto& giveups = registry.GetCounter("robust.load.giveup");
+  util::BackoffOptions backoff_options;
+  backoff_options.initial = options.initial_backoff;
+  backoff_options.multiplier = options.backoff_multiplier;
+  backoff_options.jitter = options.jitter;
+  backoff_options.seed = options.jitter_seed;
+  util::Backoff backoff(backoff_options);
   for (std::size_t attempt = 1;; ++attempt) {
     try {
       return LoadModel(path);
     } catch (const util::IoError&) {
-      if (attempt >= options.max_attempts) throw;
+      if (attempt >= options.max_attempts) {
+        giveups.Increment();
+        throw;
+      }
     }
     retries.Increment();
-    const double scale =
-        1.0 - options.jitter + 2.0 * options.jitter * rng.NextDouble();
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(backoff_ms * scale));
-    backoff_ms *= options.backoff_multiplier;
+    backoff.SleepNext();
   }
 }
 

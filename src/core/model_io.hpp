@@ -51,8 +51,9 @@ std::unique_ptr<CfsfModel> LoadModel(const std::string& path);
 
 /// Bounded-retry load for transient I/O failures (NFS hiccups, a bundle
 /// mid-replacement, injected faults): retries util::IoError up to
-/// max_attempts with exponential backoff and deterministic jitter.
-/// Retries are counted in the `robust.model_load.retries` metric.
+/// max_attempts with exponential backoff and deterministic jitter
+/// (util::Backoff).  Each retry increments `robust.load.retry`; an
+/// exhausted retry budget increments `robust.load.giveup` and rethrows.
 struct LoadRetryOptions {
   std::size_t max_attempts = 3;
   std::chrono::milliseconds initial_backoff{5};

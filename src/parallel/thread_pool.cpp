@@ -90,6 +90,16 @@ void ThreadPool::Wait() {
   if (error) std::rethrow_exception(error);
 }
 
+std::size_t ThreadPool::QueueDepth() const {
+  util::MutexLock lock(&mutex_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::InFlight() const {
+  util::MutexLock lock(&mutex_);
+  return in_flight_;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

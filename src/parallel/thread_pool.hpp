@@ -55,6 +55,13 @@ class ThreadPool {
   /// task exception, if any, and clears it.
   void Wait() CFSF_EXCLUDES(mutex_);
 
+  /// Tasks submitted but not yet picked up by a worker.  A snapshot for
+  /// admission control and tests; stale by the time the caller reads it.
+  std::size_t QueueDepth() const CFSF_EXCLUDES(mutex_);
+
+  /// Queued + currently running tasks (the quantity Wait() waits on).
+  std::size_t InFlight() const CFSF_EXCLUDES(mutex_);
+
   /// Process-wide shared pool, created on first use.  Size is taken from
   /// the CFSF_NUM_THREADS environment variable if set, otherwise the
   /// hardware concurrency.
@@ -64,7 +71,7 @@ class ThreadPool {
   void WorkerLoop() CFSF_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  util::Mutex mutex_;
+  mutable util::Mutex mutex_;
   std::deque<std::function<void()>> queue_ CFSF_GUARDED_BY(mutex_);
   util::CondVar work_available_;
   util::CondVar all_done_;

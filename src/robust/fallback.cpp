@@ -49,7 +49,8 @@ double FallbackPredictor::Clamp(double value) const {
 
 LadderResult FallbackPredictor::PredictWithLadder(matrix::UserId user,
                                                  matrix::ItemId item,
-                                                 Deadline deadline) const {
+                                                 Deadline deadline,
+                                                 PredictionRung floor) const {
   if (options_.policy == DegradationPolicy::kThrow) {
     // No ladder: surface overruns and faults to the caller unchanged.
     if (deadline.Expired()) {
@@ -66,34 +67,38 @@ LadderResult FallbackPredictor::PredictWithLadder(matrix::UserId user,
       user < model_.NumUsers() && item < model_.NumItems();
 
   if (in_domain) {
-    // Rung 0: full fusion.
-    if (deadline.Expired()) {
-      result.deadline_overrun = true;
-    } else {
-      try {
-        result.value = Clamp(model_.PredictFull(user, item));
-        result.rung = PredictionRung::kFull;
-        return result;
-      } catch (const util::Error&) {
-        // Fall through to the next rung.
+    // Rung 0: full fusion (skipped when the floor pins a cheaper tier).
+    if (floor <= PredictionRung::kFull) {
+      if (deadline.Expired()) {
+        result.deadline_overrun = true;
+      } else {
+        try {
+          result.value = Clamp(model_.PredictFull(user, item));
+          result.rung = PredictionRung::kFull;
+          return result;
+        } catch (const util::Error&) {
+          // Fall through to the next rung.
+        }
       }
     }
     // Rung 1: SIR′-only — no top-K selection, just the GIS row.
-    if (deadline.Expired()) {
-      if (!result.deadline_overrun) {
-        result.deadline_overrun = true;
-      }
-    } else {
-      try {
-        if (const auto sir = model_.PredictDegraded(user, item)) {
-          if (result.deadline_overrun) metrics.deadline_overruns.Increment();
-          metrics.fallback_sir.Increment();
-          result.value = Clamp(*sir);
-          result.rung = PredictionRung::kSir;
-          return result;
+    if (floor <= PredictionRung::kSir) {
+      if (deadline.Expired()) {
+        if (!result.deadline_overrun) {
+          result.deadline_overrun = true;
         }
-      } catch (const util::Error&) {
-        // Fall through to the mean rungs.
+      } else {
+        try {
+          if (const auto sir = model_.PredictDegraded(user, item)) {
+            if (result.deadline_overrun) metrics.deadline_overruns.Increment();
+            metrics.fallback_sir.Increment();
+            result.value = Clamp(*sir);
+            result.rung = PredictionRung::kSir;
+            return result;
+          }
+        } catch (const util::Error&) {
+          // Fall through to the mean rungs.
+        }
       }
     }
   }
@@ -102,7 +107,7 @@ LadderResult FallbackPredictor::PredictWithLadder(matrix::UserId user,
 
   // Rungs 2/3: O(1) anchors, never skipped — a serving process always
   // answers.
-  if (user < model_.NumUsers()) {
+  if (user < model_.NumUsers() && floor <= PredictionRung::kUserMean) {
     metrics.fallback_user_mean.Increment();
     result.value = Clamp(model_.UserMeanOf(user));
     result.rung = PredictionRung::kUserMean;
@@ -122,12 +127,30 @@ double FallbackPredictor::Predict(matrix::UserId user,
   return PredictWithLadder(user, item, deadline).value;
 }
 
-std::vector<double> FallbackPredictor::PredictBatch(
-    std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries) const {
-  std::vector<double> out;
+std::vector<LadderResult> FallbackPredictor::PredictBatchWithLadder(
+    std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries,
+    Deadline batch_deadline, PredictionRung floor) const {
+  std::vector<LadderResult> out;
   out.reserve(queries.size());
   for (const auto& [user, item] : queries) {
-    out.push_back(Predict(user, item));
+    const Deadline per_call = options_.budget.count() > 0
+                                  ? Deadline::After(options_.budget)
+                                  : Deadline();
+    out.push_back(PredictWithLadder(
+        user, item, Deadline::EarlierOf(per_call, batch_deadline), floor));
+  }
+  return out;
+}
+
+std::vector<double> FallbackPredictor::PredictBatch(
+    std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries) const {
+  const Deadline batch_deadline = options_.batch_budget.count() > 0
+                                      ? Deadline::After(options_.batch_budget)
+                                      : Deadline();
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const auto& result : PredictBatchWithLadder(queries, batch_deadline)) {
+    out.push_back(result.value);
   }
   return out;
 }

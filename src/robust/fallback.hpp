@@ -16,7 +16,11 @@
 //
 // A per-call Deadline (steady-clock budget) is checked between rungs:
 // once the budget is spent, the remaining expensive rungs are skipped
-// and the call resolves from the mean rungs.  DegradationPolicy::kThrow
+// and the call resolves from the mean rungs.  Batch prediction threads
+// one shared Deadline through every query on top of the per-call
+// budgets (FallbackOptions::batch_budget / PredictBatchWithLadder), so
+// a batch stops descending tiers as soon as its budget is spent instead
+// of burning a fresh budget per query.  DegradationPolicy::kThrow
 // turns the ladder off — faults and deadline overruns surface to the
 // caller as exceptions (today's behaviour); kFallback degrades instead.
 //
@@ -60,6 +64,14 @@ class Deadline {
 
   bool Expired() const {
     return limited_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// The tighter of two deadlines — how a batch-level budget combines
+  /// with a per-call one (whichever expires first wins).
+  static Deadline EarlierOf(Deadline a, Deadline b) {
+    if (a.unlimited()) return b;
+    if (b.unlimited()) return a;
+    return a.at_ <= b.at_ ? a : b;
   }
 
  private:
@@ -113,6 +125,11 @@ struct FallbackOptions {
   DegradationPolicy policy = DegradationPolicy::kFallback;
   /// Per-call budget; zero = unlimited.
   std::chrono::microseconds budget{0};
+  /// Whole-batch budget for PredictBatch; zero = unlimited.  The batch
+  /// shares one Deadline: once it expires, the remaining queries stop
+  /// descending through the expensive rungs and resolve from the mean
+  /// rungs (each query still also honours the per-call `budget`).
+  std::chrono::microseconds batch_budget{0};
   /// Every rung's output is clamped into [clamp_lo, clamp_hi] (the
   /// rating scale); set clamp_lo > clamp_hi to disable.
   double clamp_lo = 1.0;
@@ -138,18 +155,33 @@ class FallbackPredictor : public eval::Predictor {
   /// Ladder prediction under the configured per-call budget.
   double Predict(matrix::UserId user, matrix::ItemId item) const override;
 
-  /// Serial ladder loop; each query gets its own budget.  (The wrapped
-  /// model's parallel batch path does not apply per-query deadlines, so
-  /// the wrapper deliberately trades batch throughput for bounded
+  /// Serial ladder loop.  Each query gets its own per-call budget AND
+  /// shares the batch-wide deadline derived from `batch_budget` — once
+  /// the batch budget is spent, the remaining queries skip the expensive
+  /// rungs instead of each burning a fresh budget.  (The wrapped model's
+  /// parallel batch path does not apply per-query deadlines, so the
+  /// wrapper deliberately trades batch throughput for bounded
   /// per-query behaviour.)
   std::vector<double> PredictBatch(
       std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries)
       const override;
 
   /// The full ladder with an explicit deadline, for callers that manage
-  /// budgets themselves.
+  /// budgets themselves.  `floor` is the best rung the call may serve
+  /// from — the serving stack's circuit breaker passes kSir/kUserMean/
+  /// kGlobalMean to pin a degraded tier.  Honoured under kFallback;
+  /// kThrow always attempts rung 0.
   LadderResult PredictWithLadder(matrix::UserId user, matrix::ItemId item,
-                                 Deadline deadline) const;
+                                 Deadline deadline,
+                                 PredictionRung floor =
+                                     PredictionRung::kFull) const;
+
+  /// Batch ladder under one shared deadline (plus each query's per-call
+  /// budget); the serving stack's deadline-propagation path.
+  std::vector<LadderResult> PredictBatchWithLadder(
+      std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries,
+      Deadline batch_deadline,
+      PredictionRung floor = PredictionRung::kFull) const;
 
   const FallbackOptions& options() const { return options_; }
 

@@ -1,0 +1,415 @@
+#include "serve/serving_stack.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "robust/failpoint.hpp"
+#include "util/backoff.hpp"
+#include "util/error.hpp"
+
+namespace cfsf::serve {
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& ok;
+  obs::Counter& shed;
+  obs::Counter& rejected;
+  obs::Counter& errors;
+  obs::Counter& degraded_admissions;
+  obs::Gauge& queue_depth;
+  obs::Histogram& latency_full;
+  obs::Histogram& latency_sir;
+  obs::Histogram& latency_user_mean;
+  obs::Histogram& latency_global_mean;
+  obs::Histogram& latency_batch;
+
+  static const ServeMetrics& Get() {
+    static const ServeMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      const auto buckets = obs::LatencyBucketsUs();
+      return ServeMetrics{
+          registry.GetCounter("serve.requests"),
+          registry.GetCounter("serve.ok"),
+          registry.GetCounter("serve.shed"),
+          registry.GetCounter("serve.rejected"),
+          registry.GetCounter("serve.errors"),
+          registry.GetCounter("serve.degraded_admissions"),
+          registry.GetGauge("serve.queue_depth"),
+          registry.GetHistogram("serve.latency_us.full", buckets),
+          registry.GetHistogram("serve.latency_us.sir", buckets),
+          registry.GetHistogram("serve.latency_us.user_mean", buckets),
+          registry.GetHistogram("serve.latency_us.global_mean", buckets),
+          registry.GetHistogram("serve.latency_us.batch", buckets),
+      };
+    }();
+    return metrics;
+  }
+};
+
+obs::Histogram& LatencyFor(robust::PredictionRung rung) {
+  const auto& metrics = ServeMetrics::Get();
+  switch (rung) {
+    case robust::PredictionRung::kFull: return metrics.latency_full;
+    case robust::PredictionRung::kSir: return metrics.latency_sir;
+    case robust::PredictionRung::kUserMean: return metrics.latency_user_mean;
+    case robust::PredictionRung::kGlobalMean:
+      return metrics.latency_global_mean;
+  }
+  return metrics.latency_full;
+}
+
+/// Breaker/watermark tier → the best ladder rung the request may use.
+robust::PredictionRung FloorForLevel(std::size_t level) {
+  switch (level) {
+    case 0: return robust::PredictionRung::kFull;
+    case 1: return robust::PredictionRung::kSir;
+    case 2: return robust::PredictionRung::kUserMean;
+    default: return robust::PredictionRung::kGlobalMean;
+  }
+}
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+template <typename T>
+std::future<T> ReadyFuture(T value) {
+  std::promise<T> promise;
+  promise.set_value(std::move(value));
+  return promise.get_future();
+}
+
+}  // namespace
+
+const char* ToString(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kShed: return "shed";
+    case ServeStatus::kRejected: return "rejected";
+    case ServeStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+ServingStack::ServingStack(ModelGeneration& models,
+                           const ServingOptions& options)
+    : models_(models),
+      options_(options),
+      breaker_(options.breaker),
+      pool_(options.num_workers) {
+  CFSF_REQUIRE(options.num_workers > 0,
+               "ServingStack: num_workers must be positive");
+  CFSF_REQUIRE(options.queue_capacity > 0,
+               "ServingStack: queue_capacity must be positive");
+  CFSF_REQUIRE(options.degrade_watermark <= options.queue_capacity,
+               "ServingStack: degrade_watermark must not exceed"
+               " queue_capacity");
+  CFSF_REQUIRE(options.watermark_level >= 1 && options.watermark_level <= 3,
+               "ServingStack: watermark_level must be a degraded tier"
+               " (1..3)");
+}
+
+ServingStack::~ServingStack() { Drain(); }
+
+ServingStack::Admission ServingStack::Admit() {
+  try {
+    // An injected admission fault sheds, never crashes the caller.
+    CFSF_FAILPOINT("serve.admit");
+  } catch (const robust::InjectedFault&) {
+    return Admission{false, ServeStatus::kShed, false};
+  }
+  std::size_t depth = 0;
+  bool degraded = false;
+  {
+    util::MutexLock lock(&mutex_);
+    if (draining_ || depth_ >= options_.queue_capacity) {
+      return Admission{false, ServeStatus::kShed, false};
+    }
+    if (options_.degrade_watermark > 0 &&
+        depth_ >= options_.degrade_watermark) {
+      if (options_.watermark_policy == WatermarkPolicy::kReject) {
+        return Admission{false, ServeStatus::kRejected, false};
+      }
+      degraded = true;
+    }
+    // Reserved under the lock, so depth_ can never transiently exceed
+    // queue_capacity — the soak asserts MaxDepthSeen() <= capacity.
+    depth = ++depth_;
+    max_depth_ = std::max(max_depth_, depth_);
+  }
+  ServeMetrics::Get().queue_depth.Set(static_cast<double>(depth));
+  return Admission{true, ServeStatus::kShed, degraded};
+}
+
+void ServingStack::ReleaseSlot() {
+  std::size_t depth = 0;
+  {
+    util::MutexLock lock(&mutex_);
+    depth = --depth_;
+  }
+  ServeMetrics::Get().queue_depth.Set(static_cast<double>(depth));
+}
+
+namespace {
+
+/// Shared state of one accepted request.  Fulfil() releases the queue
+/// slot *before* resolving the promise, so a client that sees its future
+/// ready also sees the depth accounting settled.  If the task closure is
+/// destroyed unexecuted — a fault injected at the pool's threadpool.task
+/// dispatch site — the destructor still releases the slot and breaking
+/// the promise unblocks the client, so a dispatch storm can neither leak
+/// a queue slot nor wedge a caller.
+template <typename Result>
+struct Pending {
+  explicit Pending(std::function<void()> release_slot)
+      : release(std::move(release_slot)) {}
+  ~Pending() {
+    if (!released) release();
+  }
+
+  Pending(const Pending&) = delete;
+  Pending& operator=(const Pending&) = delete;
+
+  void Fulfil(Result result) {
+    released = true;
+    release();
+    promise.set_value(std::move(result));
+  }
+
+  std::function<void()> release;
+  std::promise<Result> promise;
+  bool released = false;  // only the owning worker (or the last
+                          // destructor) touches this
+};
+
+}  // namespace
+
+std::future<ServeResult> ServingStack::Submit(matrix::UserId user,
+                                              matrix::ItemId item) {
+  robust::Deadline deadline;
+  if (options_.default_budget.count() > 0) {
+    deadline = robust::Deadline::After(options_.default_budget);
+  }
+  return Submit(user, item, deadline);
+}
+
+std::future<ServeResult> ServingStack::Submit(matrix::UserId user,
+                                              matrix::ItemId item,
+                                              robust::Deadline deadline) {
+  ServeMetrics::Get().requests.Increment();
+  const Admission admission = Admit();
+  if (!admission.admitted) {
+    (admission.refusal == ServeStatus::kRejected ? ServeMetrics::Get().rejected
+                                                 : ServeMetrics::Get().shed)
+        .Increment();
+    ServeResult refused;
+    refused.status = admission.refusal;
+    return ReadyFuture(std::move(refused));
+  }
+  if (admission.degraded) {
+    ServeMetrics::Get().degraded_admissions.Increment();
+  }
+  auto pending = std::make_shared<Pending<ServeResult>>(
+      [this] { ReleaseSlot(); });
+  auto future = pending->promise.get_future();
+  pool_.Submit([this, pending, user, item, deadline,
+                degraded = admission.degraded] {
+    pending->Fulfil(Process(user, item, deadline, degraded));
+  });
+  return future;
+}
+
+std::future<std::vector<ServeResult>> ServingStack::SubmitBatch(
+    std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries,
+    robust::Deadline deadline) {
+  ServeMetrics::Get().requests.Increment(queries.size());
+  const Admission admission = Admit();
+  if (!admission.admitted) {
+    (admission.refusal == ServeStatus::kRejected ? ServeMetrics::Get().rejected
+                                                 : ServeMetrics::Get().shed)
+        .Increment(queries.size());
+    ServeResult refused;
+    refused.status = admission.refusal;
+    return ReadyFuture(
+        std::vector<ServeResult>(queries.size(), std::move(refused)));
+  }
+  if (admission.degraded) {
+    ServeMetrics::Get().degraded_admissions.Increment(queries.size());
+  }
+  auto pending = std::make_shared<Pending<std::vector<ServeResult>>>(
+      [this] { ReleaseSlot(); });
+  auto future = pending->promise.get_future();
+  pool_.Submit([this, pending, queries = std::move(queries), deadline,
+                degraded = admission.degraded] {
+    pending->Fulfil(ProcessBatch(queries, deadline, degraded));
+  });
+  return future;
+}
+
+ServeResult ServingStack::Process(matrix::UserId user, matrix::ItemId item,
+                                  robust::Deadline deadline,
+                                  bool degraded_admission) {
+  ServeResult result;
+  BreakerPlan plan;
+  std::size_t effective_level = 0;
+  bool planned = false;
+  bool bad = true;
+  try {
+    CFSF_FAILPOINT("serve.worker");
+    const auto model = models_.Active();
+    if (model == nullptr) {
+      throw util::Error("ServingStack: no active model generation");
+    }
+    plan = breaker_.Admit();
+    planned = true;
+    effective_level = plan.level;
+    if (degraded_admission) {
+      effective_level = std::max(effective_level, options_.watermark_level);
+    }
+    const robust::PredictionRung floor = FloorForLevel(effective_level);
+    const auto start = std::chrono::steady_clock::now();
+    const robust::LadderResult ladder =
+        model->ladder().PredictWithLadder(user, item, deadline, floor);
+    LatencyFor(ladder.rung).Record(ElapsedUs(start));
+    result.status = ServeStatus::kOk;
+    result.value = ladder.value;
+    result.rung = ladder.rung;
+    result.tier = effective_level;
+    result.probe = plan.probe;
+    result.deadline_overrun = ladder.deadline_overrun;
+    result.generation = model->generation();
+    // "Bad" for the breaker: the request blew its budget or had to fall
+    // below even the tier it was planned at.
+    bad = ladder.deadline_overrun || ladder.rung > floor;
+    ServeMetrics::Get().ok.Increment();
+  } catch (const std::exception& e) {
+    result = ServeResult{};
+    result.status = ServeStatus::kError;
+    result.error = e.what();
+    result.tier = effective_level;
+    result.probe = plan.probe;
+    ServeMetrics::Get().errors.Increment();
+  }
+  if (planned) breaker_.Record(plan, effective_level, bad);
+  return result;
+}
+
+std::vector<ServeResult> ServingStack::ProcessBatch(
+    const std::vector<std::pair<matrix::UserId, matrix::ItemId>>& queries,
+    robust::Deadline deadline, bool degraded_admission) {
+  std::vector<ServeResult> results;
+  BreakerPlan plan;
+  std::size_t effective_level = 0;
+  bool planned = false;
+  bool bad = true;
+  try {
+    CFSF_FAILPOINT("serve.worker");
+    const auto model = models_.Active();
+    if (model == nullptr) {
+      throw util::Error("ServingStack: no active model generation");
+    }
+    plan = breaker_.Admit();
+    planned = true;
+    effective_level = plan.level;
+    if (degraded_admission) {
+      effective_level = std::max(effective_level, options_.watermark_level);
+    }
+    const robust::PredictionRung floor = FloorForLevel(effective_level);
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<robust::LadderResult> ladder =
+        model->ladder().PredictBatchWithLadder(queries, deadline, floor);
+    ServeMetrics::Get().latency_batch.Record(ElapsedUs(start));
+    results.reserve(ladder.size());
+    bad = false;
+    for (const robust::LadderResult& entry : ladder) {
+      ServeResult one;
+      one.status = ServeStatus::kOk;
+      one.value = entry.value;
+      one.rung = entry.rung;
+      one.tier = effective_level;
+      one.probe = plan.probe;
+      one.deadline_overrun = entry.deadline_overrun;
+      one.generation = model->generation();
+      bad = bad || entry.deadline_overrun || entry.rung > floor;
+      results.push_back(std::move(one));
+    }
+    ServeMetrics::Get().ok.Increment(results.size());
+  } catch (const std::exception& e) {
+    ServeResult failed;
+    failed.status = ServeStatus::kError;
+    failed.error = e.what();
+    failed.tier = effective_level;
+    failed.probe = plan.probe;
+    results.assign(queries.size(), failed);
+    ServeMetrics::Get().errors.Increment(queries.size());
+    bad = true;
+  }
+  if (planned) breaker_.Record(plan, effective_level, bad);
+  return results;
+}
+
+ServeResult ServingStack::Await(std::future<ServeResult>& future) {
+  try {
+    return future.get();
+  } catch (const std::future_error&) {
+    // The closure was destroyed unexecuted — a fault injected at the
+    // pool's threadpool.task dispatch site.  The request is lost, the
+    // client is not.
+    ServeResult dropped;
+    dropped.status = ServeStatus::kError;
+    dropped.error = "request dropped at dispatch (broken promise)";
+    ServeMetrics::Get().errors.Increment();
+    return dropped;
+  }
+}
+
+ServeResult ServingStack::ServeSync(matrix::UserId user, matrix::ItemId item,
+                                    robust::Deadline deadline) {
+  auto future = Submit(user, item, deadline);
+  return Await(future);
+}
+
+void ServingStack::Drain() {
+  {
+    util::MutexLock lock(&mutex_);
+    draining_ = true;
+  }
+  util::Backoff backoff(
+      {.initial = std::chrono::milliseconds(1), .max =
+           std::chrono::milliseconds(20)});
+  for (;;) {
+    try {
+      pool_.Wait();
+    } catch (...) {
+      // An injected dispatch fault (threadpool.task) surfaced through the
+      // pool's error channel; the affected request's promise is already
+      // broken, so just keep waiting for the rest.
+      continue;
+    }
+    // A worker releases its queue slot when the task closure is
+    // destroyed, which is slightly after the pool counts the task done —
+    // and a racing Submit may hold a slot it has not yet enqueued.
+    // depth_ == 0 is the authoritative "everything resolved" signal.
+    if (QueueDepth() == 0) return;
+    backoff.SleepNext();
+  }
+}
+
+std::size_t ServingStack::QueueDepth() const {
+  util::MutexLock lock(&mutex_);
+  return depth_;
+}
+
+std::size_t ServingStack::MaxDepthSeen() const {
+  util::MutexLock lock(&mutex_);
+  return max_depth_;
+}
+
+}  // namespace cfsf::serve

@@ -1,0 +1,180 @@
+// ServingStack — the resilient online serving layer.
+//
+// The paper's offline/online split exists so the online phase stays
+// cheap and predictable under load (CFSF §IV response-time results).
+// This layer makes that promise hold under *hostile* load by composing:
+//
+//   admission control   a bounded request queue over par::ThreadPool:
+//                       depth >= queue_capacity sheds the request
+//                       outright (kShed); depth >= degrade_watermark
+//                       applies the configured watermark policy —
+//                       degrade the request to a cheaper ladder tier
+//                       (kDegrade, the default) or refuse it (kReject)
+//   deadline propagation each request carries a robust::Deadline from
+//                       the API through the queue into the ladder, so
+//                       time queued counts against the budget and a
+//                       late request degrades instead of blocking
+//   circuit breaker     serve/circuit_breaker.hpp scores every outcome
+//                       and moves the default tier for the whole stack
+//                       (full → SIR′ → user mean → global mean),
+//                       half-opening with probe requests to climb back
+//   hot model swap      requests resolve the model through
+//                       serve/model_generation.hpp, so a swap never
+//                       blocks or fails an in-flight request
+//
+// Shutdown drains gracefully: Drain() stops admissions (everything new
+// is shed) and waits for in-flight work; the destructor drains too, so
+// a ServingStack can never outlive its workers.  Every accepted request
+// resolves its future exactly once — including on worker faults, which
+// surface as kError responses rather than exceptions.  The one
+// exception: a fault injected at the pool's own dispatch site
+// (threadpool.task) destroys the closure unexecuted, which breaks the
+// promise; Await()/ServeSync() map that std::future_error onto a kError
+// response so even injected dispatch storms cannot wedge a client.
+//
+// Metrics: serve.requests / serve.ok / serve.shed / serve.rejected /
+// serve.errors / serve.degraded_admissions counters, serve.queue_depth
+// gauge, per-rung latency histograms serve.latency_us.{full,sir,
+// user_mean,global_mean}.  Failpoints: serve.admit (admission path) and
+// serve.worker (worker path), plus everything the lower layers define.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "matrix/types.hpp"
+#include "parallel/thread_pool.hpp"
+#include "robust/fallback.hpp"
+#include "serve/circuit_breaker.hpp"
+#include "serve/model_generation.hpp"
+#include "util/mutex.hpp"
+
+namespace cfsf::serve {
+
+enum class ServeStatus {
+  kOk,        // answered (possibly from a degraded rung)
+  kShed,      // load-shed at admission (queue full or stack draining)
+  kRejected,  // refused by the kReject watermark policy
+  kError,     // worker fault; no usable answer
+};
+
+const char* ToString(ServeStatus status);
+
+/// What to do with requests admitted above the degrade watermark.
+enum class WatermarkPolicy {
+  kDegrade,  // serve, but from `watermark_level` or cheaper
+  kReject,   // refuse with kRejected
+};
+
+struct ServeResult {
+  ServeStatus status = ServeStatus::kOk;
+  double value = 0.0;
+  robust::PredictionRung rung = robust::PredictionRung::kFull;
+  /// Ladder tier the request was planned at (breaker level, possibly
+  /// bumped by the watermark).
+  std::size_t tier = 0;
+  bool probe = false;
+  bool deadline_overrun = false;
+  /// Model generation that served the request (0 for shed/rejected).
+  std::uint64_t generation = 0;
+  std::string error;  // set when status == kError
+};
+
+struct ServingOptions {
+  std::size_t num_workers = 4;
+  /// Hard bound on queued+running requests; beyond it requests are shed.
+  std::size_t queue_capacity = 256;
+  /// Depth at which the watermark policy kicks in; 0 disables.
+  std::size_t degrade_watermark = 128;
+  WatermarkPolicy watermark_policy = WatermarkPolicy::kDegrade;
+  /// Ladder tier (1=SIR′, 2=user mean, 3=global mean) forced on
+  /// requests admitted above the watermark under kDegrade.
+  std::size_t watermark_level = 2;
+  /// Default per-request budget when the caller passes no deadline;
+  /// zero = unlimited.
+  std::chrono::microseconds default_budget{0};
+  CircuitBreakerOptions breaker;
+};
+
+class ServingStack {
+ public:
+  /// `models` must outlive the stack and have an active generation
+  /// before the first Submit.
+  ServingStack(ModelGeneration& models, const ServingOptions& options = {});
+  ~ServingStack();  // drains
+
+  ServingStack(const ServingStack&) = delete;
+  ServingStack& operator=(const ServingStack&) = delete;
+
+  /// Admits one request.  Always returns a future that Await() can
+  /// resolve; shed/rejected requests come back already completed.
+  std::future<ServeResult> Submit(matrix::UserId user, matrix::ItemId item)
+      CFSF_EXCLUDES(mutex_);
+  std::future<ServeResult> Submit(matrix::UserId user, matrix::ItemId item,
+                                  robust::Deadline deadline)
+      CFSF_EXCLUDES(mutex_);
+
+  /// Admits a whole batch as one queue unit; the batch shares `deadline`
+  /// through robust::FallbackPredictor::PredictBatchWithLadder, so the
+  /// tail of an over-budget batch degrades instead of overrunning.
+  std::future<std::vector<ServeResult>> SubmitBatch(
+      std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries,
+      robust::Deadline deadline) CFSF_EXCLUDES(mutex_);
+
+  /// future.get() with the broken-promise case (a fault injected at the
+  /// pool dispatch site) mapped onto a kError result.
+  static ServeResult Await(std::future<ServeResult>& future);
+
+  /// Submit + Await in one call.
+  ServeResult ServeSync(matrix::UserId user, matrix::ItemId item,
+                        robust::Deadline deadline = {}) CFSF_EXCLUDES(mutex_);
+
+  /// Stops admitting (new requests are shed) and waits until every
+  /// in-flight request has resolved.  Idempotent.
+  void Drain() CFSF_EXCLUDES(mutex_);
+
+  std::size_t QueueDepth() const CFSF_EXCLUDES(mutex_);
+  /// High-water mark of the queue depth since construction — the soak
+  /// asserts it never exceeds queue_capacity.
+  std::size_t MaxDepthSeen() const CFSF_EXCLUDES(mutex_);
+
+  CircuitBreaker& breaker() { return breaker_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  ModelGeneration& models() { return models_; }
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  struct Admission {
+    bool admitted = false;
+    ServeStatus refusal = ServeStatus::kShed;  // when !admitted
+    bool degraded = false;                     // watermark bumped the tier
+  };
+
+  /// Reserves one queue slot (or refuses).  The slot is released by
+  /// FinishRequest when the request resolves.
+  Admission Admit() CFSF_EXCLUDES(mutex_);
+  void ReleaseSlot() CFSF_EXCLUDES(mutex_);
+
+  ServeResult Process(matrix::UserId user, matrix::ItemId item,
+                      robust::Deadline deadline, bool degraded_admission);
+  std::vector<ServeResult> ProcessBatch(
+      const std::vector<std::pair<matrix::UserId, matrix::ItemId>>& queries,
+      robust::Deadline deadline, bool degraded_admission);
+
+  ModelGeneration& models_;
+  const ServingOptions options_;
+  CircuitBreaker breaker_;
+
+  mutable util::Mutex mutex_;
+  std::size_t depth_ CFSF_GUARDED_BY(mutex_) = 0;
+  std::size_t max_depth_ CFSF_GUARDED_BY(mutex_) = 0;
+  bool draining_ CFSF_GUARDED_BY(mutex_) = false;
+
+  // Declared last: workers must stop before the fields above go away.
+  par::ThreadPool pool_;
+};
+
+}  // namespace cfsf::serve

@@ -206,8 +206,11 @@ TEST_F(ModelIoFaultTest, LoadWithRetrySurvivesTransientFaults) {
   core::SaveModel(Model(), path);
   auto& registry = FailPointRegistry::Global();
   auto& retries =
-      obs::MetricsRegistry::Global().GetCounter("robust.model_load.retries");
+      obs::MetricsRegistry::Global().GetCounter("robust.load.retry");
+  auto& giveups =
+      obs::MetricsRegistry::Global().GetCounter("robust.load.giveup");
   const auto retries_before = retries.Value();
+  const auto giveups_before = giveups.Value();
   registry.Arm("model_io.load.open", "first:2");
   core::LoadRetryOptions options;
   options.max_attempts = 3;
@@ -217,6 +220,8 @@ TEST_F(ModelIoFaultTest, LoadWithRetrySurvivesTransientFaults) {
   EXPECT_EQ(registry.TripCount("model_io.load.open"), 2u);
   if (obs::MetricsEnabled()) {
     EXPECT_EQ(retries.Value(), retries_before + 2);
+    EXPECT_EQ(giveups.Value(), giveups_before)
+        << "a load that eventually succeeds must not count as a giveup";
   }
 }
 
@@ -224,12 +229,22 @@ TEST_F(ModelIoFaultTest, LoadWithRetryGivesUpAfterMaxAttempts) {
   const std::string path = ::testing::TempDir() + "/cfsf_retry_exhaust.bin";
   core::SaveModel(Model(), path);
   auto& registry = FailPointRegistry::Global();
+  auto& retries =
+      obs::MetricsRegistry::Global().GetCounter("robust.load.retry");
+  auto& giveups =
+      obs::MetricsRegistry::Global().GetCounter("robust.load.giveup");
+  const auto retries_before = retries.Value();
+  const auto giveups_before = giveups.Value();
   registry.Arm("model_io.load.read", "always");
   core::LoadRetryOptions options;
   options.max_attempts = 2;
   options.initial_backoff = std::chrono::milliseconds(1);
   EXPECT_THROW(core::LoadModelWithRetry(path, options), InjectedFault);
   EXPECT_EQ(registry.TripCount("model_io.load.read"), 2u);
+  if (obs::MetricsEnabled()) {
+    EXPECT_EQ(retries.Value(), retries_before + 1);
+    EXPECT_EQ(giveups.Value(), giveups_before + 1);
+  }
 }
 
 // ----------------------------------------------- armed end-to-end ----

@@ -311,6 +311,82 @@ TEST_F(LadderTest, FallbackCountersAdvance) {
   EXPECT_GT(sir.Value() + user_mean.Value(), sir_before + mean_before);
 }
 
+TEST_F(LadderTest, BatchDeadlineStopsTierDescentOnceSpent) {
+  robust::FallbackPredictor predictor(Model());
+  std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries;
+  for (matrix::UserId u = 0; u < 30; ++u) queries.emplace_back(u, u % 7);
+
+  // An already-expired batch deadline: every query must skip the
+  // expensive rungs and resolve from the mean anchors.
+  const auto spent = predictor.PredictBatchWithLadder(
+      queries, robust::Deadline::After(std::chrono::microseconds(0)));
+  ASSERT_EQ(spent.size(), queries.size());
+  for (const auto& result : spent) {
+    EXPECT_TRUE(result.deadline_overrun);
+    EXPECT_TRUE(result.rung == robust::PredictionRung::kUserMean ||
+                result.rung == robust::PredictionRung::kGlobalMean);
+    EXPECT_GE(result.value, 1.0);
+    EXPECT_LE(result.value, 5.0);
+  }
+
+  // An unlimited batch deadline serves the full rung.
+  const auto fresh =
+      predictor.PredictBatchWithLadder(queries, robust::Deadline());
+  ASSERT_EQ(fresh.size(), queries.size());
+  EXPECT_EQ(fresh.front().rung, robust::PredictionRung::kFull);
+}
+
+TEST_F(LadderTest, BatchBudgetOptionFlowsThroughPredictBatch) {
+  robust::FallbackOptions options;
+  options.batch_budget = std::chrono::microseconds(1);
+  robust::FallbackPredictor predictor(Model(), options);
+  auto& overruns = obs::MetricsRegistry::Global().GetCounter(
+      "robust.deadline_overruns");
+  const auto before = overruns.Value();
+  std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries;
+  for (matrix::UserId u = 0; u < 40; ++u) queries.emplace_back(u, u % 9);
+  const auto out = predictor.PredictBatch(queries);
+  ASSERT_EQ(out.size(), queries.size());
+  for (const double v : out) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 5.0);
+  }
+  if (obs::MetricsEnabled()) {
+    // With a 1us budget over 40 queries the shared deadline expires well
+    // before the batch ends; the tail of the batch must have overrun.
+    EXPECT_GT(overruns.Value(), before);
+  }
+}
+
+TEST_F(LadderTest, DeadlineEarlierOfPicksTighterBudget) {
+  const auto unlimited = robust::Deadline();
+  const auto soon = robust::Deadline::After(std::chrono::microseconds(0));
+  const auto later = robust::Deadline::After(std::chrono::hours(1));
+  EXPECT_TRUE(robust::Deadline::EarlierOf(unlimited, unlimited).unlimited());
+  EXPECT_TRUE(robust::Deadline::EarlierOf(unlimited, soon).Expired());
+  EXPECT_TRUE(robust::Deadline::EarlierOf(soon, unlimited).Expired());
+  EXPECT_TRUE(robust::Deadline::EarlierOf(soon, later).Expired());
+  EXPECT_FALSE(robust::Deadline::EarlierOf(later, unlimited).Expired());
+}
+
+TEST_F(LadderTest, FloorRungPinsDegradedTiers) {
+  robust::FallbackPredictor predictor(Model());
+  const auto sir_floor = predictor.PredictWithLadder(
+      0, 0, robust::Deadline(), robust::PredictionRung::kSir);
+  EXPECT_NE(sir_floor.rung, robust::PredictionRung::kFull);
+  const auto mean_floor = predictor.PredictWithLadder(
+      0, 0, robust::Deadline(), robust::PredictionRung::kUserMean);
+  EXPECT_EQ(mean_floor.rung, robust::PredictionRung::kUserMean);
+  EXPECT_DOUBLE_EQ(mean_floor.value,
+                   std::clamp(Model().UserMeanOf(0), 1.0, 5.0));
+  const auto global_floor = predictor.PredictWithLadder(
+      0, 0, robust::Deadline(), robust::PredictionRung::kGlobalMean);
+  EXPECT_EQ(global_floor.rung, robust::PredictionRung::kGlobalMean);
+  EXPECT_DOUBLE_EQ(global_floor.value,
+                   std::clamp(Model().GlobalMeanOf(), 1.0, 5.0));
+}
+
 TEST_F(LadderTest, PredictBatchIsTotalUnderProbFaults) {
   robust::FallbackPredictor predictor(Model());
   FailPointRegistry::Global().SetSeed(7);

@@ -1,0 +1,455 @@
+// Tests for the resilient serving layer: circuit-breaker state machine,
+// admission control (shedding, watermark degrade/reject), deadline
+// propagation, hot model swap, dispatch-fault survival — and the chaos
+// soak that drives all of it at once under randomized failpoint
+// schedules (ctest labels: fault + stress).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/cfsf.hpp"
+#include "core/model_io.hpp"
+#include "data/synthetic.hpp"
+#include "robust/failpoint.hpp"
+#include "serve/circuit_breaker.hpp"
+#include "serve/model_generation.hpp"
+#include "serve/serving_stack.hpp"
+#include "serve/soak.hpp"
+#include "util/error.hpp"
+
+namespace cfsf {
+namespace {
+
+using robust::FailPointRegistry;
+using robust::PredictionRung;
+using robust::ScopedFailPoint;
+using serve::BreakerPlan;
+using serve::BreakerState;
+using serve::CircuitBreaker;
+using serve::CircuitBreakerOptions;
+using serve::ModelGeneration;
+using serve::ServeResult;
+using serve::ServeStatus;
+using serve::ServingOptions;
+using serve::ServingStack;
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPointRegistry::Global().DisarmAll(); }
+  void TearDown() override { FailPointRegistry::Global().DisarmAll(); }
+
+  /// One fitted model shared by every test (fitting is the slow part).
+  static std::unique_ptr<core::CfsfModel> FreshModel() {
+    data::SyntheticConfig dconfig;
+    dconfig.num_users = 60;
+    dconfig.num_items = 80;
+    dconfig.min_ratings_per_user = 15;
+    core::CfsfConfig config;
+    config.num_clusters = 5;
+    config.top_m_items = 15;
+    config.top_k_users = 8;
+    auto model = std::make_unique<core::CfsfModel>(config);
+    model->Fit(data::GenerateSynthetic(dconfig));
+    return model;
+  }
+
+  static ModelGeneration& Models() {
+    static ModelGeneration* models = [] {
+      auto* m = new ModelGeneration();  // cfsf-lint: allow(naked-new)
+      m->Install(FreshModel());
+      return m;
+    }();
+    return *models;
+  }
+};
+
+// ------------------------------------------------- circuit breaker ----
+
+CircuitBreakerOptions FastBreaker() {
+  CircuitBreakerOptions options;
+  options.window = 8;
+  options.min_samples = 4;
+  options.trip_threshold = 0.5;
+  options.cooldown = std::chrono::milliseconds(1);
+  options.probe_count = 2;
+  options.probe_success_threshold = 1.0;
+  return options;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAtFullFusion) {
+  CircuitBreaker breaker(FastBreaker());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.level(), 0u);
+  const BreakerPlan plan = breaker.Admit();
+  EXPECT_EQ(plan.level, 0u);
+  EXPECT_FALSE(plan.probe);
+}
+
+TEST(CircuitBreakerTest, TripsOnBadWindowAndStepsDownOneTier) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 4; ++i) {
+    breaker.Record(breaker.Admit(), 0, /*bad=*/true);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.level(), 1u);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpensAfterCooldownAndRecoversOnGoodProbes) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 4; ++i) breaker.Record(breaker.Admit(), 0, true);
+  ASSERT_EQ(breaker.level(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  // First Admit past the cooldown half-opens and issues a probe one
+  // tier up; good probes recover the tier and close the breaker.
+  for (int i = 0; i < 2; ++i) {
+    const BreakerPlan plan = breaker.Admit();
+    ASSERT_TRUE(plan.probe);
+    ASSERT_EQ(plan.level, 0u);
+    breaker.Record(plan, plan.level, /*bad=*/false);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.level(), 0u);
+  EXPECT_EQ(breaker.recoveries(), 1u);
+}
+
+TEST(CircuitBreakerTest, FailedProbesReopenAtCurrentLevel) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 4; ++i) breaker.Record(breaker.Admit(), 0, true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  for (int i = 0; i < 2; ++i) {
+    const BreakerPlan plan = breaker.Admit();
+    ASSERT_TRUE(plan.probe);
+    breaker.Record(plan, plan.level, /*bad=*/true);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.level(), 1u);
+  EXPECT_EQ(breaker.recoveries(), 0u);
+}
+
+TEST(CircuitBreakerTest, StaleProbeOutcomeIsIgnored) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 4; ++i) breaker.Record(breaker.Admit(), 0, true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  const BreakerPlan p1 = breaker.Admit();
+  const BreakerPlan p2 = breaker.Admit();
+  ASSERT_TRUE(p1.probe && p2.probe);
+  breaker.Record(p1, p1.level, /*bad=*/true);
+  breaker.Record(p2, p2.level, /*bad=*/true);  // episode fails; re-open
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  const BreakerPlan q1 = breaker.Admit();  // fresh half-open episode
+  ASSERT_TRUE(q1.probe);
+  // Replaying the dead episode's probes must not leak into the new one.
+  breaker.Record(p1, p1.level, /*bad=*/false);
+  breaker.Record(p2, p2.level, /*bad=*/false);
+  EXPECT_EQ(breaker.recoveries(), 0u);
+  EXPECT_EQ(breaker.level(), 1u);
+  // The live episode still concludes on its own probes.
+  const BreakerPlan q2 = breaker.Admit();
+  ASSERT_TRUE(q2.probe);
+  breaker.Record(q1, q1.level, /*bad=*/false);
+  breaker.Record(q2, q2.level, /*bad=*/false);
+  EXPECT_EQ(breaker.recoveries(), 1u);
+  EXPECT_EQ(breaker.level(), 0u);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, RepeatedTripsBottomOutAtGlobalMean) {
+  CircuitBreakerOptions options = FastBreaker();
+  options.cooldown = std::chrono::hours(1);  // never half-open here
+  CircuitBreaker breaker(options);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      const BreakerPlan plan = breaker.Admit();
+      breaker.Record(plan, plan.level, true);
+    }
+  }
+  EXPECT_EQ(breaker.level(), options.max_level);
+  EXPECT_LE(breaker.trips(), options.max_level);
+}
+
+TEST(CircuitBreakerTest, RejectsNonsenseOptions) {
+  CircuitBreakerOptions options;
+  options.window = 0;
+  EXPECT_THROW(CircuitBreaker{options}, util::ConfigError);
+  options = CircuitBreakerOptions{};
+  options.min_samples = options.window + 1;
+  EXPECT_THROW(CircuitBreaker{options}, util::ConfigError);
+  options = CircuitBreakerOptions{};
+  options.trip_threshold = 0.0;
+  EXPECT_THROW(CircuitBreaker{options}, util::ConfigError);
+  options = CircuitBreakerOptions{};
+  options.max_level = 4;
+  EXPECT_THROW(CircuitBreaker{options}, util::ConfigError);
+}
+
+// ---------------------------------------------------- serving stack ----
+
+ServingOptions SmallStack() {
+  ServingOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 32;
+  options.degrade_watermark = 24;
+  options.breaker = FastBreaker();
+  return options;
+}
+
+TEST_F(ServeTest, ServesFullFusionWhenHealthy) {
+  ServingStack stack(Models(), SmallStack());
+  const ServeResult result = stack.ServeSync(0, 0);
+  EXPECT_EQ(result.status, ServeStatus::kOk);
+  EXPECT_EQ(result.rung, PredictionRung::kFull);
+  EXPECT_GE(result.value, 1.0);
+  EXPECT_LE(result.value, 5.0);
+  EXPECT_GT(result.generation, 0u);
+  EXPECT_FALSE(result.deadline_overrun);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineDegradesInsteadOfBlocking) {
+  ServingStack stack(Models(), SmallStack());
+  const ServeResult result = stack.ServeSync(
+      1, 1, robust::Deadline::After(std::chrono::microseconds(0)));
+  EXPECT_EQ(result.status, ServeStatus::kOk);
+  EXPECT_TRUE(result.deadline_overrun);
+  EXPECT_GE(result.rung, PredictionRung::kUserMean);
+  EXPECT_TRUE(std::isfinite(result.value));
+}
+
+TEST_F(ServeTest, AdmissionFailpointShedsInsteadOfThrowing) {
+  ServingStack stack(Models(), SmallStack());
+  ScopedFailPoint guard("serve.admit", "always");
+  const ServeResult result = stack.ServeSync(0, 0);
+  EXPECT_EQ(result.status, ServeStatus::kShed);
+}
+
+TEST_F(ServeTest, WatermarkDegradesThenCapacitySheds) {
+  // One worker, pinned down by a big batch: singles pile up behind it
+  // and walk the admission ladder deterministically.
+  ServingOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 4;
+  options.degrade_watermark = 1;
+  options.watermark_level = 2;
+  options.breaker = FastBreaker();
+  ServingStack stack(Models(), options);
+
+  std::vector<std::pair<matrix::UserId, matrix::ItemId>> big(
+      100000, {0, 0});
+  auto batch_future = stack.SubmitBatch(std::move(big), robust::Deadline());
+  // depth 1 >= watermark: everything below is admitted degraded.
+  auto degraded_a = stack.Submit(2, 2);  // depth 2
+  auto degraded_b = stack.Submit(3, 3);  // depth 3
+  auto degraded_c = stack.Submit(4, 4);  // depth 4 == capacity
+  const ServeResult shed = stack.ServeSync(5, 5);
+  EXPECT_EQ(shed.status, ServeStatus::kShed);
+
+  const ServeResult a = ServingStack::Await(degraded_a);
+  const ServeResult b = ServingStack::Await(degraded_b);
+  const ServeResult c = ServingStack::Await(degraded_c);
+  for (const ServeResult& r : {a, b, c}) {
+    EXPECT_EQ(r.status, ServeStatus::kOk);
+    EXPECT_GE(r.tier, 2u);
+    EXPECT_GE(r.rung, PredictionRung::kUserMean);
+  }
+  EXPECT_EQ(batch_future.get().size(), 100000u);
+  EXPECT_LE(stack.MaxDepthSeen(), options.queue_capacity);
+}
+
+TEST_F(ServeTest, WatermarkRejectPolicyRefuses) {
+  ServingOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 4;
+  options.degrade_watermark = 1;
+  options.watermark_policy = serve::WatermarkPolicy::kReject;
+  options.breaker = FastBreaker();
+  ServingStack stack(Models(), options);
+
+  std::vector<std::pair<matrix::UserId, matrix::ItemId>> big(
+      100000, {0, 0});
+  auto batch_future = stack.SubmitBatch(std::move(big), robust::Deadline());
+  const ServeResult rejected = stack.ServeSync(1, 1);
+  EXPECT_EQ(rejected.status, ServeStatus::kRejected);
+  batch_future.get();
+}
+
+TEST_F(ServeTest, WorkerFaultYieldsErrorResultAndStackSurvives) {
+  ServingStack stack(Models(), SmallStack());
+  {
+    ScopedFailPoint guard("serve.worker", "always");
+    const ServeResult result = stack.ServeSync(0, 0);
+    EXPECT_EQ(result.status, ServeStatus::kError);
+    EXPECT_FALSE(result.error.empty());
+  }
+  EXPECT_EQ(stack.ServeSync(0, 0).status, ServeStatus::kOk);
+  EXPECT_EQ(stack.QueueDepth(), 0u);
+}
+
+TEST_F(ServeTest, DispatchFaultBreaksPromiseNotTheClient) {
+  ServingStack stack(Models(), SmallStack());
+  {
+    // threadpool.task fires before the task closure runs: the promise
+    // inside the destroyed closure breaks.  The client must still get a
+    // (kError) answer and the queue slot must be released.
+    ScopedFailPoint guard("threadpool.task", "always");
+    const ServeResult result = stack.ServeSync(0, 0);
+    EXPECT_EQ(result.status, ServeStatus::kError);
+    EXPECT_NE(result.error.find("dropped at dispatch"), std::string::npos);
+  }
+  stack.Drain();
+  EXPECT_EQ(stack.QueueDepth(), 0u);
+  // Drained stacks shed; a fresh stack over the same models still works.
+  EXPECT_EQ(stack.ServeSync(0, 0).status, ServeStatus::kShed);
+}
+
+TEST_F(ServeTest, BreakerTripsAndRecoversThroughTheStack) {
+  ServingOptions options = SmallStack();
+  options.num_workers = 1;  // keep outcome ordering deterministic
+  ServingStack stack(Models(), options);
+  {
+    // Full fusion faults on every request: planned-rung misses score bad,
+    // the breaker steps the stack down to the SIR′ tier.
+    ScopedFailPoint guard("cfsf.predict", "always");
+    for (int i = 0; i < 16 && stack.breaker().level() == 0; ++i) {
+      stack.ServeSync(0, 0);
+    }
+    EXPECT_GE(stack.breaker().trips(), 1u);
+    EXPECT_EQ(stack.breaker().level(), 1u);
+  }
+  // Fault cleared: half-open probes climb back to full fusion.
+  for (int i = 0; i < 5000 && stack.breaker().level() != 0; ++i) {
+    stack.ServeSync(0, 0);
+    if (i % 100 == 99) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(stack.breaker().level(), 0u);
+  EXPECT_EQ(stack.breaker().state(), BreakerState::kClosed);
+  EXPECT_GE(stack.breaker().recoveries(), 1u);
+}
+
+// --------------------------------------------------------- hot swap ----
+
+TEST_F(ServeTest, HotSwapReplacesGenerationMidTraffic) {
+  ModelGeneration models;
+  const std::uint64_t gen1 = models.Install(FreshModel());
+  const std::string path = ::testing::TempDir() + "/cfsf_serve_swap.bin";
+  core::SaveModel(*FreshModel(), path);
+
+  ServingStack stack(models, SmallStack());
+  const auto pinned = models.Active();  // an in-flight request's view
+  const std::uint64_t gen2 = models.LoadAndSwap(path);
+  EXPECT_GT(gen2, gen1);
+  EXPECT_EQ(models.ActiveGeneration(), gen2);
+  // The pinned generation is still fully usable until released.
+  EXPECT_EQ(pinned->generation(), gen1);
+  EXPECT_NO_THROW(pinned->ladder().Predict(0, 0));
+  const ServeResult result = stack.ServeSync(0, 0);
+  EXPECT_EQ(result.status, ServeStatus::kOk);
+  EXPECT_EQ(result.generation, gen2);
+}
+
+TEST_F(ServeTest, FailedSwapKeepsPreviousGenerationServing) {
+  ModelGeneration models;
+  const std::uint64_t gen1 = models.Install(FreshModel());
+  ServingStack stack(models, SmallStack());
+  core::LoadRetryOptions retry;
+  retry.max_attempts = 2;
+  retry.initial_backoff = std::chrono::milliseconds(1);
+  EXPECT_THROW(
+      models.LoadAndSwap(::testing::TempDir() + "/cfsf_no_such_bundle.bin",
+                         retry),
+      util::IoError);
+  EXPECT_EQ(models.ActiveGeneration(), gen1);
+  EXPECT_EQ(stack.ServeSync(0, 0).status, ServeStatus::kOk);
+}
+
+// ------------------------------------------------------- chaos soak ----
+
+TEST_F(ServeTest, ChaosSoakSurvivesRandomizedFailpointSchedules) {
+  ModelGeneration models;
+  models.Install(FreshModel());
+  const std::string swap_path =
+      ::testing::TempDir() + "/cfsf_soak_swap.bin";
+  core::SaveModel(*FreshModel(), swap_path);
+
+  ServingOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 64;
+  options.degrade_watermark = 48;
+  options.breaker = FastBreaker();
+  options.breaker.window = 16;
+  options.breaker.min_samples = 8;
+  ServingStack stack(models, options);
+
+  serve::SoakOptions soak;
+  soak.num_clients = 8;
+  soak.requests_per_client = 60;
+  soak.request_budget = std::chrono::microseconds(500);
+  soak.seed = 0xC405C0DE;
+  soak.chaos = {
+      {"cfsf.predict", 0.5},
+      {"serve.worker", 0.05},
+      {"serve.admit", 0.02},
+      {"threadpool.task", 0.02},
+  };
+  core::LoadRetryOptions retry;
+  retry.initial_backoff = std::chrono::milliseconds(1);
+  soak.mid_traffic = [&] { models.LoadAndSwap(swap_path, retry); };
+
+  const serve::SoakReport report = serve::RunSoak(stack, soak);
+  SCOPED_TRACE(report.Summary());
+
+  const auto failures = report.InvariantFailures(options.queue_capacity);
+  for (const std::string& failure : failures) ADD_FAILURE() << failure;
+  EXPECT_EQ(report.issued, 3u * 8u * 60u);
+  EXPECT_GT(report.ok, 0u);
+  EXPECT_GE(report.breaker_trips, 1u)
+      << "the chaos phase must trip the breaker at least once";
+  EXPECT_TRUE(report.mid_traffic_ran);
+  EXPECT_FALSE(report.mid_traffic_failed);
+  // The swap ran while recovery-phase clients were in flight; whether
+  // any of them also *observed* the new generation is timing-dependent,
+  // but the stack must serve from it now with nothing broken.
+  EXPECT_GE(report.generations_seen, 1u);
+  EXPECT_EQ(models.ActiveGeneration(), 2u);
+  EXPECT_EQ(stack.ServeSync(0, 0).generation, 2u);
+
+  // And the stack must climb all the way back: keep serving calm traffic
+  // until the breaker closes at full fusion.
+  for (int i = 0; i < 20000 && stack.breaker().level() != 0; ++i) {
+    stack.ServeSync(0, 0);
+    if (i % 200 == 199) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(stack.breaker().level(), 0u);
+  EXPECT_GE(stack.breaker().recoveries(), 1u);
+  EXPECT_LE(stack.MaxDepthSeen(), options.queue_capacity);
+}
+
+TEST(SoakReportTest, InvariantFailuresCatchBrokenRuns) {
+  serve::SoakReport report;
+  report.issued = 10;
+  report.ok = 4;
+  report.shed = 1;
+  report.rejected = 1;
+  report.errors = 3;  // tallies short by one
+  report.max_depth_seen = 9;
+  report.all_finite = false;
+  const auto failures = report.InvariantFailures(/*queue_capacity=*/8);
+  EXPECT_EQ(failures.size(), 3u);  // depth bound, NaN, tally mismatch
+  serve::SoakReport healthy;
+  healthy.issued = 4;
+  healthy.ok = 4;
+  healthy.max_depth_seen = 2;
+  EXPECT_TRUE(healthy.InvariantFailures(8).empty());
+}
+
+}  // namespace
+}  // namespace cfsf

@@ -11,6 +11,9 @@
 //   cfsf_cli evaluate  --data=u.data [--train=300 --given=10]
 //   cfsf_cli verify-model --model=model.bin
 //   cfsf_cli json-check --file=out.json
+//   cfsf_cli serve-bench [--smoke] [--clients=8 --requests=300
+//                        --workers=4 --capacity=64 --budget-us=500
+//                        --seed=N --chaos=true --swap-file=PATH]
 //
 // Without --data, `fit`/`evaluate` fall back to the synthetic MovieLens
 // substitute (same data every bench uses).  Every command accepts
@@ -24,6 +27,7 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -35,7 +39,10 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "robust/fallback.hpp"
+#include "serve/serving_stack.hpp"
+#include "serve/soak.hpp"
 #include "util/args.hpp"
+#include "util/backoff.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 #include "util/string_utils.hpp"
@@ -310,10 +317,113 @@ int CmdJsonCheck(util::ArgParser& args) {
   return 0;
 }
 
+// Chaos-soak smoke for the resilient serving layer: fit a model, stand up
+// a ServingStack, drive calm -> chaos -> recovery traffic (serve/soak),
+// hot-swap the model mid-traffic, then require the resilience invariants
+// AND a full breaker round-trip (trip + recovery back to full fusion).
+// Exit 0 only when everything held — tools/ci_check.sh runs this under
+// ASan as the chaos-soak smoke tier.
+int CmdServeBench(util::ArgParser& args) {
+  const bool smoke = args.GetBool("smoke", false);
+  serve::SoakOptions soak;
+  soak.num_clients =
+      static_cast<std::size_t>(args.GetInt("clients", 8));
+  soak.requests_per_client =
+      static_cast<std::size_t>(args.GetInt("requests", smoke ? 50 : 300));
+  soak.request_budget =
+      std::chrono::microseconds(args.GetInt("budget-us", 500));
+  soak.seed = static_cast<std::uint64_t>(args.GetInt("seed", 0xC405));
+  const bool chaos = args.GetBool("chaos", true);
+  serve::ServingOptions options;
+  options.num_workers = static_cast<std::size_t>(args.GetInt("workers", 4));
+  options.queue_capacity =
+      static_cast<std::size_t>(args.GetInt("capacity", 64));
+  options.degrade_watermark = options.queue_capacity * 3 / 4;
+  options.breaker.window = 16;
+  options.breaker.min_samples = 8;
+  options.breaker.cooldown = std::chrono::milliseconds(2);
+  options.breaker.probe_count = 2;
+  std::string swap_file = args.GetString("swap-file", "");
+  args.RejectUnknown();
+  if (swap_file.empty()) {
+    swap_file = (std::filesystem::temp_directory_path() /
+                 "cfsf_serve_bench_swap.bin")
+                    .string();
+  }
+
+  data::SyntheticConfig dconfig;
+  dconfig.num_users = smoke ? 60 : 200;
+  dconfig.num_items = smoke ? 80 : 400;
+  dconfig.min_ratings_per_user = 15;
+  core::CfsfConfig config;
+  config.num_clusters = smoke ? 5 : 10;
+  config.top_m_items = smoke ? 15 : 40;
+  config.top_k_users = smoke ? 8 : 15;
+  const auto train = data::GenerateSynthetic(dconfig);
+
+  util::Stopwatch watch;
+  serve::ModelGeneration models;
+  {
+    auto model = std::make_unique<core::CfsfModel>(config);
+    model->Fit(train);
+    core::SaveModel(*model, swap_file);
+    models.Install(std::move(model));
+  }
+  std::printf("serve-bench: fitted + installed generation 1 in %.2fs\n",
+              watch.ElapsedSeconds());
+
+  serve::ServingStack stack(models, options);
+  if (chaos) {
+    soak.chaos = {
+        {"cfsf.predict", 0.5},
+        {"serve.worker", 0.05},
+        {"serve.admit", 0.02},
+        {"threadpool.task", 0.02},
+    };
+  }
+  core::LoadRetryOptions retry;
+  retry.initial_backoff = std::chrono::milliseconds(1);
+  soak.mid_traffic = [&] { models.LoadAndSwap(swap_file, retry); };
+
+  const serve::SoakReport report = serve::RunSoak(stack, soak);
+  std::printf("%s\n", report.Summary().c_str());
+
+  // Calm traffic until the breaker has climbed back to full fusion.
+  for (int i = 0; i < 20000 && stack.breaker().level() != 0; ++i) {
+    stack.ServeSync(0, 0);
+    if (i % 200 == 199) util::SleepFor(std::chrono::milliseconds(1));
+  }
+
+  auto failures = report.InvariantFailures(options.queue_capacity);
+  if (chaos && report.breaker_trips == 0) {
+    failures.push_back("chaos phase never tripped the breaker");
+  }
+  if (chaos && stack.breaker().recoveries() == 0) {
+    failures.push_back("breaker never recovered after the chaos phase");
+  }
+  if (chaos && stack.breaker().level() != 0) {
+    failures.push_back("breaker did not climb back to full fusion");
+  }
+  for (const auto& failure : failures) {
+    std::fprintf(stderr, "serve-bench: INVARIANT VIOLATED: %s\n",
+                 failure.c_str());
+  }
+  if (failures.empty()) {
+    std::printf("serve-bench: all invariants held (trips=%llu, "
+                "recoveries=%llu, generation=%llu)\n",
+                static_cast<unsigned long long>(stack.breaker().trips()),
+                static_cast<unsigned long long>(
+                    stack.breaker().recoveries()),
+                static_cast<unsigned long long>(models.ActiveGeneration()));
+  }
+  return failures.empty() ? 0 : 1;
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: cfsf_cli <generate|stats|fit|predict|recommend|"
-               "add-user|evaluate|verify-model|json-check> [flags]\n(see the "
+               "add-user|evaluate|verify-model|json-check|serve-bench> "
+               "[flags]\n(see the "
                "header of tools/cfsf_cli.cpp for the full flag list)\n");
 }
 
@@ -327,6 +437,7 @@ int Dispatch(const std::string& command, util::ArgParser& args) {
   if (command == "evaluate") return CmdEvaluate(args);
   if (command == "verify-model") return CmdVerifyModel(args);
   if (command == "json-check") return CmdJsonCheck(args);
+  if (command == "serve-bench") return CmdServeBench(args);
   PrintUsage();
   return 2;
 }

@@ -34,6 +34,12 @@
 //                        allowlisted.
 //   naked-system-exit    std::abort/std::exit/std::terminate in library
 //                        code; recoverable failures must throw.
+//   naked-sleep-in-library  std::this_thread::sleep_for/sleep_until (and
+//                        POSIX usleep/nanosleep) in src/ — wall-clock
+//                        waits in library code must go through
+//                        util::Backoff / util::SleepFor (util/backoff.hpp)
+//                        so every sleep is bounded, jittered and findable;
+//                        the backoff implementation itself is exempt.
 //
 // Token rules (cross-line, src/ only):
 //
@@ -269,6 +275,14 @@ const std::vector<LineRule>& LineRules() {
            R"(\bstd\s*::\s*(abort|exit|_Exit|quick_exit|terminate)\s*\(|\b(abort|exit|_Exit|quick_exit)\s*\()"),
        true,
        {"src/util/check"}},
+      {"naked-sleep-in-library",
+       "raw sleep in library code; wall-clock waits must go through "
+       "util::Backoff / util::SleepFor (util/backoff.hpp) so they stay "
+       "bounded and jittered",
+       std::regex(
+           R"(\bstd\s*::\s*this_thread\s*::\s*sleep_(for|until)\b|\bsleep_(for|until)\s*\(|\b(usleep|nanosleep)\s*\()"),
+       true,
+       {"src/util/backoff"}},
   };
   return rules;
 }
@@ -692,6 +706,17 @@ const std::vector<SelfTestCase>& SelfTestCases() {
        "#pragma once\nstd::abort();\n", ""},
       {"exit in tools clean", "tools/x.cpp", "std::exit(2);\n", ""},
       {"abort in comment clean", "src/x.cpp", "// calls std::abort()\n", ""},
+      {"raw sleep_for in library fires", "src/x.cpp",
+       "std::this_thread::sleep_for(std::chrono::milliseconds(5));\n",
+       "naked-sleep-in-library"},
+      {"usleep in library fires", "src/x.cpp",
+       "usleep(100);\n", "naked-sleep-in-library"},
+      {"util::SleepFor clean", "src/x.cpp",
+       "util::SleepFor(std::chrono::milliseconds(5));\n", ""},
+      {"raw sleep in tests clean", "tests/x.cpp",
+       "std::this_thread::sleep_for(std::chrono::milliseconds(5));\n", ""},
+      {"sleep in backoff home clean", "src/util/backoff.cpp",
+       "std::this_thread::sleep_for(duration);\n", ""},
 
       // --- raw-mutex-in-library ------------------------------------------
       {"std::mutex in library fires", "src/x.cpp",

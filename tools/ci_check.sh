@@ -4,6 +4,11 @@
 #   1. asan preset  (address+undefined sanitizers) : build + ctest -L "unit|stress"
 #   2. fault tier   (asan build)                   : ctest -L fault with
 #      CFSF_FAILPOINTS exported — fault-injection paths under ASan
+#   2b. chaos soak  (asan build)                   : cfsf_cli serve-bench
+#      --smoke — the serving stack under concurrent clients, randomized
+#      failpoint schedules and a mid-traffic hot swap; exits nonzero
+#      unless every resilience invariant held and the circuit breaker
+#      completed a full trip-and-recover round trip
 #   3. tsan preset  (thread sanitizer)             : build + ctest -L "unit|stress"
 #   4. tsa preset   (clang -Wthread-safety -Werror): static lock-contract
 #      check over src/ — skipped with a notice when clang++ is not on PATH
@@ -66,6 +71,9 @@ if [[ "${RUN_ASAN}" -eq 1 ]]; then
   CFSF_FAILPOINTS="ci.noop=always" \
     ctest --test-dir "${ROOT}/build/asan" -L fault --output-on-failure \
     -j "${JOBS}"
+  echo "=== [asan] chaos-soak smoke (cfsf_cli serve-bench) ==="
+  cmake --build --preset asan -j "${JOBS}" --target cfsf_cli
+  "${ROOT}/build/asan/tools/cfsf_cli" serve-bench --smoke
 fi
 if [[ "${RUN_TSAN}" -eq 1 ]]; then run_tier tsan; fi
 
