@@ -31,6 +31,7 @@
 #include "eval/evaluate.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -153,7 +154,7 @@ inline util::Table SweepCfsf(
         std::fprintf(stderr, "sweep point '%s' failed: %s\n", label.c_str(),
                      e.what());
         obs::MetricsRegistry::Global()
-            .GetCounter("bench.config_errors")
+            .GetCounter(obs::names::kBenchConfigErrors)
             .Increment();
         row.push_back("error");
       }

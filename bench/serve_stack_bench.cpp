@@ -23,6 +23,7 @@
 #include "core/model_io.hpp"
 #include "data/synthetic.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "serve/model_generation.hpp"
 #include "serve/serving_stack.hpp"
 #include "serve/soak.hpp"
@@ -73,9 +74,9 @@ int main(int argc, char** argv) try {
   auto& registry = obs::MetricsRegistry::Global();
   util::Table table({"Regime", "Metric", "Value"});
   auto run_regime = [&](const std::string& regime, bool chaos) {
-    registry.GetHistogram("serve.latency_us.full", obs::LatencyBucketsUs())
+    registry.GetHistogram(obs::names::kServeLatencyFull, obs::LatencyBucketsUs())
         .Reset();
-    registry.GetHistogram("serve.latency_us.sir", obs::LatencyBucketsUs())
+    registry.GetHistogram(obs::names::kServeLatencySir, obs::LatencyBucketsUs())
         .Reset();
     serve::ServingStack stack(models, options);
     serve::SoakOptions regime_soak = soak;
@@ -119,11 +120,11 @@ int main(int argc, char** argv) try {
             seconds > 0 ? static_cast<double>(report.issued) / seconds : 0.0,
             0));
     const auto& full =
-        registry.GetHistogram("serve.latency_us.full", obs::LatencyBucketsUs());
+        registry.GetHistogram(obs::names::kServeLatencyFull, obs::LatencyBucketsUs());
     row("full-rung p50 (us)", util::FormatFixed(full.Percentile(50), 1));
     row("full-rung p95 (us)", util::FormatFixed(full.Percentile(95), 1));
     const auto& sir =
-        registry.GetHistogram("serve.latency_us.sir", obs::LatencyBucketsUs());
+        registry.GetHistogram(obs::names::kServeLatencySir, obs::LatencyBucketsUs());
     row("SIR'-rung p95 (us)",
         util::FormatFixed(sir.Count() > 0 ? sir.Percentile(95) : 0.0, 1));
 

@@ -6,7 +6,8 @@
 
 #include "obs/timer.hpp"
 #include "parallel/parallel_for.hpp"
-#include "robust/failpoint.hpp"
+#include "obs/failpoint.hpp"
+#include "obs/names.hpp"
 #include "similarity/kernels.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
@@ -36,19 +37,19 @@ struct CfsfMetrics {
     static const CfsfMetrics metrics = [] {
       auto& registry = obs::MetricsRegistry::Global();
       return CfsfMetrics{
-          registry.GetCounter("cfsf.fit.count"),
-          registry.GetGauge("cfsf.fit.cum_seconds"),
-          registry.GetCounter("cfsf.predict.count"),
-          registry.GetHistogram("cfsf.predict.latency_us",
+          registry.GetCounter(obs::names::kCfsfFitCount),
+          registry.GetGauge(obs::names::kCfsfFitCumSeconds),
+          registry.GetCounter(obs::names::kCfsfPredictCount),
+          registry.GetHistogram(obs::names::kCfsfPredictLatencyUs,
                                 obs::LatencyBucketsUs()),
-          registry.GetCounter("cfsf.predict.batch.count"),
-          registry.GetHistogram("cfsf.predict.batch.size", obs::SizeBuckets()),
-          registry.GetCounter("cfsf.predict.component.sir"),
-          registry.GetCounter("cfsf.predict.component.sur"),
-          registry.GetCounter("cfsf.predict.component.suir"),
-          registry.GetCounter("cfsf.topk.cache_hit"),
-          registry.GetCounter("cfsf.topk.cache_miss"),
-          registry.GetHistogram("cfsf.topk.pool_size", obs::SizeBuckets()),
+          registry.GetCounter(obs::names::kCfsfPredictBatchCount),
+          registry.GetHistogram(obs::names::kCfsfPredictBatchSize, obs::SizeBuckets()),
+          registry.GetCounter(obs::names::kCfsfComponentSir),
+          registry.GetCounter(obs::names::kCfsfComponentSur),
+          registry.GetCounter(obs::names::kCfsfComponentSuir),
+          registry.GetCounter(obs::names::kCfsfTopkCacheHit),
+          registry.GetCounter(obs::names::kCfsfTopkCacheMiss),
+          registry.GetHistogram(obs::names::kCfsfTopkPoolSize, obs::SizeBuckets()),
       };
     }();
     return metrics;

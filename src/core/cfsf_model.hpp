@@ -27,7 +27,7 @@
 #include "clustering/smoothing.hpp"
 #include "core/cfsf_config.hpp"
 #include "eval/predictor.hpp"
-#include "robust/fallback.hpp"
+#include "eval/degradable.hpp"
 #include "similarity/item_similarity.hpp"
 #include "util/mutex.hpp"
 
@@ -48,7 +48,7 @@ struct SelectedUser {
   double similarity = 0.0;
 };
 
-class CfsfModel : public eval::Predictor, public robust::DegradableModel {
+class CfsfModel : public eval::Predictor, public eval::DegradableModel {
  public:
   explicit CfsfModel(const CfsfConfig& config = {});
 
@@ -81,7 +81,7 @@ class CfsfModel : public eval::Predictor, public robust::DegradableModel {
   std::optional<double> PredictSirOnly(matrix::UserId user,
                                        matrix::ItemId item) const;
 
-  // robust::DegradableModel — the graceful-degradation ladder's view.
+  // eval::DegradableModel — the graceful-degradation ladder's view.
   std::size_t NumUsers() const override { return train_.num_users(); }
   std::size_t NumItems() const override { return train_.num_items(); }
   double PredictFull(matrix::UserId user, matrix::ItemId item) const override {

@@ -9,7 +9,8 @@
 #include <system_error>
 
 #include "obs/metrics.hpp"
-#include "robust/failpoint.hpp"
+#include "obs/names.hpp"
+#include "obs/failpoint.hpp"
 #include "util/backoff.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
@@ -444,8 +445,8 @@ std::unique_ptr<CfsfModel> LoadModelWithRetry(const std::string& path,
   CFSF_REQUIRE(options.jitter >= 0.0 && options.jitter < 1.0,
                "LoadModelWithRetry: jitter must be in [0, 1)");
   auto& registry = obs::MetricsRegistry::Global();
-  auto& retries = registry.GetCounter("robust.load.retry");
-  auto& giveups = registry.GetCounter("robust.load.giveup");
+  auto& retries = registry.GetCounter(obs::names::kRobustLoadRetry);
+  auto& giveups = registry.GetCounter(obs::names::kRobustLoadGiveup);
   util::BackoffOptions backoff_options;
   backoff_options.initial = options.initial_backoff;
   backoff_options.multiplier = options.backoff_multiplier;

@@ -6,7 +6,8 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"
-#include "robust/failpoint.hpp"
+#include "obs/names.hpp"
+#include "obs/failpoint.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/string_utils.hpp"
@@ -91,7 +92,7 @@ std::vector<RawRating> ParseLines(std::istream& in,
     CFSF_LOG_WARN << "lenient u.data load: quarantined " << quarantined
                   << " malformed line(s) out of " << line_no;
     obs::MetricsRegistry::Global()
-        .GetCounter("data.quarantined_lines")
+        .GetCounter(obs::names::kDataQuarantinedLines)
         .Increment(quarantined);
   }
   if (quarantined_lines != nullptr) *quarantined_lines = quarantined;

@@ -1,0 +1,112 @@
+// Degradation interface — the ladder's view of a fitted model, plus the
+// deadline/rung vocabulary shared by everyone on the serving path.
+//
+// These types sit in eval/ (header-only, alongside eval::Predictor) so
+// that core::CfsfModel can implement DegradableModel without depending
+// on the robust layer above it: the declared module DAG is
+//
+//   util → {matrix,data,obs,parallel} → {core,similarity,...,eval}
+//        → robust → serve
+//
+// robust::FallbackPredictor (robust/fallback.hpp) consumes this
+// interface and re-exports the names into cfsf::robust, so ladder code
+// reads naturally at its own layer.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+
+#include "matrix/types.hpp"
+#include "util/error.hpp"
+
+namespace cfsf::eval {
+
+/// Thrown under DegradationPolicy::kThrow when the per-call budget
+/// expires before a prediction was produced.
+class DeadlineExceeded : public util::Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : util::Error(what) {}
+};
+
+/// A steady-clock budget for one call.  Default-constructed deadlines are
+/// unlimited; After(0) is already expired.
+class Deadline {
+ public:
+  Deadline() = default;  // unlimited
+
+  static Deadline After(std::chrono::microseconds budget) {
+    Deadline d;
+    d.limited_ = true;
+    d.at_ = std::chrono::steady_clock::now() + budget;
+    return d;
+  }
+
+  bool unlimited() const { return !limited_; }
+
+  bool Expired() const {
+    return limited_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// The tighter of two deadlines — how a batch-level budget combines
+  /// with a per-call one (whichever expires first wins).
+  static Deadline EarlierOf(Deadline a, Deadline b) {
+    if (a.unlimited()) return b;
+    if (b.unlimited()) return a;
+    return a.at_ <= b.at_ ? a : b;
+  }
+
+ private:
+  bool limited_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+enum class DegradationPolicy {
+  kThrow,     // propagate faults/overruns as exceptions
+  kFallback,  // step down the ladder, always answer
+};
+
+/// Which rung produced the answer.
+enum class PredictionRung { kFull, kSir, kUserMean, kGlobalMean };
+
+inline const char* ToString(PredictionRung rung) {
+  switch (rung) {
+    case PredictionRung::kFull: return "full";
+    case PredictionRung::kSir: return "sir";
+    case PredictionRung::kUserMean: return "user_mean";
+    case PredictionRung::kGlobalMean: return "global_mean";
+  }
+  return "unknown";
+}
+
+struct LadderResult {
+  double value = 0.0;
+  PredictionRung rung = PredictionRung::kFull;
+  /// True when at least one rung was skipped because the deadline had
+  /// expired (also counted in robust.deadline_overruns).
+  bool deadline_overrun = false;
+};
+
+/// The ladder's view of a fitted model.  core::CfsfModel implements it;
+/// robust::FallbackPredictor (one layer up) drives it.
+class DegradableModel {
+ public:
+  virtual ~DegradableModel() = default;
+
+  virtual std::size_t NumUsers() const = 0;
+  virtual std::size_t NumItems() const = 0;
+
+  /// Rung 0: the full prediction path.  May throw util::Error.
+  virtual double PredictFull(matrix::UserId user, matrix::ItemId item) const = 0;
+
+  /// Rung 1: a cheap degraded estimate (CFSF: SIR′-only, straight off
+  /// the GIS row).  nullopt when no evidence; may throw util::Error.
+  virtual std::optional<double> PredictDegraded(matrix::UserId user,
+                                                matrix::ItemId item) const = 0;
+
+  /// Rungs 2/3: always-available anchors.
+  virtual double UserMeanOf(matrix::UserId user) const = 0;
+  virtual double GlobalMeanOf() const = 0;
+};
+
+}  // namespace cfsf::eval

@@ -1,13 +1,14 @@
-#include "robust/failpoint.hpp"
+#include "obs/failpoint.hpp"
 
 #include <cstdlib>
 #include <functional>
 
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/logging.hpp"
 #include "util/string_utils.hpp"
 
-namespace cfsf::robust {
+namespace cfsf::obs {
 
 namespace detail {
 std::atomic<std::size_t> g_armed_count{0};
@@ -17,7 +18,7 @@ namespace {
 
 obs::Counter& TripsCounter() {
   static obs::Counter& counter =
-      obs::MetricsRegistry::Global().GetCounter("robust.failpoint_trips");
+      obs::MetricsRegistry::Global().GetCounter(names::kRobustFailpointTrips);
   return counter;
 }
 
@@ -213,4 +214,4 @@ std::vector<std::string> FailPointRegistry::ArmedNames() const {
   return names;
 }
 
-}  // namespace cfsf::robust
+}  // namespace cfsf::obs

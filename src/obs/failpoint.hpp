@@ -43,7 +43,7 @@
 #include "util/mutex.hpp"
 #include "util/rng.hpp"
 
-namespace cfsf::robust {
+namespace cfsf::obs {
 
 /// Thrown by a tripped failpoint.  Derives from IoError: injected faults
 /// model environmental failures, so everything that tolerates a bad disk
@@ -149,14 +149,14 @@ class ScopedFailPoint {
   std::string name_;
 };
 
-}  // namespace cfsf::robust
+}  // namespace cfsf::obs
 
 /// Marks an injectable failure site.  Free when nothing is armed (one
-/// relaxed atomic load); throws robust::InjectedFault when the named
+/// relaxed atomic load); throws obs::InjectedFault when the named
 /// point's trigger fires.
 #define CFSF_FAILPOINT(name)                                      \
   do {                                                            \
-    if (::cfsf::robust::FailPointRegistry::AnyArmed()) {          \
-      ::cfsf::robust::FailPointRegistry::Global().MaybeTrip(name); \
+    if (::cfsf::obs::FailPointRegistry::AnyArmed()) {          \
+      ::cfsf::obs::FailPointRegistry::Global().MaybeTrip(name); \
     }                                                             \
   } while (0)

@@ -5,7 +5,8 @@
 #include <cstdlib>
 
 #include "obs/metrics.hpp"
-#include "robust/failpoint.hpp"
+#include "obs/names.hpp"
+#include "obs/failpoint.hpp"
 #include "util/error.hpp"
 #include "util/string_utils.hpp"
 
@@ -14,7 +15,7 @@ namespace cfsf::par {
 namespace {
 
 // Pool-level observability: how many tasks ran and how deep the queue
-// currently is ("pool.queue_depth" is a gauge because depth goes both
+// currently is (obs::names::kPoolQueueDepth is a gauge because depth goes both
 // ways).  Resolved once; the references stay valid for process lifetime.
 struct PoolMetrics {
   obs::Counter& tasks_executed;
@@ -24,8 +25,8 @@ struct PoolMetrics {
     static const PoolMetrics metrics = [] {
       auto& registry = obs::MetricsRegistry::Global();
       return PoolMetrics{
-          registry.GetCounter("pool.tasks_executed"),
-          registry.GetGauge("pool.queue_depth"),
+          registry.GetCounter(obs::names::kPoolTasksExecuted),
+          registry.GetGauge(obs::names::kPoolQueueDepth),
       };
     }();
     return metrics;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 
 namespace cfsf::robust {
 
@@ -20,10 +21,10 @@ struct LadderMetrics {
     static const LadderMetrics metrics = [] {
       auto& registry = obs::MetricsRegistry::Global();
       return LadderMetrics{
-          registry.GetCounter("robust.fallback.sir"),
-          registry.GetCounter("robust.fallback.user_mean"),
-          registry.GetCounter("robust.fallback.global_mean"),
-          registry.GetCounter("robust.deadline_overruns"),
+          registry.GetCounter(obs::names::kRobustFallbackSir),
+          registry.GetCounter(obs::names::kRobustFallbackUserMean),
+          registry.GetCounter(obs::names::kRobustFallbackGlobalMean),
+          registry.GetCounter(obs::names::kRobustDeadlineOverruns),
       };
     }();
     return metrics;
@@ -31,16 +32,6 @@ struct LadderMetrics {
 };
 
 }  // namespace
-
-const char* ToString(PredictionRung rung) {
-  switch (rung) {
-    case PredictionRung::kFull: return "full";
-    case PredictionRung::kSir: return "sir";
-    case PredictionRung::kUserMean: return "user_mean";
-    case PredictionRung::kGlobalMean: return "global_mean";
-  }
-  return "unknown";
-}
 
 double FallbackPredictor::Clamp(double value) const {
   if (options_.clamp_lo > options_.clamp_hi) return value;

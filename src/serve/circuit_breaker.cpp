@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/error.hpp"
 
 namespace cfsf::serve {
@@ -19,10 +20,10 @@ struct BreakerMetrics {
     static const BreakerMetrics metrics = [] {
       auto& registry = obs::MetricsRegistry::Global();
       return BreakerMetrics{
-          registry.GetCounter("serve.breaker.trips"),
-          registry.GetCounter("serve.breaker.recoveries"),
-          registry.GetCounter("serve.breaker.probes"),
-          registry.GetGauge("serve.breaker.level"),
+          registry.GetCounter(obs::names::kServeBreakerTrips),
+          registry.GetCounter(obs::names::kServeBreakerRecoveries),
+          registry.GetCounter(obs::names::kServeBreakerProbes),
+          registry.GetGauge(obs::names::kServeBreakerLevel),
       };
     }();
     return metrics;

@@ -1,7 +1,8 @@
 #include "serve/model_generation.hpp"
 
 #include "obs/metrics.hpp"
-#include "robust/failpoint.hpp"
+#include "obs/names.hpp"
+#include "obs/failpoint.hpp"
 
 namespace cfsf::serve {
 
@@ -16,9 +17,9 @@ struct SwapMetrics {
     static const SwapMetrics metrics = [] {
       auto& registry = obs::MetricsRegistry::Global();
       return SwapMetrics{
-          registry.GetCounter("serve.swap.count"),
-          registry.GetCounter("serve.swap.failures"),
-          registry.GetGauge("serve.generation"),
+          registry.GetCounter(obs::names::kServeSwapCount),
+          registry.GetCounter(obs::names::kServeSwapFailures),
+          registry.GetGauge(obs::names::kServeGeneration),
       };
     }();
     return metrics;

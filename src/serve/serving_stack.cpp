@@ -6,7 +6,8 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
-#include "robust/failpoint.hpp"
+#include "obs/names.hpp"
+#include "obs/failpoint.hpp"
 #include "util/backoff.hpp"
 #include "util/error.hpp"
 
@@ -33,18 +34,18 @@ struct ServeMetrics {
       auto& registry = obs::MetricsRegistry::Global();
       const auto buckets = obs::LatencyBucketsUs();
       return ServeMetrics{
-          registry.GetCounter("serve.requests"),
-          registry.GetCounter("serve.ok"),
-          registry.GetCounter("serve.shed"),
-          registry.GetCounter("serve.rejected"),
-          registry.GetCounter("serve.errors"),
-          registry.GetCounter("serve.degraded_admissions"),
-          registry.GetGauge("serve.queue_depth"),
-          registry.GetHistogram("serve.latency_us.full", buckets),
-          registry.GetHistogram("serve.latency_us.sir", buckets),
-          registry.GetHistogram("serve.latency_us.user_mean", buckets),
-          registry.GetHistogram("serve.latency_us.global_mean", buckets),
-          registry.GetHistogram("serve.latency_us.batch", buckets),
+          registry.GetCounter(obs::names::kServeRequests),
+          registry.GetCounter(obs::names::kServeOk),
+          registry.GetCounter(obs::names::kServeShed),
+          registry.GetCounter(obs::names::kServeRejected),
+          registry.GetCounter(obs::names::kServeErrors),
+          registry.GetCounter(obs::names::kServeDegradedAdmissions),
+          registry.GetGauge(obs::names::kServeQueueDepth),
+          registry.GetHistogram(obs::names::kServeLatencyFull, buckets),
+          registry.GetHistogram(obs::names::kServeLatencySir, buckets),
+          registry.GetHistogram(obs::names::kServeLatencyUserMean, buckets),
+          registry.GetHistogram(obs::names::kServeLatencyGlobalMean, buckets),
+          registry.GetHistogram(obs::names::kServeLatencyBatch, buckets),
       };
     }();
     return metrics;
@@ -122,7 +123,7 @@ ServingStack::Admission ServingStack::Admit() {
   try {
     // An injected admission fault sheds, never crashes the caller.
     CFSF_FAILPOINT("serve.admit");
-  } catch (const robust::InjectedFault&) {
+  } catch (const obs::InjectedFault&) {
     return Admission{false, ServeStatus::kShed, false};
   }
   std::size_t depth = 0;

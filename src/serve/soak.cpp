@@ -5,7 +5,7 @@
 #include <sstream>
 #include <thread>
 
-#include "robust/failpoint.hpp"
+#include "obs/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace cfsf::serve {
@@ -103,7 +103,7 @@ SoakReport RunSoak(ServingStack& stack, const SoakOptions& options) {
   if (num_users == 0) num_users = 1;
   if (num_items == 0) num_items = 1;
 
-  auto& failpoints = robust::FailPointRegistry::Global();
+  auto& failpoints = obs::FailPointRegistry::Global();
   const util::Rng root(options.seed);
   std::set<std::uint64_t> generations;
 

@@ -17,16 +17,16 @@
 #include "core/model_io.hpp"
 #include "eval/evaluate.hpp"
 #include "obs/metrics.hpp"
-#include "robust/failpoint.hpp"
+#include "obs/failpoint.hpp"
 #include "robust/fallback.hpp"
 #include "util/error.hpp"
 
 namespace cfsf {
 namespace {
 
-using robust::FailPointRegistry;
-using robust::InjectedFault;
-using robust::ScopedFailPoint;
+using obs::FailPointRegistry;
+using obs::InjectedFault;
+using obs::ScopedFailPoint;
 
 class ModelIoFaultTest : public ::testing::Test {
  protected:

@@ -8,14 +8,14 @@
 #include <cstddef>
 
 #include "parallel/thread_pool.hpp"
-#include "robust/failpoint.hpp"
+#include "obs/failpoint.hpp"
 
 namespace cfsf {
 namespace {
 
-using robust::FailPointRegistry;
-using robust::InjectedFault;
-using robust::ScopedFailPoint;
+using obs::FailPointRegistry;
+using obs::InjectedFault;
+using obs::ScopedFailPoint;
 
 class PoolFaultTest : public ::testing::Test {
  protected:

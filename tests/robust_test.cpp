@@ -16,16 +16,16 @@
 #include "data/synthetic.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
-#include "robust/failpoint.hpp"
+#include "obs/failpoint.hpp"
 #include "robust/fallback.hpp"
 #include "util/error.hpp"
 
 namespace cfsf {
 namespace {
 
-using robust::FailPointRegistry;
-using robust::InjectedFault;
-using robust::ScopedFailPoint;
+using obs::FailPointRegistry;
+using obs::InjectedFault;
+using obs::ScopedFailPoint;
 
 // The registry is process-global; every test starts and ends clean.
 class FailPointTest : public ::testing::Test {

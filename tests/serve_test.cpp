@@ -15,7 +15,7 @@
 #include "core/cfsf.hpp"
 #include "core/model_io.hpp"
 #include "data/synthetic.hpp"
-#include "robust/failpoint.hpp"
+#include "obs/failpoint.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "serve/model_generation.hpp"
 #include "serve/serving_stack.hpp"
@@ -25,9 +25,9 @@
 namespace cfsf {
 namespace {
 
-using robust::FailPointRegistry;
+using obs::FailPointRegistry;
 using robust::PredictionRung;
-using robust::ScopedFailPoint;
+using obs::ScopedFailPoint;
 using serve::BreakerPlan;
 using serve::BreakerState;
 using serve::CircuitBreaker;

@@ -22,7 +22,7 @@
 #include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
-#include "robust/failpoint.hpp"
+#include "obs/failpoint.hpp"
 #include "robust/fallback.hpp"
 #include "util/error.hpp"
 
@@ -274,11 +274,11 @@ TEST_F(ModelStress, ConcurrentTopNAndSelection) {
 // Every call must still produce a finite in-range value (the ladder is
 // total), and the registry's counter updates must stay race-free.
 TEST_F(ModelStress, FallbackLadderIsTotalUnderConcurrentFaults) {
-  auto& registry = robust::FailPointRegistry::Global();
+  auto& registry = obs::FailPointRegistry::Global();
   registry.DisarmAll();
   registry.SetSeed(1234);
-  robust::ScopedFailPoint full("cfsf.predict", "prob:0.3");
-  robust::ScopedFailPoint sir("cfsf.predict.sir", "prob:0.3");
+  obs::ScopedFailPoint full("cfsf.predict", "prob:0.3");
+  obs::ScopedFailPoint sir("cfsf.predict.sir", "prob:0.3");
   robust::FallbackPredictor ladder(*model_);
 
   constexpr int kThreads = 4;

@@ -14,6 +14,7 @@
 //   cfsf_cli serve-bench [--smoke] [--clients=8 --requests=300
 //                        --workers=4 --capacity=64 --budget-us=500
 //                        --seed=N --chaos=true --swap-file=PATH]
+//   cfsf_cli list-failpoints [--markdown]
 //
 // Without --data, `fit`/`evaluate` fall back to the synthetic MovieLens
 // substitute (same data every bench uses).  Every command accepts
@@ -24,6 +25,7 @@
 // count malformed dataset lines instead of failing); `predict` and
 // `evaluate` accept --deadline-ms=N and --degradation=<throw|fallback>
 // to serve through robust::FallbackPredictor's degradation ladder.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
@@ -36,8 +38,10 @@
 
 #include "core/cfsf.hpp"
 #include "core/model_io.hpp"
+#include "obs/failpoint.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "robust/fallback.hpp"
 #include "serve/serving_stack.hpp"
 #include "serve/soak.hpp"
@@ -419,11 +423,45 @@ int CmdServeBench(util::ArgParser& args) {
   return failures.empty() ? 0 : 1;
 }
 
+// `list-failpoints`: dump the compiled-in kFailPoints inventory
+// (src/obs/names.hpp) merged with the live registry — armed state and
+// hit/trip counts are nonzero when CFSF_FAILPOINTS armed points in this
+// process.  --markdown emits the docs/ROBUSTNESS.md "Instrumented
+// sites" table, so the doc is regenerated mechanically instead of
+// drifting (cfsf_lint's undocumented-failpoint rule checks the result).
+int CmdListFailpoints(util::ArgParser& args) {
+  const bool markdown = args.GetBool("markdown", false);
+  auto& registry = obs::FailPointRegistry::Global();
+  const auto armed_names = registry.ArmedNames();
+  if (markdown) {
+    std::printf("| name | location | fires as |\n");
+    std::printf("|------|----------|----------|\n");
+    for (const auto& info : obs::names::kFailPoints) {
+      std::printf("| `%s` | %s | %s |\n", info.name, info.site, info.effect);
+    }
+    return 0;
+  }
+  for (const auto& info : obs::names::kFailPoints) {
+    std::printf("%-22s %s — %s", info.name, info.site, info.effect);
+    if (std::find(armed_names.begin(), armed_names.end(), info.name) !=
+        armed_names.end()) {
+      std::printf(
+          "  [armed, hits=%llu trips=%llu]",
+          static_cast<unsigned long long>(registry.HitCount(info.name)),
+          static_cast<unsigned long long>(registry.TripCount(info.name)));
+    }
+    std::printf("\n");
+  }
+  std::printf("%zu fail points (inventory: src/obs/names.hpp)\n",
+              obs::names::kNumFailPoints);
+  return 0;
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: cfsf_cli <generate|stats|fit|predict|recommend|"
-               "add-user|evaluate|verify-model|json-check|serve-bench> "
-               "[flags]\n(see the "
+               "add-user|evaluate|verify-model|json-check|serve-bench|"
+               "list-failpoints> [flags]\n(see the "
                "header of tools/cfsf_cli.cpp for the full flag list)\n");
 }
 
@@ -438,6 +476,7 @@ int Dispatch(const std::string& command, util::ArgParser& args) {
   if (command == "verify-model") return CmdVerifyModel(args);
   if (command == "json-check") return CmdJsonCheck(args);
   if (command == "serve-bench") return CmdServeBench(args);
+  if (command == "list-failpoints") return CmdListFailpoints(args);
   PrintUsage();
   return 2;
 }

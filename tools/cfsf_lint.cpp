@@ -1,11 +1,15 @@
-// cfsf_lint — repo-specific C++ linter for the CFSF tree (v2).
+// cfsf_lint — repo-specific C++ linter for the CFSF tree (v3).
 //
-// Two rule engines share one scan:
+// Three rule engines share one scan:
 //
 //  * line rules — regexes over comment/string-stripped single lines;
 //  * token rules — a lightweight tokenizer plus a per-file state
 //    machine, for rules that are inherently cross-line (a declaration
-//    on one line changes what an expression three lines later means).
+//    on one line changes what an expression three lines later means);
+//  * cross-file rules (v3) — a whole-repo index (include graph, string
+//    literals, CMakeLists labels, the names/docs inventories) that
+//    enforces the declared module layering and the registry contracts
+//    between code, docs, bench JSON and tests.
 //
 // Line rules:
 //
@@ -58,9 +62,38 @@
 //                           hot-path atomics): the order IS the contract,
 //                           write what you mean.
 //
+// Cross-file rules (enabled by --repo-root; see docs/TOOLING.md
+// "Whole-repo analysis"):
+//
+//   layering                the include graph over src/ must respect the
+//                           module DAG declared in tools/cfsf_layers.txt
+//                           (util → {matrix,data,obs,parallel} →
+//                           {eval,similarity,clustering,baselines,core}
+//                           → robust → serve; tests/bench/tools/examples
+//                           may depend on anything, nothing may depend
+//                           on them).  Violations name the offending
+//                           include edge.
+//   include-cycle           no cycles anywhere in the project include
+//                           graph (detected per strongly-connected
+//                           component, reported with the cycle path).
+//   stray-metric-literal    GetCounter/GetGauge/GetHistogram in src/ or
+//                           bench/ must take a constant from
+//                           src/obs/names.hpp, never a raw string —
+//                           metric names are a cross-artifact contract
+//                           (code ↔ docs ↔ BENCH_*.json ↔ dashboards).
+//   undocumented-failpoint  every CFSF_FAILPOINT site must appear in
+//                           the names.hpp inventory table, be listed in
+//                           docs/ROBUSTNESS.md, and be armed by at
+//                           least one fault-labelled test; inventory
+//                           rows with no site are stale and fail too.
+//   unknown-ctest-label     every literal ctest label in a CMakeLists
+//                           must be one of unit/integration/stress/
+//                           lint/fault.
+//
 // Suppression, in order of preference:
 //   1. inline, same line:           // cfsf-lint: allow(rule-id)
-//      (for missing-pragma-once the marker may sit on any line)
+//      (for missing-pragma-once the marker may sit on any line; for
+//      CMakeLists anchors use a trailing `# cfsf-lint: allow(rule-id)`)
 //   2. allowlist file entries:      rule-id  path-substring
 // An allowlist entry whose path-substring matches no scanned file is
 // *stale* and fails the run (exit 3) so tools/cfsf_lint_allow.txt cannot
@@ -68,15 +101,20 @@
 //
 // Run with --self-test to verify every rule fires on a seeded violation,
 // stays quiet on the matching clean snippet, and is silenced by its
-// inline allow marker (the ctest `lint` label runs both modes).
+// inline allow marker (the ctest `lint` label runs both modes).  The
+// self-test also replays the on-disk fixture corpus under
+// tools/lint_fixtures/ (--fixtures DIR overrides the location; the
+// corpus is skipped with a notice when the directory is absent).
 //
-// Usage: cfsf_lint [--allowlist FILE] [--self-test] [--list-rules] DIR...
+// Usage: cfsf_lint [--allowlist FILE] [--repo-root DIR] [--self-test]
+//                  [--fixtures DIR] [--list-rules] DIR...
 #include <algorithm>
 #include <array>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
@@ -109,14 +147,27 @@ struct AllowEntry {
 // allow` markers are read from the *original* text, since they live in
 // comments.
 // ---------------------------------------------------------------------------
-std::string StripCommentsAndStrings(const std::string& text) {
+// A string literal the stripper blanked out, kept aside for the v3
+// cross-file rules (metric names, fail-point sites) which match on
+// literal *contents*.
+struct StringLiteral {
+  std::size_t offset = 0;  // byte offset of the opening quote
+  std::size_t line = 0;    // 1-based line of the opening quote
+  std::string text;        // contents between the quotes, escapes as written
+};
+
+std::string StripCommentsAndStrings(
+    const std::string& text, std::vector<StringLiteral>* literals = nullptr) {
   std::string out(text);
   enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
   State state = State::kCode;
   std::string raw_delim;
+  StringLiteral current;
+  std::size_t line = 1;
   for (std::size_t i = 0; i < text.size(); ++i) {
     const char c = text[i];
     const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') ++line;
     switch (state) {
       case State::kCode:
         if (c == '/' && next == '/') {
@@ -131,16 +182,18 @@ std::string StripCommentsAndStrings(const std::string& text) {
                    (i == 0 || (!std::isalnum(static_cast<unsigned char>(
                                    text[i - 1])) &&
                                text[i - 1] != '_'))) {
-          // R"delim( ... )delim"
+          // R"delim( ... )delim"  (the prefix cannot contain newlines)
           std::size_t open = text.find('(', i + 2);
           if (open == std::string::npos) break;
           raw_delim = ")" + text.substr(i + 2, open - i - 2) + "\"";
           for (std::size_t k = i; k <= open; ++k) out[k] = ' ';
+          current = {i, line, ""};
           i = open;
           state = State::kRaw;
         } else if (c == '"') {
           state = State::kString;
           out[i] = ' ';
+          current = {i, line, ""};
         } else if (c == '\'') {
           state = State::kChar;
           out[i] = ' ';
@@ -167,22 +220,33 @@ std::string StripCommentsAndStrings(const std::string& text) {
         if (c == '\\' && next != '\0') {
           out[i] = ' ';
           if (next != '\n') out[i + 1] = ' ';
+          if (next == '\n') ++line;
+          if (state == State::kString) {
+            current.text.push_back(c);
+            current.text.push_back(next);
+          }
           ++i;
         } else if ((state == State::kString && c == '"') ||
                    (state == State::kChar && c == '\'')) {
           out[i] = ' ';
+          if (state == State::kString && literals != nullptr) {
+            literals->push_back(current);
+          }
           state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
+        } else {
+          if (c != '\n') out[i] = ' ';
+          if (state == State::kString) current.text.push_back(c);
         }
         break;
       case State::kRaw:
         if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
           for (std::size_t k = 0; k < raw_delim.size(); ++k) out[i + k] = ' ';
           i += raw_delim.size() - 1;
+          if (literals != nullptr) literals->push_back(current);
           state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
+        } else {
+          if (c != '\n') out[i] = ' ';
+          current.text.push_back(c);
         }
         break;
     }
@@ -321,6 +385,8 @@ bool LineTriggersRule(const LineRule& rule, const std::string& stripped_line) {
 struct Token {
   std::string text;
   std::size_t line = 0;
+  std::size_t offset = 0;   // byte offset into the file
+  bool is_string = false;   // v3 merged stream: text = literal contents
 };
 
 bool IsIdentifierToken(const std::string& text) {
@@ -349,7 +415,7 @@ std::vector<Token> Tokenize(const std::string& stripped) {
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       std::size_t j = i + 1;
       while (j < stripped.size() && is_ident(stripped[j])) ++j;
-      tokens.push_back({stripped.substr(i, j - i), line});
+      tokens.push_back({stripped.substr(i, j - i), line, i});
       i = j;
       continue;
     }
@@ -360,7 +426,7 @@ std::vector<Token> Tokenize(const std::string& stripped) {
               stripped[j] == '\'')) {
         ++j;
       }
-      tokens.push_back({stripped.substr(i, j - i), line});
+      tokens.push_back({stripped.substr(i, j - i), line, i});
       i = j;
       continue;
     }
@@ -371,7 +437,7 @@ std::vector<Token> Tokenize(const std::string& stripped) {
     if (i + 1 < stripped.size()) {
       for (const char* op : kTwoCharOps) {
         if (c == op[0] && stripped[i + 1] == op[1]) {
-          tokens.push_back({std::string(op), line});
+          tokens.push_back({std::string(op), line, i});
           i += 2;
           matched = true;
           break;
@@ -379,7 +445,7 @@ std::vector<Token> Tokenize(const std::string& stripped) {
       }
     }
     if (!matched) {
-      tokens.push_back({std::string(1, c), line});
+      tokens.push_back({std::string(1, c), line, i});
       ++i;
     }
   }
@@ -644,6 +710,615 @@ bool Allowlisted(const Violation& v, const std::vector<AllowEntry>& allow) {
 }
 
 // ---------------------------------------------------------------------------
+// v3: whole-repo cross-file analysis.
+//
+// The per-file engines above see one translation unit at a time; the
+// contracts that rot in practice are *between* files: an include edge
+// that quietly inverts the module DAG, a metric literal that drifts away
+// from docs and dashboards, a fail point nobody documents or tests.
+// AnalyzeRepo runs over an index of every scanned file plus the repo's
+// declared conventions (tools/cfsf_layers.txt, src/obs/names.hpp,
+// docs/ROBUSTNESS.md, the CMakeLists.txt files) and reports violations
+// anchored at the offending line, so inline allow(...) markers and the
+// allowlist work exactly as for per-file rules.
+// ---------------------------------------------------------------------------
+
+// Repo-root-relative conventions the cross-file rules key on.
+constexpr const char kLayersSpecPath[] = "tools/cfsf_layers.txt";
+constexpr const char kNamesHeaderPath[] = "src/obs/names.hpp";
+constexpr const char kRobustnessDocPath[] = "docs/ROBUSTNESS.md";
+
+const std::vector<std::string>& CrossFileRuleIds() {
+  static const std::vector<std::string> ids = {
+      "layering", "include-cycle", "stray-metric-literal",
+      "undocumented-failpoint", "unknown-ctest-label"};
+  return ids;
+}
+
+struct RepoIndex {
+  // Repo-root-relative path (generic, forward slashes) -> file content.
+  std::map<std::string, std::string> code;   // .cpp/.hpp/.cc/.h
+  std::map<std::string, std::string> cmake;  // CMakeLists.txt
+  std::string robustness_doc;                // "" when absent
+  std::string layers_text;
+  bool has_layers = false;
+};
+
+// Tokens of one file with string-literal contents interleaved at their
+// source position — what the registry-contract rules match on.
+std::vector<Token> TokenizeWithStrings(const std::string& content) {
+  std::vector<StringLiteral> literals;
+  const std::string stripped = StripCommentsAndStrings(content, &literals);
+  std::vector<Token> tokens = Tokenize(stripped);
+  for (const auto& lit : literals) {
+    tokens.push_back({lit.text, lit.line, lit.offset, true});
+  }
+  std::sort(tokens.begin(), tokens.end(),
+            [](const Token& a, const Token& b) { return a.offset < b.offset; });
+  return tokens;
+}
+
+// Parsed tools/cfsf_layers.txt.  Grammar (one directive per line, `#`
+// starts a comment):
+//   layer <module>...   the next rung, bottom-up; same-rung modules may
+//                       include each other (cycles are still caught)
+//   open <dir>...       unlayered top-level trees (tests, bench, ...)
+//                       that may include anything, but that nothing in a
+//                       layered module may include
+struct LayerSpec {
+  std::map<std::string, std::size_t> rung_of;  // module -> 1-based rung
+  std::set<std::string> open_dirs;
+};
+
+bool ParseLayerSpec(const std::string& text, LayerSpec* spec,
+                    std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t rung = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) continue;
+    std::vector<std::string> modules;
+    std::string module;
+    while (fields >> module) modules.push_back(module);
+    if (directive != "layer" && directive != "open") {
+      *error = "line " + std::to_string(line_no) + ": unknown directive `" +
+               directive + "` (expected `layer` or `open`)";
+      return false;
+    }
+    if (modules.empty()) {
+      *error = "line " + std::to_string(line_no) + ": `" + directive +
+               "` needs at least one module";
+      return false;
+    }
+    if (directive == "layer") ++rung;
+    for (const auto& m : modules) {
+      if (spec->rung_of.count(m) != 0 || spec->open_dirs.count(m) != 0) {
+        *error = "line " + std::to_string(line_no) + ": module `" + m +
+                 "` declared twice";
+        return false;
+      }
+      if (directive == "layer") {
+        spec->rung_of[m] = rung;
+      } else {
+        spec->open_dirs.insert(m);
+      }
+    }
+  }
+  if (spec->rung_of.empty()) {
+    *error = "no `layer` lines — at least one rung must be declared";
+    return false;
+  }
+  return true;
+}
+
+// Module of a repo-relative path: the first directory under src/ for
+// library code, else the top-level tree name (tests, bench, ...).  Files
+// that fit neither (or sit directly in src/) have no module and are
+// exempt from layering.
+std::string ModuleOf(const std::string& rel_path) {
+  const std::size_t slash = rel_path.find('/');
+  if (slash == std::string::npos) return "";
+  const std::string top = rel_path.substr(0, slash);
+  if (top != "src") return top;
+  const std::size_t second = rel_path.find('/', slash + 1);
+  if (second == std::string::npos) return "";
+  return rel_path.substr(slash + 1, second - slash - 1);
+}
+
+struct IncludeEdge {
+  std::size_t line = 0;  // 1-based line of the #include
+  std::string target;    // path as written between the quotes
+  std::string resolved;  // repo-relative path ("" = external, ignored)
+};
+
+std::vector<IncludeEdge> ExtractIncludes(const std::string& content) {
+  static const std::regex pattern(R"(^\s*#\s*include\s*"([^"]+)\")");
+  std::vector<IncludeEdge> edges;
+  const std::vector<std::string> lines = SplitLines(content);
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    std::smatch match;
+    if (std::regex_search(lines[n], match, pattern)) {
+      edges.push_back({n + 1, match[1].str(), ""});
+    }
+  }
+  return edges;
+}
+
+// Quoted includes resolve the way the build does: against -Isrc first
+// (the library convention, `#include "util/check.hpp"`), then relative
+// to the including file.  Anything else is an external header.
+std::string ResolveInclude(const std::string& includer,
+                           const std::string& target,
+                           const std::map<std::string, std::string>& code) {
+  const std::string as_library =
+      (fs::path("src") / target).lexically_normal().generic_string();
+  if (code.count(as_library) != 0) return as_library;
+  const std::string as_relative = (fs::path(includer).parent_path() / target)
+                                      .lexically_normal()
+                                      .generic_string();
+  if (code.count(as_relative) != 0) return as_relative;
+  return "";
+}
+
+void AnalyzeRepo(const RepoIndex& repo, const LayerSpec* spec,
+                 std::vector<Violation>& out) {
+  // Original lines of every indexed file, for inline allow markers.
+  std::map<std::string, std::vector<std::string>> lines;
+  for (const auto& [path, content] : repo.code) {
+    lines.emplace(path, SplitLines(content));
+  }
+  for (const auto& [path, content] : repo.cmake) {
+    lines.emplace(path, SplitLines(content));
+  }
+
+  const auto emit = [&lines, &out](const std::string& path,
+                                   std::size_t line_no, const char* rule,
+                                   const std::string& message) {
+    const auto it = lines.find(path);
+    if (it != lines.end() && line_no >= 1 && line_no <= it->second.size() &&
+        InlineAllowed(it->second[line_no - 1], rule)) {
+      return;
+    }
+    out.push_back({path, line_no, rule, message});
+  };
+
+  // ---- include graph (shared by layering and include-cycle) ---------------
+  std::map<std::string, std::vector<IncludeEdge>> graph;
+  for (const auto& [path, content] : repo.code) {
+    std::vector<IncludeEdge> edges = ExtractIncludes(content);
+    for (auto& edge : edges) {
+      edge.resolved = ResolveInclude(path, edge.target, repo.code);
+    }
+    graph.emplace(path, std::move(edges));
+  }
+
+  // ---- layering -----------------------------------------------------------
+  if (spec != nullptr) {
+    std::set<std::string> reported_unknown;  // one report per unknown module
+    for (const auto& [path, edges] : graph) {
+      const std::string from = ModuleOf(path);
+      if (from.empty() || spec->open_dirs.count(from) != 0) continue;
+      const auto from_rung = spec->rung_of.find(from);
+      for (const auto& edge : edges) {
+        if (edge.resolved.empty()) continue;
+        const std::string to = ModuleOf(edge.resolved);
+        if (to.empty() || to == from) continue;
+        if (from_rung == spec->rung_of.end()) {
+          if (reported_unknown.insert(from).second) {
+            emit(path, edge.line, "layering",
+                 "module `" + from + "` is not declared in " +
+                     kLayersSpecPath + " — add it to a `layer` line");
+          }
+          continue;
+        }
+        if (spec->open_dirs.count(to) != 0) {
+          emit(path, edge.line, "layering",
+               "`" + path + "` includes `" + edge.resolved +
+                   "`: nothing may depend on the open tree `" + to + "`");
+          continue;
+        }
+        const auto to_rung = spec->rung_of.find(to);
+        if (to_rung == spec->rung_of.end()) {
+          if (reported_unknown.insert(to).second) {
+            emit(path, edge.line, "layering",
+                 "module `" + to + "` is not declared in " + kLayersSpecPath +
+                     " — add it to a `layer` line");
+          }
+          continue;
+        }
+        if (to_rung->second > from_rung->second) {
+          emit(path, edge.line, "layering",
+               "`" + path + "` includes `" + edge.resolved + "`: layer `" +
+                   from + "` (rung " + std::to_string(from_rung->second) +
+                   ") may not depend on `" + to + "` (rung " +
+                   std::to_string(to_rung->second) + ")");
+        }
+      }
+    }
+  }
+
+  // ---- include-cycle ------------------------------------------------------
+  {
+    // Tarjan SCCs over the resolved include graph; every component with
+    // more than one file (or a self-include) is a cycle.  Iterative so
+    // deep include chains cannot blow the stack.
+    std::map<std::string, std::size_t> id;
+    for (const auto& [path, edges] : graph) id.emplace(path, id.size());
+    const std::size_t n = id.size();
+    std::vector<std::string> order(n);
+    for (const auto& [path, node] : id) order[node] = path;
+    std::vector<std::vector<std::size_t>> adj(n);
+    for (const auto& [path, edges] : graph) {
+      for (const auto& edge : edges) {
+        if (edge.resolved.empty()) continue;
+        adj[id.at(path)].push_back(id.at(edge.resolved));
+      }
+    }
+
+    std::vector<std::size_t> index(n, 0), low(n, 0), stack;
+    std::vector<bool> visited(n, false), on_stack(n, false);
+    std::vector<std::vector<std::size_t>> sccs;
+    std::size_t counter = 0;
+    struct Frame {
+      std::size_t v;
+      std::size_t edge = 0;
+    };
+    for (std::size_t root = 0; root < n; ++root) {
+      if (visited[root]) continue;
+      std::vector<Frame> frames{{root, 0}};
+      while (!frames.empty()) {
+        Frame& f = frames.back();
+        const std::size_t v = f.v;
+        if (f.edge == 0 && !visited[v]) {
+          visited[v] = true;
+          index[v] = low[v] = counter++;
+          stack.push_back(v);
+          on_stack[v] = true;
+        }
+        if (f.edge < adj[v].size()) {
+          const std::size_t w = adj[v][f.edge++];
+          if (!visited[w]) {
+            frames.push_back({w, 0});
+          } else if (on_stack[w]) {
+            low[v] = std::min(low[v], index[w]);
+          }
+        } else {
+          if (low[v] == index[v]) {
+            std::vector<std::size_t> scc;
+            while (true) {
+              const std::size_t w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              scc.push_back(w);
+              if (w == v) break;
+            }
+            sccs.push_back(std::move(scc));
+          }
+          frames.pop_back();
+          if (!frames.empty()) {
+            low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+          }
+        }
+      }
+    }
+
+    for (const auto& scc : sccs) {
+      const std::set<std::size_t> members(scc.begin(), scc.end());
+      if (scc.size() == 1) {
+        bool self_loop = false;
+        for (const std::size_t w : adj[scc[0]]) self_loop |= (w == scc[0]);
+        if (!self_loop) continue;
+      }
+      // Deterministic anchor: the lexicographically smallest member, and
+      // the shortest cycle through it (BFS within the component).
+      std::size_t start = scc[0];
+      for (const std::size_t v : scc) {
+        if (order[v] < order[start]) start = v;
+      }
+      std::size_t pred_of_start = n;
+      std::map<std::size_t, std::size_t> parent;
+      std::vector<std::size_t> queue{start};
+      std::set<std::size_t> seen{start};
+      for (std::size_t qi = 0; qi < queue.size() && pred_of_start == n;
+           ++qi) {
+        const std::size_t u = queue[qi];
+        for (const std::size_t w : adj[u]) {
+          if (w == start) {
+            pred_of_start = u;
+            break;
+          }
+          if (members.count(w) == 0 || !seen.insert(w).second) continue;
+          parent[w] = u;
+          queue.push_back(w);
+        }
+      }
+      if (pred_of_start == n) continue;  // unreachable for a real SCC
+      std::vector<std::string> hops;    // start -> ... (excluding start)
+      for (std::size_t v = pred_of_start; v != start; v = parent.at(v)) {
+        hops.push_back(order[v]);
+      }
+      std::reverse(hops.begin(), hops.end());
+      std::string pretty = order[start];
+      for (const auto& hop : hops) pretty += " -> " + hop;
+      pretty += " -> " + order[start];
+      const std::string& first_hop = hops.empty() ? order[start] : hops.front();
+      std::size_t anchor_line = 1;
+      for (const auto& edge : graph.at(order[start])) {
+        if (edge.resolved == first_hop) {
+          anchor_line = edge.line;
+          break;
+        }
+      }
+      emit(order[start], anchor_line, "include-cycle",
+           "include cycle: " + pretty);
+    }
+  }
+
+  // ---- stray-metric-literal -----------------------------------------------
+  for (const auto& [path, content] : repo.code) {
+    if (!path.starts_with("src/") && !path.starts_with("bench/")) continue;
+    const std::vector<Token> tokens = TokenizeWithStrings(content);
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (tokens[i].is_string) continue;
+      if (tokens[i].text != "GetCounter" && tokens[i].text != "GetGauge" &&
+          tokens[i].text != "GetHistogram") {
+        continue;
+      }
+      if (tokens[i + 1].is_string || tokens[i + 1].text != "(" ||
+          !tokens[i + 2].is_string) {
+        continue;
+      }
+      emit(path, tokens[i + 2].line, "stray-metric-literal",
+           "metric name \"" + tokens[i + 2].text +
+               "\" must be a constant from src/obs/names.hpp "
+               "(obs::names::k...), not a string literal — the name is a "
+               "contract with docs, dashboards and BENCH_*.json");
+    }
+  }
+
+  // ---- undocumented-failpoint ---------------------------------------------
+  {
+    // (a) inventory rows in src/obs/names.hpp between the
+    //     failpoint-inventory markers: first string literal of each `{...}`.
+    std::map<std::string, std::size_t> inventory;  // name -> names.hpp line
+    const auto names_it = repo.code.find(kNamesHeaderPath);
+    if (names_it != repo.code.end()) {
+      std::size_t begin_line = 0, end_line = 0;
+      const auto& names_lines = lines.at(kNamesHeaderPath);
+      for (std::size_t ln = 0; ln < names_lines.size(); ++ln) {
+        if (names_lines[ln].find("cfsf-lint: failpoint-inventory-begin") !=
+            std::string::npos) {
+          begin_line = ln + 1;
+        } else if (names_lines[ln].find("cfsf-lint: failpoint-inventory-end") !=
+                   std::string::npos) {
+          end_line = ln + 1;
+        }
+      }
+      if (begin_line != 0 && end_line > begin_line) {
+        const std::vector<Token> tokens = TokenizeWithStrings(names_it->second);
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+          if (tokens[i].line <= begin_line || tokens[i].line >= end_line) {
+            continue;
+          }
+          if (tokens[i].is_string || tokens[i].text != "{") continue;
+          for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+            if (!tokens[j].is_string && tokens[j].text == "}") break;
+            if (tokens[j].is_string) {
+              inventory.emplace(tokens[j].text, tokens[j].line);
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    // (b) names mentioned in docs/ROBUSTNESS.md (anything in backticks).
+    // Matches must not span lines: ``` code fences leave odd backtick
+    // counts that would otherwise scramble the pairing for the rest of
+    // the document.
+    std::set<std::string> documented;
+    {
+      static const std::regex backtick("`([^`\n]+)`");
+      for (auto it = std::sregex_iterator(repo.robustness_doc.begin(),
+                                          repo.robustness_doc.end(), backtick);
+           it != std::sregex_iterator(); ++it) {
+        documented.insert((*it)[1].str());
+      }
+    }
+
+    // (c) every string literal in a fault-labelled test
+    //     (`cfsf_test(<name> LABEL fault)` -> <cmake dir>/<name>.cpp).
+    std::set<std::string> fault_armed;
+    static const std::regex fault_test(
+        R"(cfsf_test\(\s*(\w+)\s+LABEL\s+fault\s*\))");
+    for (const auto& [cpath, ccontent] : repo.cmake) {
+      for (auto it =
+               std::sregex_iterator(ccontent.begin(), ccontent.end(),
+                                    fault_test);
+           it != std::sregex_iterator(); ++it) {
+        const std::string test_path =
+            (fs::path(cpath).parent_path() / ((*it)[1].str() + ".cpp"))
+                .lexically_normal()
+                .generic_string();
+        const auto tit = repo.code.find(test_path);
+        if (tit == repo.code.end()) continue;
+        for (const Token& tok : TokenizeWithStrings(tit->second)) {
+          if (tok.is_string) fault_armed.insert(tok.text);
+        }
+      }
+    }
+
+    // (d) the CFSF_FAILPOINT sites themselves, then cross-check all four.
+    std::map<std::string, std::vector<std::pair<std::string, std::size_t>>>
+        sites;
+    for (const auto& [path, content] : repo.code) {
+      if (!path.starts_with("src/")) continue;
+      const std::vector<Token> tokens = TokenizeWithStrings(content);
+      for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+        if (tokens[i].is_string || tokens[i].text != "CFSF_FAILPOINT") {
+          continue;
+        }
+        if (tokens[i + 1].is_string || tokens[i + 1].text != "(" ||
+            !tokens[i + 2].is_string) {
+          continue;
+        }
+        sites[tokens[i + 2].text].push_back({path, tokens[i + 2].line});
+      }
+    }
+    for (const auto& [name, site_list] : sites) {
+      for (const auto& [path, line_no] : site_list) {
+        if (inventory.count(name) == 0) {
+          emit(path, line_no, "undocumented-failpoint",
+               "CFSF_FAILPOINT site `" + name +
+                   "` has no row in the kFailPoints inventory "
+                   "(src/obs/names.hpp)");
+        }
+        if (documented.count(name) == 0) {
+          emit(path, line_no, "undocumented-failpoint",
+               "CFSF_FAILPOINT site `" + name +
+                   "` is not documented in docs/ROBUSTNESS.md (regenerate "
+                   "the table with `cfsf_cli list-failpoints --markdown`)");
+        }
+        if (fault_armed.count(name) == 0) {
+          emit(path, line_no, "undocumented-failpoint",
+               "CFSF_FAILPOINT site `" + name +
+                   "` is not armed by any fault-labelled test "
+                   "(cfsf_test(... LABEL fault))");
+        }
+      }
+    }
+    for (const auto& [name, line_no] : inventory) {
+      if (sites.count(name) == 0) {
+        emit(kNamesHeaderPath, line_no, "undocumented-failpoint",
+             "inventory row `" + name +
+                 "` has no CFSF_FAILPOINT site in src/ — stale entry, "
+                 "remove it");
+      }
+    }
+  }
+
+  // ---- unknown-ctest-label ------------------------------------------------
+  {
+    static const std::set<std::string> known = {"unit", "integration",
+                                               "stress", "lint", "fault"};
+    static const std::regex labels_kw(R"(\bLABELS?\b)");
+    for (const auto& [path, content] : repo.cmake) {
+      const std::vector<std::string>& clines = lines.at(path);
+      for (std::size_t ln = 0; ln < clines.size(); ++ln) {
+        std::string cline = clines[ln];
+        const std::size_t hash = cline.find('#');
+        if (hash != std::string::npos) cline.erase(hash);
+        std::smatch match;
+        if (!std::regex_search(cline, match, labels_kw)) continue;
+        const std::string rest =
+            cline.substr(match.position(0) + match.length(0));
+        std::istringstream fields(rest);
+        std::string raw;
+        while (fields >> raw) {
+          const bool closes_list = raw.find(')') != std::string::npos;
+          std::string cleaned;
+          for (const char c : raw) {
+            if (c == ')') break;
+            if (c != '"') cleaned.push_back(c);
+          }
+          // An ALL-CAPS token is the next cmake keyword, not a label.
+          const bool keyword =
+              !cleaned.empty() &&
+              std::all_of(cleaned.begin(), cleaned.end(), [](char c) {
+                return std::isupper(static_cast<unsigned char>(c)) || c == '_';
+              });
+          if (keyword) break;
+          std::istringstream pieces(cleaned);
+          std::string piece;
+          while (std::getline(pieces, piece, ';')) {
+            if (piece.empty() || piece.find("${") != std::string::npos) {
+              continue;  // variable reference — resolved at configure time
+            }
+            if (known.count(piece) == 0) {
+              emit(path, ln + 1, "unknown-ctest-label",
+                   "unknown ctest label `" + piece +
+                       "` — labels must be one of unit/integration/stress/"
+                       "lint/fault (docs/TOOLING.md)");
+            }
+          }
+          if (closes_list) break;
+        }
+      }
+    }
+  }
+}
+
+bool HasLintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+// True for directories the scanner must not descend into: build trees,
+// hidden dirs, and the fixture corpus (deliberate violations).
+bool SkipDirectory(const std::string& name) {
+  return name == "build" || name == "lint_fixtures" ||
+         (!name.empty() && name[0] == '.');
+}
+
+// Load every file the cross-file rules care about under `root` into a
+// RepoIndex, keyed by root-relative path.
+void LoadRepoIndex(const fs::path& root, RepoIndex* repo) {
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_directory()) {
+      if (SkipDirectory(it->path().filename().string())) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (!it->is_regular_file()) continue;
+    const std::string rel = fs::relative(it->path(), root).generic_string();
+    const bool lintable = HasLintableExtension(it->path());
+    const bool cmake = it->path().filename() == "CMakeLists.txt";
+    if (!lintable && !cmake && rel != kRobustnessDocPath &&
+        rel != kLayersSpecPath) {
+      continue;
+    }
+    std::ifstream in(it->path(), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (rel == kLayersSpecPath) {
+      repo->layers_text = buffer.str();
+      repo->has_layers = true;
+    } else if (rel == kRobustnessDocPath) {
+      repo->robustness_doc = buffer.str();
+    } else if (cmake) {
+      repo->cmake.emplace(rel, buffer.str());
+    } else {
+      repo->code.emplace(rel, buffer.str());
+    }
+  }
+}
+
+// Parse the index's layer spec (if any) and run every cross-file rule.
+// Returns false on a malformed spec (message to stderr).
+bool AnalyzeRepoWithSpec(const RepoIndex& repo, std::vector<Violation>& out) {
+  LayerSpec spec;
+  const LayerSpec* spec_ptr = nullptr;
+  if (repo.has_layers) {
+    std::string error;
+    if (!ParseLayerSpec(repo.layers_text, &spec, &error)) {
+      std::cerr << "cfsf_lint: " << kLayersSpecPath << ": " << error << "\n";
+      return false;
+    }
+    spec_ptr = &spec;
+  }
+  AnalyzeRepo(repo, spec_ptr, out);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // Self-test: every rule must fire on its seeded violation, stay quiet on
 // the clean twin, and be silenced by its inline allow marker (checked
 // automatically for every firing case below).
@@ -781,7 +1456,197 @@ const std::vector<SelfTestCase>& SelfTestCases() {
   return cases;
 }
 
-int RunSelfTest() {
+// ---------------------------------------------------------------------------
+// Cross-file self-test: each case is a miniature in-memory repo.
+// ---------------------------------------------------------------------------
+struct CrossTestCase {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> files;  // rel path, content
+  std::string expect_rule;  // empty = expect no cross-file violations
+};
+
+// The declared DAG in miniature, for the layering cases.
+constexpr const char kTestLayers[] =
+    "layer util\n"
+    "layer matrix data obs parallel\n"
+    "layer core\n"
+    "layer robust\n"
+    "layer serve\n"
+    "open tests bench tools examples\n";
+
+// names.hpp stand-ins for the fail-point contract cases.
+constexpr const char kNamesWithBoom[] =
+    "#pragma once\n"
+    "// cfsf-lint: failpoint-inventory-begin\n"
+    "inline constexpr FailPointInfo kFailPoints[] = {\n"
+    "    {\"core.boom\", \"site\", \"effect\"},\n"
+    "};\n"
+    "// cfsf-lint: failpoint-inventory-end\n";
+constexpr const char kNamesEmptyInventory[] =
+    "#pragma once\n"
+    "// cfsf-lint: failpoint-inventory-begin\n"
+    "inline constexpr FailPointInfo kFailPoints[] = {};\n"
+    "// cfsf-lint: failpoint-inventory-end\n";
+
+const std::vector<CrossTestCase>& CrossTestCases() {
+  static const std::vector<CrossTestCase> cases = {
+      // --- layering --------------------------------------------------------
+      {"inverted include util->serve fires",
+       {{kLayersSpecPath, kTestLayers},
+        {"src/util/strings.hpp", "#pragma once\n#include \"serve/api.hpp\"\n"},
+        {"src/serve/api.hpp", "#pragma once\n"}},
+       "layering"},
+      {"downward include clean",
+       {{kLayersSpecPath, kTestLayers},
+        {"src/serve/api.hpp", "#pragma once\n#include \"util/strings.hpp\"\n"},
+        {"src/util/strings.hpp", "#pragma once\n"}},
+       ""},
+      {"same-rung include clean",
+       {{kLayersSpecPath, kTestLayers},
+        {"src/data/loader.hpp",
+         "#pragma once\n#include \"matrix/types.hpp\"\n"},
+        {"src/matrix/types.hpp", "#pragma once\n"}},
+       ""},
+      {"test may include serve clean",
+       {{kLayersSpecPath, kTestLayers},
+        {"tests/serve_test.cpp", "#include \"serve/api.hpp\"\n"},
+        {"src/serve/api.hpp", "#pragma once\n"}},
+       ""},
+      {"library include of the tests tree fires",
+       {{kLayersSpecPath, kTestLayers},
+        {"src/util/strings.cpp", "#include \"../../tests/helper.hpp\"\n"},
+        {"tests/helper.hpp", "#pragma once\n"}},
+       "layering"},
+      {"undeclared module fires",
+       {{kLayersSpecPath, kTestLayers},
+        {"src/newmod/thing.cpp", "#include \"util/strings.hpp\"\n"},
+        {"src/util/strings.hpp", "#pragma once\n"}},
+       "layering"},
+      // --- include-cycle ---------------------------------------------------
+      {"include cycle fires",
+       {{kLayersSpecPath, kTestLayers},
+        {"src/matrix/a.hpp", "#pragma once\n#include \"matrix/b.hpp\"\n"},
+        {"src/matrix/b.hpp", "#pragma once\n#include \"matrix/a.hpp\"\n"}},
+       "include-cycle"},
+      {"acyclic chain clean",
+       {{kLayersSpecPath, kTestLayers},
+        {"src/matrix/a.hpp", "#pragma once\n#include \"matrix/b.hpp\"\n"},
+        {"src/matrix/b.hpp", "#pragma once\n"}},
+       ""},
+      // --- stray-metric-literal --------------------------------------------
+      {"stray metric literal fires",
+       {{"src/serve/stack.cpp",
+         "void F() { R().GetCounter(\"serve.requests\").Increment(); }\n"}},
+       "stray-metric-literal"},
+      {"metric constant clean",
+       {{"src/serve/stack.cpp",
+         "void F() { R().GetCounter(obs::names::kServeRequests); }\n"}},
+       ""},
+      {"metric literal in tests clean",
+       {{"tests/obs_test.cpp",
+         "void F() { R().GetCounter(\"anything.goes\"); }\n"}},
+       ""},
+      // --- undocumented-failpoint ------------------------------------------
+      {"failpoint missing from every artifact fires",
+       {{kNamesHeaderPath, kNamesEmptyInventory},
+        {"src/core/model.cpp",
+         "void F() { CFSF_FAILPOINT(\"core.boom\"); }\n"}},
+       "undocumented-failpoint"},
+      {"failpoint fully wired clean",
+       {{kNamesHeaderPath, kNamesWithBoom},
+        {kRobustnessDocPath, "| `core.boom` | site | effect |\n"},
+        {"tests/CMakeLists.txt", "cfsf_test(boom_test LABEL fault)\n"},
+        {"tests/boom_test.cpp", "void T() { Arm(\"core.boom\"); }\n"},
+        {"src/core/model.cpp",
+         "void F() { CFSF_FAILPOINT(\"core.boom\"); }\n"}},
+       ""},
+      {"stale inventory row fires",
+       {{kNamesHeaderPath, kNamesWithBoom}},
+       "undocumented-failpoint"},
+      // --- unknown-ctest-label ---------------------------------------------
+      {"unknown ctest label fires",
+       {{"tests/CMakeLists.txt",
+         "set_tests_properties(t PROPERTIES LABELS nightly)\n"}},
+       "unknown-ctest-label"},
+      {"known labels clean",
+       {{"tests/CMakeLists.txt",
+         "cfsf_test(a_test LABEL fault)\n"
+         "set_tests_properties(t PROPERTIES LABELS stress)\n"}},
+       ""},
+      {"variable label reference clean",
+       {{"tests/CMakeLists.txt", "set(_props LABELS ${CFSF_TEST_LABEL})\n"}},
+       ""},
+  };
+  return cases;
+}
+
+RepoIndex BuildIndex(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  RepoIndex repo;
+  for (const auto& [path, content] : files) {
+    if (path == kLayersSpecPath) {
+      repo.layers_text = content;
+      repo.has_layers = true;
+    } else if (path == kRobustnessDocPath) {
+      repo.robustness_doc = content;
+    } else if (fs::path(path).filename() == "CMakeLists.txt") {
+      repo.cmake.emplace(path, content);
+    } else {
+      repo.code.emplace(path, content);
+    }
+  }
+  return repo;
+}
+
+// On-disk fixture corpus: each directory under `dir` is a miniature
+// repo-root named `<rule>__bad` (the rule must fire), `<rule>__good`
+// (must stay clean) or `<rule>__allowed` (violating code carrying inline
+// allow markers — must stay clean).
+int RunFixtureCorpus(const fs::path& dir, std::size_t* checks) {
+  int failures = 0;
+  std::vector<fs::path> case_dirs;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_directory()) case_dirs.push_back(entry.path());
+  }
+  std::sort(case_dirs.begin(), case_dirs.end());
+  for (const auto& case_dir : case_dirs) {
+    const std::string name = case_dir.filename().string();
+    ++*checks;
+    const std::size_t sep = name.find("__");
+    const std::string rule = name.substr(0, sep);
+    const std::string kind =
+        sep == std::string::npos ? "" : name.substr(sep + 2);
+    if (kind != "bad" && kind != "good" && kind != "allowed") {
+      ++failures;
+      std::cout << "FAIL: fixture `" << name
+                << "`: directory must be named <rule>__{bad,good,allowed}\n";
+      continue;
+    }
+    RepoIndex repo;
+    LoadRepoIndex(case_dir, &repo);
+    std::vector<Violation> violations;
+    if (!AnalyzeRepoWithSpec(repo, violations)) {
+      ++failures;
+      std::cout << "FAIL: fixture `" << name << "`: malformed layer spec\n";
+      continue;
+    }
+    const bool fired =
+        std::any_of(violations.begin(), violations.end(),
+                    [&rule](const Violation& v) { return v.rule == rule; });
+    const bool expect_fire = kind == "bad";
+    if (fired != expect_fire) {
+      ++failures;
+      std::cout << "FAIL: fixture `" << name << "` (expected "
+                << (expect_fire ? "a `" + rule + "` violation" : "clean")
+                << ", got " << violations.size() << " violation(s)";
+      for (const auto& v : violations) std::cout << " [" << v.rule << "]";
+      std::cout << ")\n";
+    }
+  }
+  return failures;
+}
+
+int RunSelfTest(const std::string& fixtures_dir) {
   int failures = 0;
   std::size_t checks = 0;
 
@@ -833,14 +1698,83 @@ int RunSelfTest() {
     }
   }
 
+  // Cross-file cases: run the whole-repo analysis over each in-memory
+  // mini repo, then over a marker-suppressed twin of every firing case.
+  const auto with_markers = [](const std::string& content,
+                               const std::string& rule,
+                               const std::string& comment_lead) {
+    std::string marked;
+    std::istringstream stream(content);
+    std::string line;
+    while (std::getline(stream, line)) {
+      marked += line + "  " + comment_lead + " cfsf-lint: allow(" + rule +
+                ")\n";
+    }
+    return marked;
+  };
+  for (const auto& test : CrossTestCases()) {
+    std::vector<Violation> violations;
+    const bool analyzed =
+        AnalyzeRepoWithSpec(BuildIndex(test.files), violations);
+    ++checks;
+    bool ok = analyzed;
+    if (ok) {
+      ok = test.expect_rule.empty() ? violations.empty()
+                                    : fires(violations, test.expect_rule);
+    }
+    if (!ok) {
+      ++failures;
+      std::cout << "FAIL: " << test.name << " (expected "
+                << (test.expect_rule.empty() ? "no violation"
+                                             : test.expect_rule)
+                << ", got " << violations.size() << " violation(s)";
+      for (const auto& v : violations) std::cout << " [" << v.rule << "]";
+      std::cout << ")\n";
+    }
+
+    if (test.expect_rule.empty()) continue;
+    std::vector<std::pair<std::string, std::string>> suppressed_files;
+    for (const auto& [path, content] : test.files) {
+      if (path == kLayersSpecPath || path == kRobustnessDocPath) {
+        suppressed_files.emplace_back(path, content);
+      } else if (fs::path(path).filename() == "CMakeLists.txt") {
+        suppressed_files.emplace_back(
+            path, with_markers(content, test.expect_rule, "#"));
+      } else {
+        suppressed_files.emplace_back(
+            path, with_markers(content, test.expect_rule, "//"));
+      }
+    }
+    std::vector<Violation> suppressed_violations;
+    ++checks;
+    if (!AnalyzeRepoWithSpec(BuildIndex(suppressed_files),
+                             suppressed_violations) ||
+        fires(suppressed_violations, test.expect_rule)) {
+      ++failures;
+      std::cout << "FAIL: " << test.name << " [inline allow("
+                << test.expect_rule << ") did not suppress]\n";
+    }
+  }
+
+  // On-disk fixture corpus (positive + negative + allowed per rule).
+  std::string corpus = fixtures_dir;
+  if (corpus.empty() && fs::is_directory("tools/lint_fixtures")) {
+    corpus = "tools/lint_fixtures";
+  }
+  if (corpus.empty()) {
+    std::cout << "cfsf_lint self-test: fixture corpus not found "
+                 "(pass --fixtures DIR); skipping corpus replay\n";
+  } else if (!fs::is_directory(corpus)) {
+    ++checks;
+    ++failures;
+    std::cout << "FAIL: --fixtures " << corpus << " is not a directory\n";
+  } else {
+    failures += RunFixtureCorpus(corpus, &checks);
+  }
+
   std::cout << "cfsf_lint self-test: " << (checks - failures) << "/" << checks
             << " checks passed\n";
   return failures == 0 ? 0 : 1;
-}
-
-bool HasLintableExtension(const fs::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
 }
 
 }  // namespace
@@ -848,21 +1782,35 @@ bool HasLintableExtension(const fs::path& path) {
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::string allowlist_path;
+  std::string repo_root;
+  std::string fixtures_dir;
+  bool self_test = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--self-test") return RunSelfTest();
+    if (arg == "--self-test") {
+      self_test = true;
+      continue;
+    }
     if (arg == "--list-rules") {
       std::cout << "missing-pragma-once\n";
       for (const auto& rule : LineRules()) std::cout << rule.id << "\n";
       for (const auto& rule : TokenRules()) std::cout << rule.id << "\n";
+      for (const auto& id : CrossFileRuleIds()) std::cout << id << "\n";
       return 0;
     }
-    if (arg == "--allowlist") {
+    const auto need_value = [&argc, &argv, &i](const char* flag) {
       if (i + 1 >= argc) {
-        std::cerr << "cfsf_lint: --allowlist requires a file argument\n";
-        return 2;
+        std::cerr << "cfsf_lint: " << flag << " requires an argument\n";
+        std::exit(2);
       }
-      allowlist_path = argv[++i];
+      return std::string(argv[++i]);
+    };
+    if (arg == "--allowlist") {
+      allowlist_path = need_value("--allowlist");
+    } else if (arg == "--repo-root") {
+      repo_root = need_value("--repo-root");
+    } else if (arg == "--fixtures") {
+      fixtures_dir = need_value("--fixtures");
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "cfsf_lint: unknown flag " << arg << "\n";
       return 2;
@@ -870,9 +1818,10 @@ int main(int argc, char** argv) {
       roots.push_back(arg);
     }
   }
-  if (roots.empty()) {
-    std::cerr << "usage: cfsf_lint [--allowlist FILE] [--self-test] "
-                 "[--list-rules] DIR...\n";
+  if (self_test) return RunSelfTest(fixtures_dir);
+  if (roots.empty() && repo_root.empty()) {
+    std::cerr << "usage: cfsf_lint [--allowlist FILE] [--repo-root DIR] "
+                 "[--self-test] [--fixtures DIR] [--list-rules] DIR...\n";
     return 2;
   }
 
@@ -886,20 +1835,55 @@ int main(int argc, char** argv) {
       std::cerr << "cfsf_lint: no such path: " << root << "\n";
       return 2;
     }
-    for (const auto& entry : fs::recursive_directory_iterator(root)) {
-      if (!entry.is_regular_file() || !HasLintableExtension(entry.path())) {
+    for (auto it = fs::recursive_directory_iterator(root);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory()) {
+        if (SkipDirectory(it->path().filename().string())) {
+          it.disable_recursion_pending();
+        }
         continue;
       }
-      std::ifstream in(entry.path(), std::ios::binary);
+      if (!it->is_regular_file() || !HasLintableExtension(it->path())) {
+        continue;
+      }
+      std::ifstream in(it->path(), std::ios::binary);
       std::ostringstream buffer;
       buffer << in.rdbuf();
-      const std::string display = entry.path().generic_string();
+      const std::string display = it->path().generic_string();
       std::vector<Violation> file_violations;
       LintFile(display, buffer.str(), file_violations);
       scanned_paths.push_back(display);
       for (auto& v : file_violations) {
         if (!Allowlisted(v, allow)) violations.push_back(std::move(v));
       }
+    }
+  }
+
+  // Whole-repo cross-file analysis (v3).  Violations carry repo-root-
+  // relative paths, so allowlist path substrings match either form.
+  if (!repo_root.empty()) {
+    if (!fs::is_directory(repo_root)) {
+      std::cerr << "cfsf_lint: --repo-root " << repo_root
+                << " is not a directory\n";
+      return 2;
+    }
+    RepoIndex repo;
+    LoadRepoIndex(repo_root, &repo);
+    if (!repo.has_layers) {
+      std::cerr << "cfsf_lint: --repo-root given but " << kLayersSpecPath
+                << " not found under " << repo_root << "\n";
+      return 2;
+    }
+    std::vector<Violation> cross;
+    if (!AnalyzeRepoWithSpec(repo, cross)) return 2;
+    for (const auto& [path, content] : repo.code) {
+      scanned_paths.push_back(path);
+    }
+    for (const auto& [path, content] : repo.cmake) {
+      scanned_paths.push_back(path);
+    }
+    for (auto& v : cross) {
+      if (!Allowlisted(v, allow)) violations.push_back(std::move(v));
     }
   }
 

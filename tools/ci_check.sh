@@ -14,8 +14,16 @@
 #      check over src/ — skipped with a notice when clang++ is not on PATH
 #   5. clang-tidy   (advisory)                     : `tidy` target when
 #      clang-tidy is on PATH, skip notice otherwise; never fails the gate
-#   6. cfsf_lint                                   : self-test + full-tree scan
-#   7. bench smoke                                 : one CI-sized sweep must
+#   6. cfsf_lint                                   : self-test (with the
+#      fixture corpus) + whole-repo scan — per-file rules plus the v3
+#      cross-file rules (layering DAG, include cycles, metric-name and
+#      failpoint registry contracts, ctest-label vocabulary)
+#   7. deep analyzer (non-advisory)                : clang --analyze when
+#      clang is on PATH, else GCC -fanalyzer; every finding must be
+#      fixed or carry an `analyzer-<flag> <path>` entry in
+#      tools/cfsf_lint_allow.txt.  cppcheck runs non-advisory too when
+#      present.  Both skip with a notice when the tool is absent.
+#   8. bench smoke                                 : one CI-sized sweep must
 #      emit a BENCH_smoke.json that parses and carries latency percentiles,
 #      plus a corrupted-bundle check: verify-model must reject a bit flip
 #      with a nonzero (but clean) exit
@@ -26,7 +34,7 @@
 # observability pipeline.
 #
 # Usage: tools/ci_check.sh [--jobs N] [--skip-tsan] [--skip-asan]
-#                          [--skip-bench] [--skip-tsa]
+#                          [--skip-bench] [--skip-tsa] [--skip-analyze]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -35,6 +43,7 @@ RUN_ASAN=1
 RUN_TSAN=1
 RUN_BENCH=1
 RUN_TSA=1
+RUN_ANALYZE=1
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -43,7 +52,8 @@ while [[ $# -gt 0 ]]; do
     --skip-asan) RUN_ASAN=0; shift ;;
     --skip-bench) RUN_BENCH=0; shift ;;
     --skip-tsa) RUN_TSA=0; shift ;;
-    *) echo "usage: $0 [--jobs N] [--skip-tsan] [--skip-asan] [--skip-bench] [--skip-tsa]" >&2; exit 2 ;;
+    --skip-analyze) RUN_ANALYZE=0; shift ;;
+    *) echo "usage: $0 [--jobs N] [--skip-tsan] [--skip-asan] [--skip-bench] [--skip-tsa] [--skip-analyze]" >&2; exit 2 ;;
   esac
 done
 
@@ -125,9 +135,93 @@ if [[ -z "${LINT_BIN}" ]]; then
   cmake --build --preset release -j "${JOBS}" --target cfsf_lint
   LINT_BIN="${ROOT}/build/release/tools/cfsf_lint"
 fi
-"${LINT_BIN}" --self-test
+"${LINT_BIN}" --self-test --fixtures "${ROOT}/tools/lint_fixtures"
 "${LINT_BIN}" --allowlist "${ROOT}/tools/cfsf_lint_allow.txt" \
-  "${ROOT}/src" "${ROOT}/bench" "${ROOT}/examples" "${ROOT}/tests"
+  --repo-root "${ROOT}" \
+  "${ROOT}/src" "${ROOT}/bench" "${ROOT}/examples" "${ROOT}/tests" \
+  "${ROOT}/tools"
+
+if [[ "${RUN_ANALYZE}" -eq 1 ]]; then
+  echo "=== deep analyzer (non-advisory) ==="
+  # Static path analysis over every src/ TU.  clang's analyzer when
+  # available, GCC's -fanalyzer otherwise (-fanalyzer needs codegen: it
+  # runs after gimplification, so -c to /dev/null, NOT -fsyntax-only).
+  # Every finding must be fixed or excused by an `analyzer-<flag> <path>`
+  # line in tools/cfsf_lint_allow.txt — same file, same format, same
+  # review pressure as the lint allowlist.  Diagnostics GCC anchors at
+  # the pseudo-location `cc1plus:` (traces that end inside libstdc++)
+  # are attributed to the TU being compiled so every allowlist entry
+  # names a real repo file.
+  ALLOW="${ROOT}/tools/cfsf_lint_allow.txt"
+  ANALYZE_RAW="$(mktemp)"
+  ANALYZE_PAIRS="$(mktemp)"
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "ci_check: analyzer = clang --analyze"
+    while IFS= read -r tu; do
+      clang++ --analyze --analyzer-output text -std=c++20 \
+        "-I${ROOT}/src" "$tu" -o /dev/null 2>"${ANALYZE_RAW}" || true
+      # clang tags findings `[checker.Name]`; rule id = analyzer-<tag>.
+      # `grep || true`: a clean TU (no findings) must not trip pipefail.
+      grep -E 'warning:.*\[[A-Za-z][A-Za-z0-9.]*\]$' "${ANALYZE_RAW}" |
+        while IFS= read -r line; do
+          loc="${line%%:*}"; tag="${line##*\[}"; tag="${tag%\]}"
+          rel="${loc#"${ROOT}"/}"
+          [[ -f "${ROOT}/${rel}" ]] || rel="${tu#"${ROOT}"/}"
+          echo "${rel} analyzer-${tag}"
+        done >> "${ANALYZE_PAIRS}" || true
+    done < <(find "${ROOT}/src" -name '*.cpp' | sort)
+  else
+    echo "ci_check: clang++ not on PATH; analyzer = g++ -fanalyzer"
+    while IFS= read -r tu; do
+      g++ -std=c++20 -O1 "-I${ROOT}/src" -fanalyzer -c "$tu" \
+        -o /dev/null 2>"${ANALYZE_RAW}" || true
+      # `grep || true`: a clean TU (no findings) must not trip pipefail.
+      grep -E 'warning:.*\[-Wanalyzer-[a-z-]+\]' "${ANALYZE_RAW}" |
+        while IFS= read -r line; do
+          loc="${line%%:*}"
+          flag="$(sed -E 's/.*\[-W(analyzer-[a-z-]+)\].*/\1/' <<< "$line")"
+          rel="${loc#"${ROOT}"/}"
+          [[ -f "${ROOT}/${rel}" ]] || rel="${tu#"${ROOT}"/}"
+          echo "${rel} ${flag}"
+        done >> "${ANALYZE_PAIRS}" || true
+    done < <(find "${ROOT}/src" -name '*.cpp' | sort)
+  fi
+  ANALYZE_FAIL=0
+  TOTAL=0
+  UNALLOWED=0
+  while read -r count rel rule; do
+    [[ -z "${rel:-}" ]] && continue
+    TOTAL=$((TOTAL + count))
+    allowed=0
+    while read -r arule asub _; do
+      if [[ "${arule}" == "${rule}" && "${rel}" == *"${asub}"* ]]; then
+        allowed=1; break
+      fi
+    done < <(grep -E '^analyzer-' "${ALLOW}" || true)
+    if [[ "${allowed}" -eq 0 ]]; then
+      echo "ci_check: unallowed analyzer finding: ${rel} [${rule}] (x${count})" >&2
+      UNALLOWED=$((UNALLOWED + count))
+      ANALYZE_FAIL=1
+    fi
+  done < <(sort "${ANALYZE_PAIRS}" | uniq -c | awk '{print $1, $2, $3}')
+  rm -f "${ANALYZE_RAW}" "${ANALYZE_PAIRS}"
+  echo "ci_check: deep analyzer: ${TOTAL} finding(s), ${UNALLOWED} unallowed"
+  if [[ "${ANALYZE_FAIL}" -eq 1 ]]; then
+    echo "ci_check: fix the finding or add \`analyzer-<flag> <path>\` to" \
+         "tools/cfsf_lint_allow.txt with a justification" >&2
+    exit 1
+  fi
+
+  echo "=== cppcheck (non-advisory) ==="
+  if command -v cppcheck >/dev/null 2>&1; then
+    cppcheck --enable=warning,performance,portability --inline-suppr \
+      --error-exitcode=1 --quiet --suppress=missingIncludeSystem \
+      "-I${ROOT}/src" "${ROOT}/src"
+    echo "ci_check: cppcheck clean"
+  else
+    echo "ci_check: cppcheck not on PATH; skipping (non-advisory when present)"
+  fi
+fi
 
 if [[ "${RUN_BENCH}" -eq 1 ]]; then
   echo "=== bench smoke (BENCH_smoke.json) ==="

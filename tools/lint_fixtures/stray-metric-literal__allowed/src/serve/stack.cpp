@@ -1,0 +1,1 @@
+void F() { R().GetCounter("serve.requests").Increment(); }  // cfsf-lint: allow(stray-metric-literal)

@@ -1,0 +1,1 @@
+void F() { R().GetCounter(obs::names::kServeRequests).Increment(); }

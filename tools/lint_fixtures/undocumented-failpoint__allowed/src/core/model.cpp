@@ -1,0 +1,1 @@
+void F() { CFSF_FAILPOINT("core.boom"); }  // cfsf-lint: allow(undocumented-failpoint)

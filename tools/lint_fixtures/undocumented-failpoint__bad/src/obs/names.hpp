@@ -1,0 +1,4 @@
+#pragma once
+// cfsf-lint: failpoint-inventory-begin
+inline constexpr FailPointInfo kFailPoints[] = {};
+// cfsf-lint: failpoint-inventory-end

@@ -1,0 +1,1 @@
+void T() { Arm("core.boom"); }
