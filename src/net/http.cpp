@@ -1,0 +1,257 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace cfsf::net {
+
+namespace {
+
+std::string ToLower(std::string value) {
+  std::transform(value.begin(), value.end(), value.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return value;
+}
+
+std::string Trim(const std::string& value) {
+  std::size_t begin = 0;
+  std::size_t end = value.size();
+  while (begin < end && (value[begin] == ' ' || value[begin] == '\t')) ++begin;
+  while (end > begin && (value[end - 1] == ' ' || value[end - 1] == '\t')) {
+    --end;
+  }
+  return value.substr(begin, end - begin);
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Percent-decoding for query components; '+' decodes to space.
+bool PercentDecode(const std::string& in, std::string* out) {
+  out->clear();
+  out->reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '+') {
+      out->push_back(' ');
+    } else if (c == '%') {
+      if (i + 2 >= in.size()) return false;
+      const int hi = HexDigit(in[i + 1]);
+      const int lo = HexDigit(in[i + 2]);
+      if (hi < 0 || lo < 0) return false;
+      out->push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else {
+      out->push_back(c);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string HttpRequest::QueryParam(const std::string& name,
+                                    const std::string& fallback) const {
+  for (const auto& [key, value] : query) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+void HttpResponse::Set(const std::string& name, const std::string& value) {
+  headers.emplace_back(name, value);
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+  }
+  return "Unknown";
+}
+
+std::string Serialize(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += ReasonPhrase(response.status);
+  out += "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  if (!response.body.empty() && !response.body_type.empty()) {
+    out += "Content-Type: ";
+    out += response.body_type;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+bool ParseTarget(const std::string& target, std::string* path,
+                 std::vector<std::pair<std::string, std::string>>* query) {
+  query->clear();
+  const std::size_t mark = target.find('?');
+  *path = target.substr(0, mark);
+  if (mark == std::string::npos) return true;
+  const std::string raw = target.substr(mark + 1);
+  std::size_t begin = 0;
+  while (begin <= raw.size()) {
+    std::size_t end = raw.find('&', begin);
+    if (end == std::string::npos) end = raw.size();
+    const std::string field = raw.substr(begin, end - begin);
+    if (!field.empty()) {
+      const std::size_t eq = field.find('=');
+      std::string key;
+      std::string value;
+      if (!PercentDecode(field.substr(0, eq), &key)) return false;
+      if (eq != std::string::npos &&
+          !PercentDecode(field.substr(eq + 1), &value)) {
+        return false;
+      }
+      query->emplace_back(std::move(key), std::move(value));
+    }
+    begin = end + 1;
+  }
+  return true;
+}
+
+RequestParser::State RequestParser::Fail(const std::string& why) {
+  state_ = State::kError;
+  error_ = why;
+  return state_;
+}
+
+bool RequestParser::HasPartialData() const {
+  return state_ == State::kIncomplete && buffer_.size() > 0;
+}
+
+void RequestParser::Reset() {
+  buffer_.erase(0, consumed_);
+  consumed_ = 0;
+  header_end_ = 0;
+  body_length_ = 0;
+  headers_done_ = false;
+  state_ = State::kIncomplete;
+  request_ = HttpRequest{};
+  error_.clear();
+  if (!buffer_.empty()) Parse();  // pipelined next message
+}
+
+RequestParser::State RequestParser::Feed(const char* data, std::size_t n) {
+  buffer_.append(data, n);
+  if (state_ != State::kIncomplete) return state_;  // buffering only
+  return Parse();
+}
+
+RequestParser::State RequestParser::Parse() {
+  if (!headers_done_) {
+    const std::size_t end = buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      if (buffer_.size() > kMaxHeaderBytes) {
+        return Fail("header block exceeds " +
+                    std::to_string(kMaxHeaderBytes) + " bytes");
+      }
+      return state_;
+    }
+    header_end_ = end + 4;
+    if (header_end_ > kMaxHeaderBytes) {
+      return Fail("header block exceeds " + std::to_string(kMaxHeaderBytes) +
+                  " bytes");
+    }
+
+    // Request line: METHOD SP TARGET SP VERSION.
+    std::size_t line_end = buffer_.find("\r\n");
+    const std::string line = buffer_.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1) {
+      return Fail("malformed request line");
+    }
+    request_.method = line.substr(0, sp1);
+    request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    request_.version = line.substr(sp2 + 1);
+    if (request_.method.empty() || request_.target.empty() ||
+        (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0")) {
+      return Fail("malformed request line");
+    }
+    if (!ParseTarget(request_.target, &request_.path, &request_.query)) {
+      return Fail("malformed percent-escape in target");
+    }
+
+    // Header fields.
+    std::size_t cursor = line_end + 2;
+    while (cursor < end) {
+      const std::size_t field_end = buffer_.find("\r\n", cursor);
+      const std::string field = buffer_.substr(cursor, field_end - cursor);
+      cursor = field_end + 2;
+      const std::size_t colon = field.find(':');
+      if (colon == std::string::npos || colon == 0) {
+        return Fail("malformed header field");
+      }
+      request_.headers.emplace_back(ToLower(Trim(field.substr(0, colon))),
+                                    Trim(field.substr(colon + 1)));
+    }
+
+    if (const std::string* length = request_.FindHeader("content-length")) {
+      std::size_t value = 0;
+      const auto [ptr, ec] = std::from_chars(
+          length->data(), length->data() + length->size(), value);
+      if (ec != std::errc() || ptr != length->data() + length->size()) {
+        return Fail("malformed Content-Length");
+      }
+      if (value > kMaxBodyBytes) {
+        return Fail("body exceeds " + std::to_string(kMaxBodyBytes) +
+                    " bytes");
+      }
+      body_length_ = value;
+    } else if (request_.FindHeader("transfer-encoding") != nullptr) {
+      return Fail("transfer-encoding is not supported");
+    }
+
+    const std::string* connection = request_.FindHeader("connection");
+    if (connection != nullptr) {
+      request_.keep_alive = ToLower(*connection) != "close";
+    } else {
+      request_.keep_alive = request_.version == "HTTP/1.1";
+    }
+    headers_done_ = true;
+  }
+
+  if (buffer_.size() - header_end_ < body_length_) return state_;
+  request_.body = buffer_.substr(header_end_, body_length_);
+  consumed_ = header_end_ + body_length_;
+  state_ = State::kComplete;
+  return state_;
+}
+
+}  // namespace cfsf::net

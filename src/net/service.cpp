@@ -1,0 +1,185 @@
+#include "net/service.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "net/wire.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/api.hpp"
+#include "serve/model_generation.hpp"
+
+namespace cfsf::net {
+
+namespace {
+
+/// Parses a non-negative integer; false on anything else.
+bool ParseUint(const std::string& text, std::uint64_t* value) {
+  if (text.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *value);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+std::string TraceIdOf(const HttpRequest& request) {
+  const std::string* trace = request.FindHeader("x-cfsf-trace-id");
+  return trace != nullptr ? *trace : std::string();
+}
+
+HttpResponse ErrorResponse(serve::StatusCode code, const std::string& message,
+                           const std::string& trace_id) {
+  HttpResponse response;
+  response.status = serve::ToHttpStatus(code);
+  response.body = RenderErrorJson(code, message, trace_id);
+  if (!trace_id.empty()) response.Set("X-CFSF-Trace-Id", trace_id);
+  return response;
+}
+
+}  // namespace
+
+ServingService::ServingService(serve::ServingStack& stack,
+                               const ServiceOptions& options)
+    : stack_(stack), options_(options) {}
+
+HttpResponse ServingService::Handle(const HttpRequest& request) {
+  try {
+    if (request.path == "/v1/predict") {
+      if (request.method != "POST") {
+        return ErrorResponse(serve::StatusCode::kMalformed,
+                             "use POST for /v1/predict", TraceIdOf(request));
+      }
+      return HandlePredict(request);
+    }
+    if (request.path == "/v1/predict-batch") {
+      if (request.method != "POST") {
+        return ErrorResponse(serve::StatusCode::kMalformed,
+                             "use POST for /v1/predict-batch",
+                             TraceIdOf(request));
+      }
+      return HandlePredictBatch(request);
+    }
+    if (request.path == "/v1/top-n") {
+      if (request.method != "GET") {
+        return ErrorResponse(serve::StatusCode::kMalformed,
+                             "use GET for /v1/top-n", TraceIdOf(request));
+      }
+      return HandleTopN(request);
+    }
+    if (request.path == "/healthz") {
+      return HandleHealthz();
+    }
+    if (request.path == "/metrics") {
+      return HandleMetrics();
+    }
+    return ErrorResponse(serve::StatusCode::kNotFound,
+                         "no route matches " + request.path,
+                         TraceIdOf(request));
+  } catch (const std::exception& e) {
+    return ErrorResponse(serve::StatusCode::kInternal, e.what(),
+                         TraceIdOf(request));
+  } catch (...) {
+    return ErrorResponse(serve::StatusCode::kInternal, "unknown handler fault",
+                         TraceIdOf(request));
+  }
+}
+
+HttpResponse ServingService::HandlePredict(const HttpRequest& request) {
+  BodyParse parse = ParsePredictBody(request.body);
+  if (!parse.ok) {
+    return ErrorResponse(serve::StatusCode::kMalformed, parse.error,
+                         TraceIdOf(request));
+  }
+  return Dispatch(request, std::move(parse.request));
+}
+
+HttpResponse ServingService::HandlePredictBatch(const HttpRequest& request) {
+  BodyParse parse = ParseBatchBody(request.body, options_.max_batch);
+  if (!parse.ok) {
+    return ErrorResponse(serve::StatusCode::kMalformed, parse.error,
+                         TraceIdOf(request));
+  }
+  return Dispatch(request, std::move(parse.request));
+}
+
+HttpResponse ServingService::HandleTopN(const HttpRequest& request) {
+  std::uint64_t user = 0;
+  if (!ParseUint(request.QueryParam("user"), &user)) {
+    return ErrorResponse(serve::StatusCode::kMalformed,
+                         "missing or non-integer \"user\" query parameter",
+                         TraceIdOf(request));
+  }
+  std::uint64_t n = 10;
+  const std::string n_param = request.QueryParam("n");
+  if (!n_param.empty() && !ParseUint(n_param, &n)) {
+    return ErrorResponse(serve::StatusCode::kMalformed,
+                         "non-integer \"n\" query parameter",
+                         TraceIdOf(request));
+  }
+  if (n == 0 || n > options_.max_top_n) {
+    return ErrorResponse(serve::StatusCode::kMalformed,
+                         "\"n\" must be in [1, " +
+                             std::to_string(options_.max_top_n) + "]",
+                         TraceIdOf(request));
+  }
+  return Dispatch(request,
+                  serve::Request::TopN(static_cast<matrix::UserId>(user),
+                                       static_cast<std::size_t>(n)));
+}
+
+HttpResponse ServingService::HandleHealthz() {
+  const auto active = stack_.models().Active();
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("status").String(active != nullptr ? "ok" : "no_model");
+  json.Key("generation").Uint(active != nullptr ? active->generation() : 0);
+  json.Key("breaker_level").Uint(stack_.breaker().level());
+  json.Key("breaker_state")
+      .String(serve::ToString(stack_.breaker().state()));
+  json.Key("queue_depth").Uint(stack_.QueueDepth());
+  json.EndObject();
+
+  HttpResponse response;
+  response.status = active != nullptr ? 200 : 503;
+  response.body = json.str();
+  return response;
+}
+
+HttpResponse ServingService::HandleMetrics() {
+  HttpResponse response;
+  response.body = obs::MetricsRegistry::Global().ToJson();
+  return response;
+}
+
+HttpResponse ServingService::Dispatch(const HttpRequest& http,
+                                      serve::Request request) {
+  request.trace_id = TraceIdOf(http);
+
+  if (const std::string* header = http.FindHeader("x-cfsf-deadline-us")) {
+    std::uint64_t budget_us = 0;
+    if (!ParseUint(*header, &budget_us)) {
+      return ErrorResponse(serve::StatusCode::kMalformed,
+                           "non-integer X-CFSF-Deadline-Us header",
+                           request.trace_id);
+    }
+    request.deadline =
+        robust::Deadline::After(std::chrono::microseconds(budget_us));
+  }
+
+  const serve::Response served = stack_.ServeSync(request);
+
+  HttpResponse response;
+  response.status = serve::ToHttpStatus(served.code);
+  response.body = RenderResponseJson(request.kind, served);
+  if (!served.trace_id.empty()) {
+    response.Set("X-CFSF-Trace-Id", served.trace_id);
+  }
+  if (serve::IsRetryable(served.code)) {
+    response.Set("Retry-After", std::to_string(options_.retry_after.count()));
+  }
+  return response;
+}
+
+}  // namespace cfsf::net

@@ -1,0 +1,69 @@
+// Route dispatch: one HttpRequest in, one HttpResponse out.
+//
+// ServingService is the translation layer the api.hpp redesign exists
+// for — every handler is parse body/query, build a serve::Request,
+// ServeSync, render.  Status decisions live in serve::ToHttpStatus;
+// nothing here invents a second failure vocabulary.
+//
+// Routes (docs/SERVING_API.md is the normative reference):
+//   POST /v1/predict        {"user", "item", "rung_floor"?}
+//   POST /v1/predict-batch  {"queries": [[u, i], ...], "rung_floor"?}
+//   GET  /v1/top-n?user=U&n=N
+//   GET  /healthz           liveness + active generation / breaker tier
+//   GET  /metrics           obs::MetricsRegistry::Global().ToJson()
+//
+// Cross-cutting headers:
+//   X-CFSF-Deadline-Us  request budget in microseconds; propagated as
+//                       robust::Deadline::After into the ladder
+//   X-CFSF-Trace-Id     opaque token, echoed on the response
+//   Retry-After         attached (seconds) when IsRetryable(code)
+//
+// The service is stateless per request and thread-safe: the HttpServer
+// calls Handle() from its worker pool concurrently.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "net/http.hpp"
+#include "serve/serving_stack.hpp"
+
+namespace cfsf::net {
+
+struct ServiceOptions {
+  /// Upper bound on /v1/predict-batch query count; larger bodies are
+  /// kMalformed.
+  std::size_t max_batch = 1024;
+  /// Upper bound on the `n` query parameter of /v1/top-n.
+  std::size_t max_top_n = 1000;
+  /// Value of the Retry-After header on retryable refusals.
+  std::chrono::seconds retry_after{1};
+};
+
+class ServingService {
+ public:
+  explicit ServingService(serve::ServingStack& stack,
+                          const ServiceOptions& options = {});
+
+  /// Dispatches one parsed request.  Never throws: handler faults
+  /// become 500 documents.
+  HttpResponse Handle(const HttpRequest& request);
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  HttpResponse HandlePredict(const HttpRequest& request);
+  HttpResponse HandlePredictBatch(const HttpRequest& request);
+  HttpResponse HandleTopN(const HttpRequest& request);
+  HttpResponse HandleHealthz();
+  HttpResponse HandleMetrics();
+
+  /// Runs a wire-built Request through the stack and renders it,
+  /// folding in the deadline/trace headers.
+  HttpResponse Dispatch(const HttpRequest& http, serve::Request request);
+
+  serve::ServingStack& stack_;
+  const ServiceOptions options_;
+};
+
+}  // namespace cfsf::net

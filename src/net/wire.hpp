@@ -1,0 +1,49 @@
+// Wire format of the serving API: JSON request bodies in, JSON
+// response documents out.  docs/SERVING_API.md is the normative
+// description; this header is its implementation.
+//
+// Parsing is strict by design — unknown fields, non-integer numbers and
+// missing required keys are kMalformed, not best-effort guesses — so a
+// client bug surfaces as a 400 with a reason instead of a silently
+// wrong query.  The parser is hand-rolled (the repo carries no JSON
+// dependency) and only accepts the subset the API uses: objects,
+// arrays and non-negative integers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "serve/api.hpp"
+
+namespace cfsf::net {
+
+/// Outcome of parsing a request body.  When !ok, `error` holds the
+/// reason and the route answers 400 kMalformed.
+struct BodyParse {
+  bool ok = false;
+  std::string error;
+  serve::Request request;
+};
+
+/// POST /v1/predict — `{"user": U, "item": I, "rung_floor": F?}`.
+BodyParse ParsePredictBody(const std::string& body);
+
+/// POST /v1/predict-batch —
+/// `{"queries": [[U, I], ...], "rung_floor": F?}`; at most `max_batch`
+/// queries, at least one.
+BodyParse ParseBatchBody(const std::string& body, std::size_t max_batch);
+
+/// Renders a Response as the route's JSON document: the envelope echo
+/// (status, tier, probe, generation, trace_id) plus `predictions` or
+/// `ranked` on kOk, `message` otherwise.  `kind` picks which result
+/// array the document carries.
+std::string RenderResponseJson(serve::Request::Kind kind,
+                               const serve::Response& response);
+
+/// A bare error document for failures that never reached the stack
+/// (unknown route, unparseable body, connection-level refusals).
+std::string RenderErrorJson(serve::StatusCode code,
+                            const std::string& message,
+                            const std::string& trace_id);
+
+}  // namespace cfsf::net

@@ -34,6 +34,7 @@ inline constexpr const char kServeOk[] = "serve.ok";
 inline constexpr const char kServeShed[] = "serve.shed";
 inline constexpr const char kServeRejected[] = "serve.rejected";
 inline constexpr const char kServeErrors[] = "serve.errors";
+inline constexpr const char kServeRefused[] = "serve.refused";
 inline constexpr const char kServeDegradedAdmissions[] =
     "serve.degraded_admissions";
 inline constexpr const char kServeQueueDepth[] = "serve.queue_depth";
@@ -56,6 +57,18 @@ inline constexpr const char kServeBreakerLevel[] = "serve.breaker.level";
 inline constexpr const char kServeSwapCount[] = "serve.swap.count";
 inline constexpr const char kServeSwapFailures[] = "serve.swap.failures";
 inline constexpr const char kServeGeneration[] = "serve.generation";
+
+// --- network front end (src/net/server.cpp, src/net/service.cpp) ----------
+inline constexpr const char kNetConnAccepted[] = "net.conn.accepted";
+inline constexpr const char kNetConnActive[] = "net.conn.active";
+inline constexpr const char kNetConnRejectedBusy[] =
+    "net.conn.rejected_busy";
+inline constexpr const char kNetConnDropped[] = "net.conn.dropped";
+inline constexpr const char kNetHttpRequests[] = "net.http.requests";
+inline constexpr const char kNetHttpResponses[] = "net.http.responses";
+inline constexpr const char kNetHttpMalformed[] = "net.http.malformed";
+inline constexpr const char kNetHttpWriteErrors[] = "net.http.write_errors";
+inline constexpr const char kNetHttpLatencyUs[] = "net.http.latency_us";
 
 // --- robustness (src/robust/, src/obs/failpoint.cpp, src/core/model_io.cpp)
 inline constexpr const char kRobustFailpointTrips[] = "robust.failpoint_trips";
@@ -130,6 +143,10 @@ inline constexpr FailPointInfo kFailPoints[] = {
      "`kError` result; stack survives"},
     {"serve.swap.load", "`ModelGeneration::LoadAndSwap`",
      "old generation keeps serving"},
+    {"net.accept", "`HttpServer` accept loop",
+     "connection dropped; server keeps accepting"},
+    {"net.write", "`HttpServer` response write",
+     "connection closed before the response"},
 };
 // cfsf-lint: failpoint-inventory-end
 

@@ -1,0 +1,104 @@
+#include "serve/api.hpp"
+
+namespace cfsf::serve {
+
+const char* ToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kShed: return "shed";
+    case StatusCode::kRejected: return "rejected";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kBreakerOpen: return "breaker_open";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kMalformed: return "malformed";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+int ToHttpStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kShed: return 503;
+    case StatusCode::kRejected: return 429;
+    case StatusCode::kDeadlineExceeded: return 504;
+    case StatusCode::kBreakerOpen: return 503;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kMalformed: return 400;
+    case StatusCode::kInternal: return 500;
+  }
+  return 500;
+}
+
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kShed || code == StatusCode::kRejected ||
+         code == StatusCode::kBreakerOpen;
+}
+
+const char* ToString(Request::Kind kind) {
+  switch (kind) {
+    case Request::Kind::kPredict: return "predict";
+    case Request::Kind::kPredictBatch: return "predict-batch";
+    case Request::Kind::kTopN: return "top-n";
+  }
+  return "unknown";
+}
+
+Request Request::Predict(matrix::UserId user, matrix::ItemId item,
+                         robust::Deadline deadline) {
+  Request request;
+  request.kind = Kind::kPredict;
+  request.user = user;
+  request.item = item;
+  request.deadline = deadline;
+  return request;
+}
+
+Request Request::PredictBatch(
+    std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries,
+    robust::Deadline deadline) {
+  Request request;
+  request.kind = Kind::kPredictBatch;
+  request.queries = std::move(queries);
+  request.deadline = deadline;
+  return request;
+}
+
+Request Request::TopN(matrix::UserId user, std::size_t n,
+                      robust::Deadline deadline) {
+  Request request;
+  request.kind = Kind::kTopN;
+  request.user = user;
+  request.top_n = n;
+  request.deadline = deadline;
+  return request;
+}
+
+std::string Request::ValidationError() const {
+  if (rung_floor > 3) {
+    return "rung_floor must be 0..3 (full, sir, user_mean, global_mean)";
+  }
+  switch (kind) {
+    case Kind::kPredict:
+      return "";
+    case Kind::kPredictBatch:
+      if (queries.empty()) return "predict-batch requires at least one query";
+      return "";
+    case Kind::kTopN:
+      if (top_n == 0) return "top-n requires n >= 1";
+      // Top-N has no degraded rung: a request that *asks* to be served
+      // below full fusion is self-contradictory.
+      if (rung_floor != 0) return "top-n cannot be served from a degraded rung";
+      return "";
+  }
+  return "unknown request kind";
+}
+
+bool Response::deadline_overrun() const {
+  for (const Prediction& prediction : predictions) {
+    if (prediction.deadline_overrun) return true;
+  }
+  return false;
+}
+
+}  // namespace cfsf::serve

@@ -21,6 +21,7 @@ struct ServeMetrics {
   obs::Counter& shed;
   obs::Counter& rejected;
   obs::Counter& errors;
+  obs::Counter& refused;
   obs::Counter& degraded_admissions;
   obs::Gauge& queue_depth;
   obs::Histogram& latency_full;
@@ -39,6 +40,7 @@ struct ServeMetrics {
           registry.GetCounter(obs::names::kServeShed),
           registry.GetCounter(obs::names::kServeRejected),
           registry.GetCounter(obs::names::kServeErrors),
+          registry.GetCounter(obs::names::kServeRefused),
           registry.GetCounter(obs::names::kServeDegradedAdmissions),
           registry.GetGauge(obs::names::kServeQueueDepth),
           registry.GetHistogram(obs::names::kServeLatencyFull, buckets),
@@ -87,6 +89,45 @@ std::future<T> ReadyFuture(T value) {
   return promise.get_future();
 }
 
+/// How many per-item tallies one request is worth (a batch of N is N
+/// requests in the serve.* counters, exactly as before the api.hpp
+/// redesign).
+std::size_t WeightOf(const Request& request) {
+  return request.kind == Request::Kind::kPredictBatch
+             ? std::max<std::size_t>(request.queries.size(), 1)
+             : 1;
+}
+
+// --- old-API conversion (DEPRECATED shims) ---------------------------------
+
+ServeStatus ToServeStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return ServeStatus::kOk;
+    case StatusCode::kShed: return ServeStatus::kShed;
+    case StatusCode::kRejected: return ServeStatus::kRejected;
+    default: return ServeStatus::kError;
+  }
+}
+
+ServeResult ResultFromResponse(const Response& response, std::size_t index) {
+  ServeResult result;
+  result.status = ToServeStatus(response.code);
+  result.tier = response.tier;
+  result.probe = response.probe;
+  result.generation = response.generation;
+  if (result.status == ServeStatus::kError) {
+    result.error = response.message.empty() ? ToString(response.code)
+                                            : response.message;
+  }
+  if (index < response.predictions.size()) {
+    const Prediction& prediction = response.predictions[index];
+    result.value = prediction.value;
+    result.rung = prediction.rung;
+    result.deadline_overrun = prediction.deadline_overrun;
+  }
+  return result;
+}
+
 }  // namespace
 
 const char* ToString(ServeStatus status) {
@@ -124,19 +165,19 @@ ServingStack::Admission ServingStack::Admit() {
     // An injected admission fault sheds, never crashes the caller.
     CFSF_FAILPOINT("serve.admit");
   } catch (const obs::InjectedFault&) {
-    return Admission{false, ServeStatus::kShed, false};
+    return Admission{false, StatusCode::kShed, false};
   }
   std::size_t depth = 0;
   bool degraded = false;
   {
     util::MutexLock lock(&mutex_);
     if (draining_ || depth_ >= options_.queue_capacity) {
-      return Admission{false, ServeStatus::kShed, false};
+      return Admission{false, StatusCode::kShed, false};
     }
     if (options_.degrade_watermark > 0 &&
         depth_ >= options_.degrade_watermark) {
       if (options_.watermark_policy == WatermarkPolicy::kReject) {
-        return Admission{false, ServeStatus::kRejected, false};
+        return Admission{false, StatusCode::kRejected, false};
       }
       degraded = true;
     }
@@ -146,7 +187,7 @@ ServingStack::Admission ServingStack::Admit() {
     max_depth_ = std::max(max_depth_, depth_);
   }
   ServeMetrics::Get().queue_depth.Set(static_cast<double>(depth));
-  return Admission{true, ServeStatus::kShed, degraded};
+  return Admission{true, StatusCode::kShed, degraded};
 }
 
 void ServingStack::ReleaseSlot() {
@@ -167,7 +208,6 @@ namespace {
 /// dispatch site — the destructor still releases the slot and breaking
 /// the promise unblocks the client, so a dispatch storm can neither leak
 /// a queue slot nor wedge a caller.
-template <typename Result>
 struct Pending {
   explicit Pending(std::function<void()> release_slot)
       : release(std::move(release_slot)) {}
@@ -178,86 +218,68 @@ struct Pending {
   Pending(const Pending&) = delete;
   Pending& operator=(const Pending&) = delete;
 
-  void Fulfil(Result result) {
+  void Fulfil(Response response) {
     released = true;
     release();
-    promise.set_value(std::move(result));
+    promise.set_value(std::move(response));
   }
 
   std::function<void()> release;
-  std::promise<Result> promise;
+  std::promise<Response> promise;
   bool released = false;  // only the owning worker (or the last
                           // destructor) touches this
 };
 
 }  // namespace
 
-std::future<ServeResult> ServingStack::Submit(matrix::UserId user,
-                                              matrix::ItemId item) {
-  robust::Deadline deadline;
-  if (options_.default_budget.count() > 0) {
-    deadline = robust::Deadline::After(options_.default_budget);
-  }
-  return Submit(user, item, deadline);
-}
+std::future<Response> ServingStack::Submit(const Request& request) {
+  const std::size_t weight = WeightOf(request);
+  ServeMetrics::Get().requests.Increment(weight);
 
-std::future<ServeResult> ServingStack::Submit(matrix::UserId user,
-                                              matrix::ItemId item,
-                                              robust::Deadline deadline) {
-  ServeMetrics::Get().requests.Increment();
+  Response refused;
+  refused.trace_id = request.trace_id;
+  const std::string invalid = request.ValidationError();
+  if (!invalid.empty()) {
+    refused.code = StatusCode::kMalformed;
+    refused.message = invalid;
+    ServeMetrics::Get().refused.Increment(weight);
+    return ReadyFuture(std::move(refused));
+  }
+
   const Admission admission = Admit();
   if (!admission.admitted) {
-    (admission.refusal == ServeStatus::kRejected ? ServeMetrics::Get().rejected
-                                                 : ServeMetrics::Get().shed)
-        .Increment();
-    ServeResult refused;
-    refused.status = admission.refusal;
+    (admission.refusal == StatusCode::kRejected
+         ? ServeMetrics::Get().rejected
+         : ServeMetrics::Get().shed)
+        .Increment(weight);
+    refused.code = admission.refusal;
+    refused.message = admission.refusal == StatusCode::kRejected
+                          ? "refused above the degrade watermark"
+                          : "queue full or stack draining";
     return ReadyFuture(std::move(refused));
   }
   if (admission.degraded) {
-    ServeMetrics::Get().degraded_admissions.Increment();
+    ServeMetrics::Get().degraded_admissions.Increment(weight);
   }
-  auto pending = std::make_shared<Pending<ServeResult>>(
-      [this] { ReleaseSlot(); });
+
+  auto pending = std::make_shared<Pending>([this] { ReleaseSlot(); });
   auto future = pending->promise.get_future();
-  pool_.Submit([this, pending, user, item, deadline,
+  Request queued = request;
+  if (queued.deadline.unlimited() && options_.default_budget.count() > 0) {
+    queued.deadline = robust::Deadline::After(options_.default_budget);
+  }
+  pool_.Submit([this, pending, queued = std::move(queued),
                 degraded = admission.degraded] {
-    pending->Fulfil(Process(user, item, deadline, degraded));
+    pending->Fulfil(Process(queued, degraded));
   });
   return future;
 }
 
-std::future<std::vector<ServeResult>> ServingStack::SubmitBatch(
-    std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries,
-    robust::Deadline deadline) {
-  ServeMetrics::Get().requests.Increment(queries.size());
-  const Admission admission = Admit();
-  if (!admission.admitted) {
-    (admission.refusal == ServeStatus::kRejected ? ServeMetrics::Get().rejected
-                                                 : ServeMetrics::Get().shed)
-        .Increment(queries.size());
-    ServeResult refused;
-    refused.status = admission.refusal;
-    return ReadyFuture(
-        std::vector<ServeResult>(queries.size(), std::move(refused)));
-  }
-  if (admission.degraded) {
-    ServeMetrics::Get().degraded_admissions.Increment(queries.size());
-  }
-  auto pending = std::make_shared<Pending<std::vector<ServeResult>>>(
-      [this] { ReleaseSlot(); });
-  auto future = pending->promise.get_future();
-  pool_.Submit([this, pending, queries = std::move(queries), deadline,
-                degraded = admission.degraded] {
-    pending->Fulfil(ProcessBatch(queries, deadline, degraded));
-  });
-  return future;
-}
-
-ServeResult ServingStack::Process(matrix::UserId user, matrix::ItemId item,
-                                  robust::Deadline deadline,
-                                  bool degraded_admission) {
-  ServeResult result;
+Response ServingStack::Process(const Request& request,
+                               bool degraded_admission) {
+  const std::size_t weight = WeightOf(request);
+  Response response;
+  response.trace_id = request.trace_id;
   BreakerPlan plan;
   std::size_t effective_level = 0;
   bool planned = false;
@@ -270,99 +292,170 @@ ServeResult ServingStack::Process(matrix::UserId user, matrix::ItemId item,
     }
     plan = breaker_.Admit();
     planned = true;
-    effective_level = plan.level;
+    effective_level = std::max(plan.level, request.rung_floor);
     if (degraded_admission) {
       effective_level = std::max(effective_level, options_.watermark_level);
     }
-    const robust::PredictionRung floor = FloorForLevel(effective_level);
-    const auto start = std::chrono::steady_clock::now();
-    const robust::LadderResult ladder =
-        model->ladder().PredictWithLadder(user, item, deadline, floor);
-    LatencyFor(ladder.rung).Record(ElapsedUs(start));
-    result.status = ServeStatus::kOk;
-    result.value = ladder.value;
-    result.rung = ladder.rung;
-    result.tier = effective_level;
-    result.probe = plan.probe;
-    result.deadline_overrun = ladder.deadline_overrun;
-    result.generation = model->generation();
-    // "Bad" for the breaker: the request blew its budget or had to fall
-    // below even the tier it was planned at.
-    bad = ladder.deadline_overrun || ladder.rung > floor;
-    ServeMetrics::Get().ok.Increment();
+    response.tier = effective_level;
+    response.probe = plan.probe;
+    response.generation = model->generation();
+    if (request.kind == Request::Kind::kTopN) {
+      ProcessTopN(request, effective_level, *model, response, bad);
+    } else {
+      ProcessPredict(request, effective_level, *model, response, bad);
+    }
+    if (response.ok()) {
+      ServeMetrics::Get().ok.Increment(weight);
+    } else {
+      ServeMetrics::Get().refused.Increment(weight);
+    }
   } catch (const std::exception& e) {
-    result = ServeResult{};
-    result.status = ServeStatus::kError;
-    result.error = e.what();
-    result.tier = effective_level;
-    result.probe = plan.probe;
-    ServeMetrics::Get().errors.Increment();
-  }
-  if (planned) breaker_.Record(plan, effective_level, bad);
-  return result;
-}
-
-std::vector<ServeResult> ServingStack::ProcessBatch(
-    const std::vector<std::pair<matrix::UserId, matrix::ItemId>>& queries,
-    robust::Deadline deadline, bool degraded_admission) {
-  std::vector<ServeResult> results;
-  BreakerPlan plan;
-  std::size_t effective_level = 0;
-  bool planned = false;
-  bool bad = true;
-  try {
-    CFSF_FAILPOINT("serve.worker");
-    const auto model = models_.Active();
-    if (model == nullptr) {
-      throw util::Error("ServingStack: no active model generation");
-    }
-    plan = breaker_.Admit();
-    planned = true;
-    effective_level = plan.level;
-    if (degraded_admission) {
-      effective_level = std::max(effective_level, options_.watermark_level);
-    }
-    const robust::PredictionRung floor = FloorForLevel(effective_level);
-    const auto start = std::chrono::steady_clock::now();
-    const std::vector<robust::LadderResult> ladder =
-        model->ladder().PredictBatchWithLadder(queries, deadline, floor);
-    ServeMetrics::Get().latency_batch.Record(ElapsedUs(start));
-    results.reserve(ladder.size());
-    bad = false;
-    for (const robust::LadderResult& entry : ladder) {
-      ServeResult one;
-      one.status = ServeStatus::kOk;
-      one.value = entry.value;
-      one.rung = entry.rung;
-      one.tier = effective_level;
-      one.probe = plan.probe;
-      one.deadline_overrun = entry.deadline_overrun;
-      one.generation = model->generation();
-      bad = bad || entry.deadline_overrun || entry.rung > floor;
-      results.push_back(std::move(one));
-    }
-    ServeMetrics::Get().ok.Increment(results.size());
-  } catch (const std::exception& e) {
-    ServeResult failed;
-    failed.status = ServeStatus::kError;
-    failed.error = e.what();
-    failed.tier = effective_level;
-    failed.probe = plan.probe;
-    results.assign(queries.size(), failed);
-    ServeMetrics::Get().errors.Increment(queries.size());
+    response = Response{};
+    response.trace_id = request.trace_id;
+    response.code = StatusCode::kInternal;
+    response.message = e.what();
+    response.tier = effective_level;
+    response.probe = plan.probe;
+    ServeMetrics::Get().errors.Increment(weight);
     bad = true;
   }
   if (planned) breaker_.Record(plan, effective_level, bad);
-  return results;
+  return response;
 }
 
-ServeResult ServingStack::Await(std::future<ServeResult>& future) {
+void ServingStack::ProcessPredict(const Request& request,
+                                  std::size_t effective_level,
+                                  const ServableModel& model,
+                                  Response& response, bool& bad) {
+  const robust::PredictionRung floor = FloorForLevel(effective_level);
+  if (request.kind == Request::Kind::kPredict) {
+    const auto start = std::chrono::steady_clock::now();
+    const robust::LadderResult ladder = model.ladder().PredictWithLadder(
+        request.user, request.item, request.deadline, floor);
+    LatencyFor(ladder.rung).Record(ElapsedUs(start));
+    response.predictions.push_back(Prediction{
+        request.user, request.item, ladder.value, ladder.rung,
+        ladder.deadline_overrun});
+    // "Bad" for the breaker: the request blew its budget or had to fall
+    // below even the tier it was planned at.
+    bad = ladder.deadline_overrun || ladder.rung > floor;
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<robust::LadderResult> ladder =
+      model.ladder().PredictBatchWithLadder(request.queries, request.deadline,
+                                            floor);
+  ServeMetrics::Get().latency_batch.Record(ElapsedUs(start));
+  response.predictions.reserve(ladder.size());
+  bad = false;
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    const robust::LadderResult& entry = ladder[i];
+    response.predictions.push_back(Prediction{
+        request.queries[i].first, request.queries[i].second, entry.value,
+        entry.rung, entry.deadline_overrun});
+    bad = bad || entry.deadline_overrun || entry.rung > floor;
+  }
+}
+
+void ServingStack::ProcessTopN(const Request& request,
+                               std::size_t effective_level,
+                               const ServableModel& model, Response& response,
+                               bool& bad) {
+  // Rankings have no degraded rung: when the breaker or the watermark
+  // has moved the stack below full fusion, refuse rather than rank from
+  // a mean.  A refusal is not evidence about the tier's health, so it
+  // never scores "bad" — the breaker recovers on predict outcomes.
+  if (effective_level > 0) {
+    response.code = StatusCode::kBreakerOpen;
+    response.message = "stack degraded to tier " +
+                       std::to_string(effective_level) +
+                       "; top-n needs full fusion";
+    bad = false;
+    return;
+  }
+  if (request.deadline.Expired()) {
+    response.code = StatusCode::kDeadlineExceeded;
+    response.message = "budget spent before ranking started";
+    bad = true;  // queue time ate the whole budget: the stack is slow
+    return;
+  }
+  if (request.user >= model.model().NumUsers()) {
+    response.code = StatusCode::kNotFound;
+    response.message = "unknown user " + std::to_string(request.user);
+    bad = false;
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const auto recommendations =
+      model.model().RecommendTopN(request.user, request.top_n);
+  LatencyFor(robust::PredictionRung::kFull).Record(ElapsedUs(start));
+  response.ranked.reserve(recommendations.size());
+  for (const auto& recommendation : recommendations) {
+    response.ranked.push_back(
+        RankedItem{recommendation.item, recommendation.score});
+  }
+  bad = false;
+}
+
+Response ServingStack::Await(std::future<Response>& future) {
   try {
     return future.get();
   } catch (const std::future_error&) {
     // The closure was destroyed unexecuted — a fault injected at the
     // pool's threadpool.task dispatch site.  The request is lost, the
     // client is not.
+    Response dropped;
+    dropped.code = StatusCode::kInternal;
+    dropped.message = "request dropped at dispatch (broken promise)";
+    ServeMetrics::Get().errors.Increment();
+    return dropped;
+  }
+}
+
+Response ServingStack::ServeSync(const Request& request) {
+  auto future = Submit(request);
+  return Await(future);
+}
+
+// --- DEPRECATED shims ------------------------------------------------------
+
+std::future<ServeResult> ServingStack::Submit(matrix::UserId user,
+                                              matrix::ItemId item) {
+  return Submit(user, item, robust::Deadline());
+}
+
+std::future<ServeResult> ServingStack::Submit(matrix::UserId user,
+                                              matrix::ItemId item,
+                                              robust::Deadline deadline) {
+  auto future = Submit(Request::Predict(user, item, deadline));
+  // Deferred: the conversion runs on the caller's thread inside get().
+  return std::async(std::launch::deferred,
+                    [future = std::move(future)]() mutable {
+                      return ResultFromResponse(Await(future), 0);
+                    });
+}
+
+std::future<std::vector<ServeResult>> ServingStack::SubmitBatch(
+    std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries,
+    robust::Deadline deadline) {
+  const std::size_t count = queries.size();
+  auto future = Submit(Request::PredictBatch(std::move(queries), deadline));
+  return std::async(std::launch::deferred,
+                    [future = std::move(future), count]() mutable {
+                      const Response response = Await(future);
+                      std::vector<ServeResult> results;
+                      results.reserve(count);
+                      for (std::size_t i = 0; i < count; ++i) {
+                        results.push_back(ResultFromResponse(response, i));
+                      }
+                      return results;
+                    });
+}
+
+ServeResult ServingStack::Await(std::future<ServeResult>& future) {
+  try {
+    return future.get();
+  } catch (const std::future_error&) {
     ServeResult dropped;
     dropped.status = ServeStatus::kError;
     dropped.error = "request dropped at dispatch (broken promise)";
@@ -373,9 +466,11 @@ ServeResult ServingStack::Await(std::future<ServeResult>& future) {
 
 ServeResult ServingStack::ServeSync(matrix::UserId user, matrix::ItemId item,
                                     robust::Deadline deadline) {
-  auto future = Submit(user, item, deadline);
-  return Await(future);
+  return ResultFromResponse(ServeSync(Request::Predict(user, item, deadline)),
+                            0);
 }
+
+// ---------------------------------------------------------------------------
 
 void ServingStack::Drain() {
   {

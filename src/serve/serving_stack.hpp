@@ -9,7 +9,7 @@
 //                       outright (kShed); depth >= degrade_watermark
 //                       applies the configured watermark policy —
 //                       degrade the request to a cheaper ladder tier
-//                       (kDegrade, the default) or refuse it (kReject)
+//                       (kDegrade, the default) or refuse it (kRejected)
 //   deadline propagation each request carries a robust::Deadline from
 //                       the API through the queue into the ladder, so
 //                       time queued counts against the budget and a
@@ -22,21 +22,31 @@
 //                       serve/model_generation.hpp, so a swap never
 //                       blocks or fails an in-flight request
 //
+// The API is one pair: Submit(serve::Request) -> future<serve::Response>
+// (serve/api.hpp).  A Request is a single prediction, a batch served as
+// one queue unit, or a top-N ranking; the Response carries the shared
+// StatusCode taxonomy, so the HTTP front end (src/net/) translates
+// rather than re-deciding.  Top-N has no degraded rung: when the
+// breaker or the watermark has moved the stack below full fusion, top-N
+// requests resolve as kBreakerOpen instead of serving stale rankings.
+//
 // Shutdown drains gracefully: Drain() stops admissions (everything new
 // is shed) and waits for in-flight work; the destructor drains too, so
 // a ServingStack can never outlive its workers.  Every accepted request
 // resolves its future exactly once — including on worker faults, which
-// surface as kError responses rather than exceptions.  The one
+// surface as kInternal responses rather than exceptions.  The one
 // exception: a fault injected at the pool's own dispatch site
 // (threadpool.task) destroys the closure unexecuted, which breaks the
-// promise; Await()/ServeSync() map that std::future_error onto a kError
-// response so even injected dispatch storms cannot wedge a client.
+// promise; Await()/ServeSync() map that std::future_error onto a
+// kInternal response so even injected dispatch storms cannot wedge a
+// client.
 //
 // Metrics: serve.requests / serve.ok / serve.shed / serve.rejected /
-// serve.errors / serve.degraded_admissions counters, serve.queue_depth
-// gauge, per-rung latency histograms serve.latency_us.{full,sir,
-// user_mean,global_mean}.  Failpoints: serve.admit (admission path) and
-// serve.worker (worker path), plus everything the lower layers define.
+// serve.errors / serve.refused / serve.degraded_admissions counters,
+// serve.queue_depth gauge, per-rung latency histograms
+// serve.latency_us.{full,sir,user_mean,global_mean}.  Failpoints:
+// serve.admit (admission path) and serve.worker (worker path), plus
+// everything the lower layers define.
 #pragma once
 
 #include <chrono>
@@ -48,12 +58,15 @@
 #include "matrix/types.hpp"
 #include "parallel/thread_pool.hpp"
 #include "robust/fallback.hpp"
+#include "serve/api.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "serve/model_generation.hpp"
 #include "util/mutex.hpp"
 
 namespace cfsf::serve {
 
+/// DEPRECATED (kept one PR for migration): the pre-api.hpp result
+/// vocabulary.  New code consumes serve::Response / serve::StatusCode.
 enum class ServeStatus {
   kOk,        // answered (possibly from a degraded rung)
   kShed,      // load-shed at admission (queue full or stack draining)
@@ -69,6 +82,8 @@ enum class WatermarkPolicy {
   kReject,   // refuse with kRejected
 };
 
+/// DEPRECATED (kept one PR): per-query result of the old Submit
+/// overloads, derived from a serve::Response by the shims below.
 struct ServeResult {
   ServeStatus status = ServeStatus::kOk;
   double value = 0.0;
@@ -109,28 +124,32 @@ class ServingStack {
   ServingStack(const ServingStack&) = delete;
   ServingStack& operator=(const ServingStack&) = delete;
 
-  /// Admits one request.  Always returns a future that Await() can
-  /// resolve; shed/rejected requests come back already completed.
+  /// Admits one request of any kind.  Always returns a future that
+  /// Await() can resolve; refused requests (shed/rejected/malformed)
+  /// come back already completed.  A Request without a deadline picks
+  /// up options().default_budget.
+  std::future<Response> Submit(const Request& request) CFSF_EXCLUDES(mutex_);
+
+  /// future.get() with the broken-promise case (a fault injected at the
+  /// pool dispatch site) mapped onto a kInternal response.
+  static Response Await(std::future<Response>& future);
+
+  /// Submit + Await in one call.
+  Response ServeSync(const Request& request) CFSF_EXCLUDES(mutex_);
+
+  // --- DEPRECATED shims (kept one PR; thin wrappers over Submit) -----------
   std::future<ServeResult> Submit(matrix::UserId user, matrix::ItemId item)
       CFSF_EXCLUDES(mutex_);
   std::future<ServeResult> Submit(matrix::UserId user, matrix::ItemId item,
                                   robust::Deadline deadline)
       CFSF_EXCLUDES(mutex_);
-
-  /// Admits a whole batch as one queue unit; the batch shares `deadline`
-  /// through robust::FallbackPredictor::PredictBatchWithLadder, so the
-  /// tail of an over-budget batch degrades instead of overrunning.
   std::future<std::vector<ServeResult>> SubmitBatch(
       std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries,
       robust::Deadline deadline) CFSF_EXCLUDES(mutex_);
-
-  /// future.get() with the broken-promise case (a fault injected at the
-  /// pool dispatch site) mapped onto a kError result.
   static ServeResult Await(std::future<ServeResult>& future);
-
-  /// Submit + Await in one call.
   ServeResult ServeSync(matrix::UserId user, matrix::ItemId item,
                         robust::Deadline deadline = {}) CFSF_EXCLUDES(mutex_);
+  // -------------------------------------------------------------------------
 
   /// Stops admitting (new requests are shed) and waits until every
   /// in-flight request has resolved.  Idempotent.
@@ -149,20 +168,21 @@ class ServingStack {
  private:
   struct Admission {
     bool admitted = false;
-    ServeStatus refusal = ServeStatus::kShed;  // when !admitted
-    bool degraded = false;                     // watermark bumped the tier
+    StatusCode refusal = StatusCode::kShed;  // when !admitted
+    bool degraded = false;                   // watermark bumped the tier
   };
 
   /// Reserves one queue slot (or refuses).  The slot is released by
-  /// FinishRequest when the request resolves.
+  /// the Pending shared state when the request resolves.
   Admission Admit() CFSF_EXCLUDES(mutex_);
   void ReleaseSlot() CFSF_EXCLUDES(mutex_);
 
-  ServeResult Process(matrix::UserId user, matrix::ItemId item,
-                      robust::Deadline deadline, bool degraded_admission);
-  std::vector<ServeResult> ProcessBatch(
-      const std::vector<std::pair<matrix::UserId, matrix::ItemId>>& queries,
-      robust::Deadline deadline, bool degraded_admission);
+  Response Process(const Request& request, bool degraded_admission);
+  void ProcessPredict(const Request& request, std::size_t effective_level,
+                      const ServableModel& model, Response& response,
+                      bool& bad);
+  void ProcessTopN(const Request& request, std::size_t effective_level,
+                   const ServableModel& model, Response& response, bool& bad);
 
   ModelGeneration& models_;
   const ServingOptions options_;

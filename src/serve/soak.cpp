@@ -19,6 +19,7 @@ struct ClientTally {
   std::uint64_t shed = 0;
   std::uint64_t rejected = 0;
   std::uint64_t errors = 0;
+  std::uint64_t refused = 0;
   std::uint64_t overruns = 0;
   std::array<std::uint64_t, 4> by_rung{};
   std::set<std::uint64_t> generations;
@@ -35,19 +36,31 @@ void RunClient(ServingStack& stack, const SoakOptions& options,
     if (options.request_budget.count() > 0) {
       deadline = robust::Deadline::After(options.request_budget);
     }
-    const ServeResult result = stack.ServeSync(user, item, deadline);
+    const bool topn =
+        options.topn_fraction > 0.0 &&
+        rng.NextBounded(1000) < static_cast<std::uint64_t>(
+                                    options.topn_fraction * 1000.0);
+    const Response response = stack.ServeSync(
+        topn ? Request::TopN(user, options.topn_n, deadline)
+             : Request::Predict(user, item, deadline));
     ++tally.issued;
-    switch (result.status) {
-      case ServeStatus::kOk:
+    switch (response.code) {
+      case StatusCode::kOk:
         ++tally.ok;
-        ++tally.by_rung[static_cast<std::size_t>(result.rung)];
-        if (result.deadline_overrun) ++tally.overruns;
-        if (!std::isfinite(result.value)) tally.all_finite = false;
-        tally.generations.insert(result.generation);
+        if (response.deadline_overrun()) ++tally.overruns;
+        for (const Prediction& prediction : response.predictions) {
+          ++tally.by_rung[static_cast<std::size_t>(prediction.rung)];
+          if (!std::isfinite(prediction.value)) tally.all_finite = false;
+        }
+        for (const RankedItem& ranked : response.ranked) {
+          if (!std::isfinite(ranked.score)) tally.all_finite = false;
+        }
+        tally.generations.insert(response.generation);
         break;
-      case ServeStatus::kShed: ++tally.shed; break;
-      case ServeStatus::kRejected: ++tally.rejected; break;
-      case ServeStatus::kError: ++tally.errors; break;
+      case StatusCode::kShed: ++tally.shed; break;
+      case StatusCode::kRejected: ++tally.rejected; break;
+      case StatusCode::kInternal: ++tally.errors; break;
+      default: ++tally.refused; break;
     }
   }
 }
@@ -64,7 +77,7 @@ std::vector<std::string> SoakReport::InvariantFailures(
   if (!all_finite) {
     failures.push_back("a served prediction was NaN or infinite");
   }
-  if (issued != ok + shed + rejected + errors) {
+  if (issued != ok + shed + rejected + errors + refused) {
     failures.push_back("status tallies do not add up to requests issued");
   }
   if (ok == 0) {
@@ -80,7 +93,7 @@ std::string SoakReport::Summary() const {
   std::ostringstream out;
   out << "soak: issued=" << issued << " ok=" << ok << " shed=" << shed
       << " rejected=" << rejected << " errors=" << errors
-      << " overruns=" << overruns << " rungs=[" << by_rung[0] << ","
+      << " refused=" << refused << " overruns=" << overruns << " rungs=[" << by_rung[0] << ","
       << by_rung[1] << "," << by_rung[2] << "," << by_rung[3] << "]"
       << " max_depth=" << max_depth_seen << " trips=" << breaker_trips
       << " recoveries=" << breaker_recoveries
@@ -149,6 +162,7 @@ SoakReport RunSoak(ServingStack& stack, const SoakOptions& options) {
       report.shed += tally.shed;
       report.rejected += tally.rejected;
       report.errors += tally.errors;
+      report.refused += tally.refused;
       report.overruns += tally.overruns;
       for (std::size_t r = 0; r < tally.by_rung.size(); ++r) {
         report.by_rung[r] += tally.by_rung[r];

@@ -53,6 +53,12 @@ struct SoakOptions {
   /// Query space; zero = take the active generation's model dimensions.
   std::size_t num_users = 0;
   std::size_t num_items = 0;
+  /// Fraction of requests issued as top-N rankings through the unified
+  /// Request API (the rest are single predictions).  Rankings have no
+  /// degraded rung, so under chaos they surface kBreakerOpen refusals —
+  /// counted in SoakReport::refused, not as errors.
+  double topn_fraction = 0.0;
+  std::size_t topn_n = 10;
   /// Failpoints armed during the chaos phase only.
   std::vector<ChaosPoint> chaos;
   /// Runs once on the coordinator thread while phase-3 clients are in
@@ -67,6 +73,9 @@ struct SoakReport {
   std::uint64_t shed = 0;
   std::uint64_t rejected = 0;
   std::uint64_t errors = 0;   // includes dropped-at-dispatch requests
+  /// Clean refusals (breaker_open / deadline_exceeded / not_found /
+  /// malformed) — top-N requests meeting a degraded stack land here.
+  std::uint64_t refused = 0;
   std::uint64_t overruns = 0;  // kOk answers that noted a deadline overrun
   /// kOk answers by ladder rung (indexed by PredictionRung).
   std::array<std::uint64_t, 4> by_rung{};

@@ -1,0 +1,231 @@
+// Unit tests for the HTTP message layer (src/net/http.hpp) and the wire
+// format (src/net/wire.hpp): incremental parsing, keep-alive semantics,
+// size caps, strict JSON body parsing and response rendering.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/http.hpp"
+#include "net/wire.hpp"
+#include "obs/json.hpp"
+#include "serve/api.hpp"
+
+namespace cfsf {
+namespace {
+
+using net::HttpRequest;
+using net::HttpResponse;
+using net::RequestParser;
+using serve::Request;
+using serve::Response;
+using serve::StatusCode;
+
+RequestParser::State FeedAll(RequestParser& parser, const std::string& text) {
+  return parser.Feed(text.data(), text.size());
+}
+
+// ------------------------------------------------------ http parsing ----
+
+TEST(RequestParserTest, ParsesASimpleGet) {
+  RequestParser parser;
+  ASSERT_EQ(FeedAll(parser, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            RequestParser::State::kComplete);
+  const HttpRequest& request = parser.request();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/healthz");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_TRUE(request.keep_alive);
+  ASSERT_NE(request.FindHeader("host"), nullptr);
+  EXPECT_EQ(*request.FindHeader("host"), "x");
+}
+
+TEST(RequestParserTest, IsIncrementalAcrossArbitrarySplits) {
+  const std::string wire =
+      "POST /v1/predict HTTP/1.1\r\nContent-Length: 7\r\n\r\npayload";
+  // Feed one byte at a time; the parse must complete exactly at the end.
+  RequestParser parser;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_EQ(parser.Feed(&wire[i], 1), RequestParser::State::kIncomplete)
+        << "completed early at byte " << i;
+  }
+  ASSERT_EQ(parser.Feed(&wire[wire.size() - 1], 1),
+            RequestParser::State::kComplete);
+  EXPECT_EQ(parser.request().body, "payload");
+}
+
+TEST(RequestParserTest, HeaderNamesAreCaseInsensitive) {
+  RequestParser parser;
+  ASSERT_EQ(FeedAll(parser,
+                    "GET / HTTP/1.1\r\nX-CFSF-Trace-Id:  abc \r\n\r\n"),
+            RequestParser::State::kComplete);
+  ASSERT_NE(parser.request().FindHeader("x-cfsf-trace-id"), nullptr);
+  EXPECT_EQ(*parser.request().FindHeader("x-cfsf-trace-id"), "abc");
+}
+
+TEST(RequestParserTest, ConnectionCloseAndHttp10EndKeepAlive) {
+  RequestParser close_parser;
+  ASSERT_EQ(FeedAll(close_parser,
+                    "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+            RequestParser::State::kComplete);
+  EXPECT_FALSE(close_parser.request().keep_alive);
+
+  RequestParser old_parser;
+  ASSERT_EQ(FeedAll(old_parser, "GET / HTTP/1.0\r\n\r\n"),
+            RequestParser::State::kComplete);
+  EXPECT_FALSE(old_parser.request().keep_alive);
+}
+
+TEST(RequestParserTest, PipelinedSecondRequestSurvivesReset) {
+  RequestParser parser;
+  ASSERT_EQ(FeedAll(parser,
+                    "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"),
+            RequestParser::State::kComplete);
+  EXPECT_EQ(parser.request().path, "/a");
+  parser.Reset();
+  ASSERT_EQ(parser.state(), RequestParser::State::kComplete);
+  EXPECT_EQ(parser.request().path, "/b");
+  parser.Reset();
+  EXPECT_EQ(parser.state(), RequestParser::State::kIncomplete);
+  EXPECT_FALSE(parser.HasPartialData());
+}
+
+TEST(RequestParserTest, PartialDataIsVisibleForDrainDecisions) {
+  RequestParser parser;
+  EXPECT_FALSE(parser.HasPartialData());
+  const std::string half = "POST /v1/predict HT";
+  parser.Feed(half.data(), half.size());
+  EXPECT_TRUE(parser.HasPartialData());
+}
+
+TEST(RequestParserTest, RejectsGarbageAndOversizedMessages) {
+  RequestParser garbage;
+  EXPECT_EQ(FeedAll(garbage, "not an http request\r\n\r\n"),
+            RequestParser::State::kError);
+
+  RequestParser bad_length;
+  EXPECT_EQ(FeedAll(bad_length,
+                    "POST / HTTP/1.1\r\nContent-Length: soon\r\n\r\n"),
+            RequestParser::State::kError);
+
+  RequestParser huge_body;
+  EXPECT_EQ(FeedAll(huge_body,
+                    "POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n"),
+            RequestParser::State::kError);
+
+  RequestParser huge_header;
+  const std::string flood(net::kMaxHeaderBytes + 1, 'a');
+  EXPECT_EQ(FeedAll(huge_header, flood), RequestParser::State::kError);
+
+  RequestParser chunked;
+  EXPECT_EQ(FeedAll(chunked,
+                    "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            RequestParser::State::kError);
+}
+
+TEST(HttpTargetTest, SplitsPathAndDecodesQuery) {
+  std::string path;
+  std::vector<std::pair<std::string, std::string>> query;
+  ASSERT_TRUE(net::ParseTarget("/v1/top-n?user=3&n=5&tag=a%2Fb+c", &path,
+                               &query));
+  EXPECT_EQ(path, "/v1/top-n");
+  ASSERT_EQ(query.size(), 3u);
+  EXPECT_EQ(query[0].first, "user");
+  EXPECT_EQ(query[0].second, "3");
+  EXPECT_EQ(query[2].second, "a/b c");
+
+  EXPECT_FALSE(net::ParseTarget("/x?bad=%zz", &path, &query));
+}
+
+TEST(HttpSerializeTest, EmitsFramingAndConnectionHeaders) {
+  HttpResponse response;
+  response.status = 429;
+  response.body = "{}";
+  response.Set("Retry-After", "1");
+  const std::string wire = net::Serialize(response, /*keep_alive=*/false);
+  EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 2), "{}");
+}
+
+// ------------------------------------------------------- wire bodies ----
+
+TEST(WireTest, ParsesPredictBody) {
+  const net::BodyParse parse =
+      net::ParsePredictBody("{\"user\": 3, \"item\": 7, \"rung_floor\": 1}");
+  ASSERT_TRUE(parse.ok) << parse.error;
+  EXPECT_EQ(parse.request.kind, Request::Kind::kPredict);
+  EXPECT_EQ(parse.request.user, 3u);
+  EXPECT_EQ(parse.request.item, 7u);
+  EXPECT_EQ(parse.request.rung_floor, 1u);
+}
+
+TEST(WireTest, PredictBodyIsStrict) {
+  EXPECT_FALSE(net::ParsePredictBody("").ok);
+  EXPECT_FALSE(net::ParsePredictBody("{}").ok);                // missing keys
+  EXPECT_FALSE(net::ParsePredictBody("{\"user\": 1}").ok);     // no item
+  EXPECT_FALSE(net::ParsePredictBody(
+                   "{\"user\": 1, \"item\": 2, \"x\": 3}").ok);  // unknown
+  EXPECT_FALSE(net::ParsePredictBody(
+                   "{\"user\": -1, \"item\": 2}").ok);  // negative
+  EXPECT_FALSE(net::ParsePredictBody(
+                   "{\"user\": 1, \"item\": 2} trailing").ok);
+}
+
+TEST(WireTest, ParsesBatchBodyAndEnforcesTheCap) {
+  const net::BodyParse parse = net::ParseBatchBody(
+      "{\"queries\": [[0, 1], [2, 3]]}", /*max_batch=*/10);
+  ASSERT_TRUE(parse.ok) << parse.error;
+  EXPECT_EQ(parse.request.kind, Request::Kind::kPredictBatch);
+  ASSERT_EQ(parse.request.queries.size(), 2u);
+  EXPECT_EQ(parse.request.queries[1].first, 2u);
+  EXPECT_EQ(parse.request.queries[1].second, 3u);
+
+  EXPECT_FALSE(net::ParseBatchBody("{\"queries\": []}", 10).ok);
+  EXPECT_FALSE(
+      net::ParseBatchBody("{\"queries\": [[0, 1], [2, 3]]}", 1).ok);
+  EXPECT_FALSE(net::ParseBatchBody("{\"queries\": [[0]]}", 10).ok);
+}
+
+TEST(WireTest, RenderedResponsesAreValidJson) {
+  Response ok;
+  ok.code = StatusCode::kOk;
+  ok.generation = 3;
+  ok.trace_id = "t-1";
+  ok.predictions.push_back({1, 2, 4.5, robust::PredictionRung::kFull, false});
+  const std::string predict_doc =
+      net::RenderResponseJson(Request::Kind::kPredict, ok);
+  std::string error;
+  EXPECT_TRUE(obs::ValidateJson(predict_doc, &error)) << error;
+  EXPECT_NE(predict_doc.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(predict_doc.find("\"rung\":\"full\""), std::string::npos);
+
+  Response ranked;
+  ranked.code = StatusCode::kOk;
+  ranked.ranked.push_back({7, 4.9});
+  const std::string topn_doc =
+      net::RenderResponseJson(Request::Kind::kTopN, ranked);
+  EXPECT_TRUE(obs::ValidateJson(topn_doc, &error)) << error;
+  EXPECT_NE(topn_doc.find("\"ranked\""), std::string::npos);
+
+  Response refused;
+  refused.code = StatusCode::kShed;
+  refused.message = "queue full";
+  const std::string refused_doc =
+      net::RenderResponseJson(Request::Kind::kPredict, refused);
+  EXPECT_TRUE(obs::ValidateJson(refused_doc, &error)) << error;
+  EXPECT_NE(refused_doc.find("\"message\":\"queue full\""),
+            std::string::npos);
+
+  const std::string error_doc =
+      net::RenderErrorJson(StatusCode::kNotFound, "no route", "t-2");
+  EXPECT_TRUE(obs::ValidateJson(error_doc, &error)) << error;
+  EXPECT_NE(error_doc.find("\"status\":\"not_found\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfsf

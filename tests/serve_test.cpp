@@ -3,6 +3,10 @@
 // propagation, hot model swap, dispatch-fault survival — and the chaos
 // soak that drives all of it at once under randomized failpoint
 // schedules (ctest labels: fault + stress).
+//
+// Everything speaks the unified serve::Request/serve::Response API; one
+// test (DeprecatedShimsStillServe) pins the old Submit overloads until
+// they are removed next PR.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -16,6 +20,7 @@
 #include "core/model_io.hpp"
 #include "data/synthetic.hpp"
 #include "obs/failpoint.hpp"
+#include "serve/api.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "serve/model_generation.hpp"
 #include "serve/serving_stack.hpp"
@@ -26,17 +31,18 @@ namespace cfsf {
 namespace {
 
 using obs::FailPointRegistry;
-using robust::PredictionRung;
 using obs::ScopedFailPoint;
+using robust::PredictionRung;
 using serve::BreakerPlan;
 using serve::BreakerState;
 using serve::CircuitBreaker;
 using serve::CircuitBreakerOptions;
 using serve::ModelGeneration;
-using serve::ServeResult;
-using serve::ServeStatus;
+using serve::Request;
+using serve::Response;
 using serve::ServingOptions;
 using serve::ServingStack;
+using serve::StatusCode;
 
 class ServeTest : public ::testing::Test {
  protected:
@@ -49,6 +55,7 @@ class ServeTest : public ::testing::Test {
     dconfig.num_users = 60;
     dconfig.num_items = 80;
     dconfig.min_ratings_per_user = 15;
+    dconfig.max_ratings_per_user = 30;  // leave unrated items for top-N
     core::CfsfConfig config;
     config.num_clusters = 5;
     config.top_m_items = 15;
@@ -189,6 +196,48 @@ TEST(CircuitBreakerTest, RejectsNonsenseOptions) {
   EXPECT_THROW(CircuitBreaker{options}, util::ConfigError);
 }
 
+// ----------------------------------------------------- status codes ----
+
+TEST(StatusCodeTest, HttpMappingIsTotalAndStable) {
+  EXPECT_EQ(serve::ToHttpStatus(StatusCode::kOk), 200);
+  EXPECT_EQ(serve::ToHttpStatus(StatusCode::kShed), 503);
+  EXPECT_EQ(serve::ToHttpStatus(StatusCode::kRejected), 429);
+  EXPECT_EQ(serve::ToHttpStatus(StatusCode::kDeadlineExceeded), 504);
+  EXPECT_EQ(serve::ToHttpStatus(StatusCode::kBreakerOpen), 503);
+  EXPECT_EQ(serve::ToHttpStatus(StatusCode::kNotFound), 404);
+  EXPECT_EQ(serve::ToHttpStatus(StatusCode::kMalformed), 400);
+  EXPECT_EQ(serve::ToHttpStatus(StatusCode::kInternal), 500);
+}
+
+TEST(StatusCodeTest, RetryableStatusesAreTheBackpressureOnes) {
+  EXPECT_TRUE(serve::IsRetryable(StatusCode::kShed));
+  EXPECT_TRUE(serve::IsRetryable(StatusCode::kRejected));
+  EXPECT_TRUE(serve::IsRetryable(StatusCode::kBreakerOpen));
+  EXPECT_FALSE(serve::IsRetryable(StatusCode::kOk));
+  EXPECT_FALSE(serve::IsRetryable(StatusCode::kMalformed));
+  EXPECT_FALSE(serve::IsRetryable(StatusCode::kNotFound));
+  EXPECT_FALSE(serve::IsRetryable(StatusCode::kInternal));
+}
+
+TEST(RequestTest, ValidationCatchesNonsense) {
+  Request bad_floor = Request::Predict(0, 0);
+  bad_floor.rung_floor = 4;
+  EXPECT_FALSE(bad_floor.ValidationError().empty());
+
+  const Request empty_batch = Request::PredictBatch({});
+  EXPECT_FALSE(empty_batch.ValidationError().empty());
+
+  const Request zero_n = Request::TopN(0, 0);
+  EXPECT_FALSE(zero_n.ValidationError().empty());
+
+  Request degraded_topn = Request::TopN(0, 5);
+  degraded_topn.rung_floor = 1;
+  EXPECT_FALSE(degraded_topn.ValidationError().empty());
+
+  EXPECT_TRUE(Request::Predict(0, 0).ValidationError().empty());
+  EXPECT_TRUE(Request::TopN(0, 5).ValidationError().empty());
+}
+
 // ---------------------------------------------------- serving stack ----
 
 ServingOptions SmallStack() {
@@ -202,30 +251,95 @@ ServingOptions SmallStack() {
 
 TEST_F(ServeTest, ServesFullFusionWhenHealthy) {
   ServingStack stack(Models(), SmallStack());
-  const ServeResult result = stack.ServeSync(0, 0);
-  EXPECT_EQ(result.status, ServeStatus::kOk);
-  EXPECT_EQ(result.rung, PredictionRung::kFull);
-  EXPECT_GE(result.value, 1.0);
-  EXPECT_LE(result.value, 5.0);
-  EXPECT_GT(result.generation, 0u);
-  EXPECT_FALSE(result.deadline_overrun);
+  const Response response = stack.ServeSync(Request::Predict(0, 0));
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  ASSERT_EQ(response.predictions.size(), 1u);
+  EXPECT_EQ(response.predictions[0].rung, PredictionRung::kFull);
+  EXPECT_GE(response.predictions[0].value, 1.0);
+  EXPECT_LE(response.predictions[0].value, 5.0);
+  EXPECT_GT(response.generation, 0u);
+  EXPECT_FALSE(response.deadline_overrun());
+}
+
+TEST_F(ServeTest, TraceIdIsEchoedVerbatim) {
+  ServingStack stack(Models(), SmallStack());
+  Request request = Request::Predict(0, 0);
+  request.trace_id = "trace-42";
+  EXPECT_EQ(stack.ServeSync(request).trace_id, "trace-42");
+  // Even on refused requests.
+  Request malformed = Request::PredictBatch({});
+  malformed.trace_id = "trace-43";
+  const Response refused = stack.ServeSync(malformed);
+  EXPECT_EQ(refused.code, StatusCode::kMalformed);
+  EXPECT_EQ(refused.trace_id, "trace-43");
+}
+
+TEST_F(ServeTest, MalformedRequestsRefuseBeforeAdmission) {
+  ServingStack stack(Models(), SmallStack());
+  const Response response = stack.ServeSync(Request::PredictBatch({}));
+  EXPECT_EQ(response.code, StatusCode::kMalformed);
+  EXPECT_FALSE(response.message.empty());
+  EXPECT_EQ(stack.QueueDepth(), 0u);
+}
+
+TEST_F(ServeTest, RungFloorForcesACheaperRung) {
+  ServingStack stack(Models(), SmallStack());
+  Request request = Request::Predict(0, 0);
+  request.rung_floor = 2;  // at best user mean
+  const Response response = stack.ServeSync(request);
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  ASSERT_EQ(response.predictions.size(), 1u);
+  EXPECT_GE(response.predictions[0].rung, PredictionRung::kUserMean);
+  EXPECT_GE(response.tier, 2u);
 }
 
 TEST_F(ServeTest, ExpiredDeadlineDegradesInsteadOfBlocking) {
   ServingStack stack(Models(), SmallStack());
-  const ServeResult result = stack.ServeSync(
-      1, 1, robust::Deadline::After(std::chrono::microseconds(0)));
-  EXPECT_EQ(result.status, ServeStatus::kOk);
-  EXPECT_TRUE(result.deadline_overrun);
-  EXPECT_GE(result.rung, PredictionRung::kUserMean);
-  EXPECT_TRUE(std::isfinite(result.value));
+  const Response response = stack.ServeSync(Request::Predict(
+      1, 1, robust::Deadline::After(std::chrono::microseconds(0))));
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  EXPECT_TRUE(response.deadline_overrun());
+  ASSERT_EQ(response.predictions.size(), 1u);
+  EXPECT_GE(response.predictions[0].rung, PredictionRung::kUserMean);
+  EXPECT_TRUE(std::isfinite(response.predictions[0].value));
+}
+
+TEST_F(ServeTest, BatchServesEveryQueryInOrder) {
+  ServingStack stack(Models(), SmallStack());
+  const Response response = stack.ServeSync(
+      Request::PredictBatch({{0, 0}, {1, 1}, {2, 2}}));
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  ASSERT_EQ(response.predictions.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(response.predictions[i].user, i);
+    EXPECT_EQ(response.predictions[i].item, i);
+    EXPECT_TRUE(std::isfinite(response.predictions[i].value));
+  }
+}
+
+TEST_F(ServeTest, TopNServesRankedItemsWhenHealthy) {
+  ServingStack stack(Models(), SmallStack());
+  const Response response = stack.ServeSync(Request::TopN(0, 5));
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  EXPECT_TRUE(response.predictions.empty());
+  ASSERT_LE(response.ranked.size(), 5u);
+  ASSERT_GE(response.ranked.size(), 1u);
+  for (std::size_t i = 1; i < response.ranked.size(); ++i) {
+    EXPECT_LE(response.ranked[i].score, response.ranked[i - 1].score);
+  }
+}
+
+TEST_F(ServeTest, TopNForUnknownUserIsNotFound) {
+  ServingStack stack(Models(), SmallStack());
+  const Response response = stack.ServeSync(Request::TopN(1000000, 5));
+  EXPECT_EQ(response.code, StatusCode::kNotFound);
 }
 
 TEST_F(ServeTest, AdmissionFailpointShedsInsteadOfThrowing) {
   ServingStack stack(Models(), SmallStack());
   ScopedFailPoint guard("serve.admit", "always");
-  const ServeResult result = stack.ServeSync(0, 0);
-  EXPECT_EQ(result.status, ServeStatus::kShed);
+  const Response response = stack.ServeSync(Request::Predict(0, 0));
+  EXPECT_EQ(response.code, StatusCode::kShed);
 }
 
 TEST_F(ServeTest, WatermarkDegradesThenCapacitySheds) {
@@ -241,23 +355,25 @@ TEST_F(ServeTest, WatermarkDegradesThenCapacitySheds) {
 
   std::vector<std::pair<matrix::UserId, matrix::ItemId>> big(
       100000, {0, 0});
-  auto batch_future = stack.SubmitBatch(std::move(big), robust::Deadline());
+  auto batch_future = stack.Submit(Request::PredictBatch(std::move(big)));
   // depth 1 >= watermark: everything below is admitted degraded.
-  auto degraded_a = stack.Submit(2, 2);  // depth 2
-  auto degraded_b = stack.Submit(3, 3);  // depth 3
-  auto degraded_c = stack.Submit(4, 4);  // depth 4 == capacity
-  const ServeResult shed = stack.ServeSync(5, 5);
-  EXPECT_EQ(shed.status, ServeStatus::kShed);
+  auto degraded_a = stack.Submit(Request::Predict(2, 2));  // depth 2
+  auto degraded_b = stack.Submit(Request::Predict(3, 3));  // depth 3
+  auto degraded_c = stack.Submit(Request::Predict(4, 4));  // depth 4 == cap
+  const Response shed = stack.ServeSync(Request::Predict(5, 5));
+  EXPECT_EQ(shed.code, StatusCode::kShed);
 
-  const ServeResult a = ServingStack::Await(degraded_a);
-  const ServeResult b = ServingStack::Await(degraded_b);
-  const ServeResult c = ServingStack::Await(degraded_c);
-  for (const ServeResult& r : {a, b, c}) {
-    EXPECT_EQ(r.status, ServeStatus::kOk);
-    EXPECT_GE(r.tier, 2u);
-    EXPECT_GE(r.rung, PredictionRung::kUserMean);
+  const Response a = ServingStack::Await(degraded_a);
+  const Response b = ServingStack::Await(degraded_b);
+  const Response c = ServingStack::Await(degraded_c);
+  for (const Response* r : {&a, &b, &c}) {
+    EXPECT_EQ(r->code, StatusCode::kOk);
+    EXPECT_GE(r->tier, 2u);
+    ASSERT_EQ(r->predictions.size(), 1u);
+    EXPECT_GE(r->predictions[0].rung, PredictionRung::kUserMean);
   }
-  EXPECT_EQ(batch_future.get().size(), 100000u);
+  const Response batch = ServingStack::Await(batch_future);
+  EXPECT_EQ(batch.predictions.size(), 100000u);
   EXPECT_LE(stack.MaxDepthSeen(), options.queue_capacity);
 }
 
@@ -272,21 +388,21 @@ TEST_F(ServeTest, WatermarkRejectPolicyRefuses) {
 
   std::vector<std::pair<matrix::UserId, matrix::ItemId>> big(
       100000, {0, 0});
-  auto batch_future = stack.SubmitBatch(std::move(big), robust::Deadline());
-  const ServeResult rejected = stack.ServeSync(1, 1);
-  EXPECT_EQ(rejected.status, ServeStatus::kRejected);
-  batch_future.get();
+  auto batch_future = stack.Submit(Request::PredictBatch(std::move(big)));
+  const Response rejected = stack.ServeSync(Request::Predict(1, 1));
+  EXPECT_EQ(rejected.code, StatusCode::kRejected);
+  ServingStack::Await(batch_future);
 }
 
 TEST_F(ServeTest, WorkerFaultYieldsErrorResultAndStackSurvives) {
   ServingStack stack(Models(), SmallStack());
   {
     ScopedFailPoint guard("serve.worker", "always");
-    const ServeResult result = stack.ServeSync(0, 0);
-    EXPECT_EQ(result.status, ServeStatus::kError);
-    EXPECT_FALSE(result.error.empty());
+    const Response response = stack.ServeSync(Request::Predict(0, 0));
+    EXPECT_EQ(response.code, StatusCode::kInternal);
+    EXPECT_FALSE(response.message.empty());
   }
-  EXPECT_EQ(stack.ServeSync(0, 0).status, ServeStatus::kOk);
+  EXPECT_EQ(stack.ServeSync(Request::Predict(0, 0)).code, StatusCode::kOk);
   EXPECT_EQ(stack.QueueDepth(), 0u);
 }
 
@@ -295,16 +411,17 @@ TEST_F(ServeTest, DispatchFaultBreaksPromiseNotTheClient) {
   {
     // threadpool.task fires before the task closure runs: the promise
     // inside the destroyed closure breaks.  The client must still get a
-    // (kError) answer and the queue slot must be released.
+    // (kInternal) answer and the queue slot must be released.
     ScopedFailPoint guard("threadpool.task", "always");
-    const ServeResult result = stack.ServeSync(0, 0);
-    EXPECT_EQ(result.status, ServeStatus::kError);
-    EXPECT_NE(result.error.find("dropped at dispatch"), std::string::npos);
+    const Response response = stack.ServeSync(Request::Predict(0, 0));
+    EXPECT_EQ(response.code, StatusCode::kInternal);
+    EXPECT_NE(response.message.find("dropped at dispatch"),
+              std::string::npos);
   }
   stack.Drain();
   EXPECT_EQ(stack.QueueDepth(), 0u);
   // Drained stacks shed; a fresh stack over the same models still works.
-  EXPECT_EQ(stack.ServeSync(0, 0).status, ServeStatus::kShed);
+  EXPECT_EQ(stack.ServeSync(Request::Predict(0, 0)).code, StatusCode::kShed);
 }
 
 TEST_F(ServeTest, BreakerTripsAndRecoversThroughTheStack) {
@@ -316,14 +433,18 @@ TEST_F(ServeTest, BreakerTripsAndRecoversThroughTheStack) {
     // the breaker steps the stack down to the SIR′ tier.
     ScopedFailPoint guard("cfsf.predict", "always");
     for (int i = 0; i < 16 && stack.breaker().level() == 0; ++i) {
-      stack.ServeSync(0, 0);
+      stack.ServeSync(Request::Predict(0, 0));
     }
     EXPECT_GE(stack.breaker().trips(), 1u);
     EXPECT_EQ(stack.breaker().level(), 1u);
   }
+  // A degraded stack cannot rank: top-N refuses with kBreakerOpen
+  // (and the refusal must not itself count as a bad outcome).
+  const Response refused = stack.ServeSync(Request::TopN(0, 5));
+  EXPECT_EQ(refused.code, StatusCode::kBreakerOpen);
   // Fault cleared: half-open probes climb back to full fusion.
   for (int i = 0; i < 5000 && stack.breaker().level() != 0; ++i) {
-    stack.ServeSync(0, 0);
+    stack.ServeSync(Request::Predict(0, 0));
     if (i % 100 == 99) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
@@ -331,6 +452,33 @@ TEST_F(ServeTest, BreakerTripsAndRecoversThroughTheStack) {
   EXPECT_EQ(stack.breaker().level(), 0u);
   EXPECT_EQ(stack.breaker().state(), BreakerState::kClosed);
   EXPECT_GE(stack.breaker().recoveries(), 1u);
+  // Back at full fusion, rankings serve again.
+  EXPECT_EQ(stack.ServeSync(Request::TopN(0, 5)).code, StatusCode::kOk);
+}
+
+// ------------------------------------------------ deprecated shims ----
+
+TEST_F(ServeTest, DeprecatedShimsStillServe) {
+  // The pre-api.hpp Submit overloads stay for exactly one PR; this test
+  // goes away with them.
+  ServingStack stack(Models(), SmallStack());
+  const serve::ServeResult single = stack.ServeSync(0, 0);
+  EXPECT_EQ(single.status, serve::ServeStatus::kOk);
+  EXPECT_EQ(single.rung, PredictionRung::kFull);
+  EXPECT_GT(single.generation, 0u);
+
+  auto future = stack.Submit(1, 1);
+  const serve::ServeResult submitted = ServingStack::Await(future);
+  EXPECT_EQ(submitted.status, serve::ServeStatus::kOk);
+
+  auto batch_future =
+      stack.SubmitBatch({{0, 0}, {1, 1}}, robust::Deadline());
+  const std::vector<serve::ServeResult> batch = batch_future.get();
+  ASSERT_EQ(batch.size(), 2u);
+  for (const serve::ServeResult& result : batch) {
+    EXPECT_EQ(result.status, serve::ServeStatus::kOk);
+    EXPECT_TRUE(std::isfinite(result.value));
+  }
 }
 
 // --------------------------------------------------------- hot swap ----
@@ -349,9 +497,9 @@ TEST_F(ServeTest, HotSwapReplacesGenerationMidTraffic) {
   // The pinned generation is still fully usable until released.
   EXPECT_EQ(pinned->generation(), gen1);
   EXPECT_NO_THROW(pinned->ladder().Predict(0, 0));
-  const ServeResult result = stack.ServeSync(0, 0);
-  EXPECT_EQ(result.status, ServeStatus::kOk);
-  EXPECT_EQ(result.generation, gen2);
+  const Response response = stack.ServeSync(Request::Predict(0, 0));
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  EXPECT_EQ(response.generation, gen2);
 }
 
 TEST_F(ServeTest, FailedSwapKeepsPreviousGenerationServing) {
@@ -366,7 +514,7 @@ TEST_F(ServeTest, FailedSwapKeepsPreviousGenerationServing) {
                          retry),
       util::IoError);
   EXPECT_EQ(models.ActiveGeneration(), gen1);
-  EXPECT_EQ(stack.ServeSync(0, 0).status, ServeStatus::kOk);
+  EXPECT_EQ(stack.ServeSync(Request::Predict(0, 0)).code, StatusCode::kOk);
 }
 
 // ------------------------------------------------------- chaos soak ----
@@ -392,6 +540,10 @@ TEST_F(ServeTest, ChaosSoakSurvivesRandomizedFailpointSchedules) {
   soak.requests_per_client = 60;
   soak.request_budget = std::chrono::microseconds(500);
   soak.seed = 0xC405C0DE;
+  // A slice of ranking traffic exercises the kBreakerOpen refusal path
+  // under chaos (rankings cannot be served degraded).
+  soak.topn_fraction = 0.1;
+  soak.topn_n = 5;
   soak.chaos = {
       {"cfsf.predict", 0.5},
       {"serve.worker", 0.05},
@@ -418,12 +570,12 @@ TEST_F(ServeTest, ChaosSoakSurvivesRandomizedFailpointSchedules) {
   // but the stack must serve from it now with nothing broken.
   EXPECT_GE(report.generations_seen, 1u);
   EXPECT_EQ(models.ActiveGeneration(), 2u);
-  EXPECT_EQ(stack.ServeSync(0, 0).generation, 2u);
+  EXPECT_EQ(stack.ServeSync(Request::Predict(0, 0)).generation, 2u);
 
   // And the stack must climb all the way back: keep serving calm traffic
   // until the breaker closes at full fusion.
   for (int i = 0; i < 20000 && stack.breaker().level() != 0; ++i) {
-    stack.ServeSync(0, 0);
+    stack.ServeSync(Request::Predict(0, 0));
     if (i % 200 == 199) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }

@@ -14,6 +14,9 @@
 //   cfsf_cli serve-bench [--smoke] [--clients=8 --requests=300
 //                        --workers=4 --capacity=64 --budget-us=500
 //                        --seed=N --chaos=true --swap-file=PATH]
+//   cfsf_cli serve     [--model=model.bin] [--bind=127.0.0.1 --port=0
+//                      --workers=4 --max-connections=32 --capacity=64
+//                      --duration-ms=0]
 //   cfsf_cli list-failpoints [--markdown]
 //
 // Without --data, `fit`/`evaluate` fall back to the synthetic MovieLens
@@ -43,6 +46,8 @@
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "robust/fallback.hpp"
+#include "net/server.hpp"
+#include "net/service.hpp"
 #include "serve/serving_stack.hpp"
 #include "serve/soak.hpp"
 #include "util/args.hpp"
@@ -394,7 +399,7 @@ int CmdServeBench(util::ArgParser& args) {
 
   // Calm traffic until the breaker has climbed back to full fusion.
   for (int i = 0; i < 20000 && stack.breaker().level() != 0; ++i) {
-    stack.ServeSync(0, 0);
+    stack.ServeSync(serve::Request::Predict(0, 0));
     if (i % 200 == 199) util::SleepFor(std::chrono::milliseconds(1));
   }
 
@@ -421,6 +426,77 @@ int CmdServeBench(util::ArgParser& args) {
                 static_cast<unsigned long long>(models.ActiveGeneration()));
   }
   return failures.empty() ? 0 : 1;
+}
+
+// `serve`: run the HTTP front end (src/net) over a fitted model.  With
+// --model the generation is loaded from disk; without it a synthetic
+// model is fitted in-process (same data every bench uses).  The server
+// binds loopback by default; --port=0 picks an ephemeral port, printed
+// after start so scripts can scrape it.  --duration-ms bounds the run
+// (0 = serve until stdin reaches EOF, i.e. Ctrl-D or a closed pipe).
+int CmdServe(util::ArgParser& args) {
+  const std::string model_path = args.GetString("model", "");
+  net::ServerOptions server_options;
+  server_options.bind_address = args.GetString("bind", "127.0.0.1");
+  server_options.port =
+      static_cast<std::uint16_t>(args.GetInt("port", 0));
+  server_options.num_workers =
+      static_cast<std::size_t>(args.GetInt("workers", 4));
+  server_options.max_connections =
+      static_cast<std::size_t>(args.GetInt("max-connections", 32));
+  serve::ServingOptions serving_options;
+  serving_options.num_workers = server_options.num_workers;
+  serving_options.queue_capacity =
+      static_cast<std::size_t>(args.GetInt("capacity", 64));
+  serving_options.degrade_watermark = serving_options.queue_capacity * 3 / 4;
+  const auto duration_ms = args.GetInt("duration-ms", 0);
+  args.RejectUnknown();
+
+  serve::ModelGeneration models;
+  util::Stopwatch watch;
+  if (model_path.empty()) {
+    data::SyntheticConfig dconfig;
+    dconfig.num_users = 200;
+    dconfig.num_items = 400;
+    dconfig.min_ratings_per_user = 15;
+    core::CfsfConfig config;
+    config.num_clusters = 10;
+    config.top_m_items = 40;
+    config.top_k_users = 15;
+    auto model = std::make_unique<core::CfsfModel>(config);
+    model->Fit(data::GenerateSynthetic(dconfig));
+    models.Install(std::move(model));
+    std::printf("serve: fitted synthetic generation 1 in %.2fs\n",
+                watch.ElapsedSeconds());
+  } else {
+    models.Install(core::LoadModel(model_path));
+    std::printf("serve: loaded %s in %.2fs\n", model_path.c_str(),
+                watch.ElapsedSeconds());
+  }
+
+  serve::ServingStack stack(models, serving_options);
+  net::ServingService service(stack);
+  net::HttpServer server(service, server_options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("serve: listening on %s:%u (workers=%zu)\n",
+              server_options.bind_address.c_str(), server.port(),
+              server_options.num_workers);
+  std::printf("serve: routes: POST /v1/predict  POST /v1/predict-batch  "
+              "GET /v1/top-n  GET /healthz  GET /metrics\n");
+  if (duration_ms > 0) {
+    util::SleepFor(std::chrono::milliseconds(duration_ms));
+  } else {
+    // Block until stdin closes; serving happens on the server's threads.
+    for (int c = std::getchar(); c != EOF; c = std::getchar()) {
+    }
+  }
+  server.Stop();
+  std::printf("serve: drained and stopped\n");
+  return 0;
 }
 
 // `list-failpoints`: dump the compiled-in kFailPoints inventory
@@ -460,8 +536,8 @@ int CmdListFailpoints(util::ArgParser& args) {
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: cfsf_cli <generate|stats|fit|predict|recommend|"
-               "add-user|evaluate|verify-model|json-check|serve-bench|"
-               "list-failpoints> [flags]\n(see the "
+               "add-user|evaluate|verify-model|json-check|serve|"
+               "serve-bench|list-failpoints> [flags]\n(see the "
                "header of tools/cfsf_cli.cpp for the full flag list)\n");
 }
 
@@ -475,6 +551,7 @@ int Dispatch(const std::string& command, util::ArgParser& args) {
   if (command == "evaluate") return CmdEvaluate(args);
   if (command == "verify-model") return CmdVerifyModel(args);
   if (command == "json-check") return CmdJsonCheck(args);
+  if (command == "serve") return CmdServe(args);
   if (command == "serve-bench") return CmdServeBench(args);
   if (command == "list-failpoints") return CmdListFailpoints(args);
   PrintUsage();

@@ -1601,7 +1601,9 @@ RepoIndex BuildIndex(
 // On-disk fixture corpus: each directory under `dir` is a miniature
 // repo-root named `<rule>__bad` (the rule must fire), `<rule>__good`
 // (must stay clean) or `<rule>__allowed` (violating code carrying inline
-// allow markers — must stay clean).
+// allow markers — must stay clean).  The rule name may itself contain
+// `__`-separated qualifiers (e.g. `layering__net-edge__bad`); only the
+// segment after the LAST `__` is the kind.
 int RunFixtureCorpus(const fs::path& dir, std::size_t* checks) {
   int failures = 0;
   std::vector<fs::path> case_dirs;
@@ -1612,14 +1614,16 @@ int RunFixtureCorpus(const fs::path& dir, std::size_t* checks) {
   for (const auto& case_dir : case_dirs) {
     const std::string name = case_dir.filename().string();
     ++*checks;
-    const std::size_t sep = name.find("__");
-    const std::string rule = name.substr(0, sep);
+    const std::size_t first = name.find("__");
+    const std::size_t last = name.rfind("__");
+    const std::string rule = name.substr(0, first);
     const std::string kind =
-        sep == std::string::npos ? "" : name.substr(sep + 2);
+        last == std::string::npos ? "" : name.substr(last + 2);
     if (kind != "bad" && kind != "good" && kind != "allowed") {
       ++failures;
       std::cout << "FAIL: fixture `" << name
-                << "`: directory must be named <rule>__{bad,good,allowed}\n";
+                << "`: directory must be named "
+                   "<rule>[__<qualifier>]__{bad,good,allowed}\n";
       continue;
     }
     RepoIndex repo;

@@ -4,7 +4,10 @@
 #   1. asan preset  (address+undefined sanitizers) : build + ctest -L "unit|stress"
 #   2. fault tier   (asan build)                   : ctest -L fault with
 #      CFSF_FAILPOINTS exported — fault-injection paths under ASan
-#   2b. chaos soak  (asan build)                   : cfsf_cli serve-bench
+#   2b. integration (asan build)                   : ctest -L integration —
+#      loopback-socket round-trips over every HTTP route of the net
+#      front end, parser and drain paths under ASan
+#   2c. chaos soak  (asan build)                   : cfsf_cli serve-bench
 #      --smoke — the serving stack under concurrent clients, randomized
 #      failpoint schedules and a mid-traffic hot swap; exits nonzero
 #      unless every resilience invariant held and the circuit breaker
@@ -80,6 +83,11 @@ if [[ "${RUN_ASAN}" -eq 1 ]]; then
   # tests arm their own points on top through the API.
   CFSF_FAILPOINTS="ci.noop=always" \
     ctest --test-dir "${ROOT}/build/asan" -L fault --output-on-failure \
+    -j "${JOBS}"
+  echo "=== [asan] ctest -L integration (net loopback round-trips) ==="
+  # Real-socket round-trips over all five HTTP routes with ASan watching
+  # the parser, the connection workers and the drain path.
+  ctest --test-dir "${ROOT}/build/asan" -L integration --output-on-failure \
     -j "${JOBS}"
   echo "=== [asan] chaos-soak smoke (cfsf_cli serve-bench) ==="
   cmake --build --preset asan -j "${JOBS}" --target cfsf_cli
