@@ -78,6 +78,7 @@ void HttpResponse::Set(const std::string& name, const std::string& value) {
 const char* ReasonPhrase(int status) {
   switch (status) {
     case 200: return "OK";
+    case 202: return "Accepted";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "net/http.hpp"
@@ -33,6 +34,7 @@ struct NetMetrics {
   obs::Counter& responses;
   obs::Counter& malformed;
   obs::Counter& write_errors;
+  obs::Counter& idle_closed;
   obs::Histogram& latency_us;
 
   static NetMetrics& Instance() {
@@ -47,6 +49,7 @@ struct NetMetrics {
           registry.GetCounter(obs::names::kNetHttpResponses),
           registry.GetCounter(obs::names::kNetHttpMalformed),
           registry.GetCounter(obs::names::kNetHttpWriteErrors),
+          registry.GetCounter(obs::names::kNetIdleClosed),
           registry.GetHistogram(obs::names::kNetHttpLatencyUs,
                                 obs::LatencyBucketsUs()),
       };
@@ -229,6 +232,10 @@ void HttpServer::HandleConnection(int fd) {
   RequestParser parser;
   char buffer[8192];
   auto last_activity = std::chrono::steady_clock::now();
+  // Set while a request is partially received; the slow-read deadline
+  // runs from here, immune to the per-recv last_activity refresh a
+  // drip-feeding client exploits.
+  std::optional<std::chrono::steady_clock::time_point> partial_since;
 
   try {
     while (true) {
@@ -241,6 +248,18 @@ void HttpServer::HandleConnection(int fd) {
       // finished and answered; an idle connection closes immediately.
       if (draining && !parser.HasPartialData()) break;
 
+      if (parser.HasPartialData()) {
+        const auto now = std::chrono::steady_clock::now();
+        if (!partial_since.has_value()) {
+          partial_since = now;
+        } else if (now - *partial_since > options_.read_timeout) {
+          metrics.idle_closed.Increment();
+          break;
+        }
+      } else {
+        partial_since.reset();
+      }
+
       pollfd poller{fd, POLLIN, 0};
       const int ready = ::poll(
           &poller, 1, static_cast<int>(options_.poll_interval.count()));
@@ -251,6 +270,7 @@ void HttpServer::HandleConnection(int fd) {
       if (ready == 0) {
         if (std::chrono::steady_clock::now() - last_activity >
             options_.idle_timeout) {
+          metrics.idle_closed.Increment();
           break;
         }
         continue;

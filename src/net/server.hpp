@@ -17,12 +17,19 @@
 // is the network half of the hot-swap story: a ModelGeneration swap
 // never kills an in-flight response, and neither does a server drain.
 //
+// Slow-read (slowloris) defense: a request may not stay partially
+// received longer than `read_timeout`, measured from its first byte —
+// dripping one byte per poll interval no longer holds a worker
+// hostage.  Both slow-read closes and plain keep-alive idle-timeout
+// closes are counted in net.idle_closed.
+//
 // Failpoints: net.accept (accepted connection dropped before dispatch)
 // and net.write (connection closed before the response is written).
 // Metrics: net.conn.accepted / net.conn.rejected_busy / net.conn.dropped
 // counters, net.conn.active gauge, net.http.requests / net.http.responses
-// / net.http.malformed / net.http.write_errors counters and the
-// net.http.latency_us histogram (accept-to-flush per request).
+// / net.http.malformed / net.http.write_errors / net.idle_closed
+// counters and the net.http.latency_us histogram (accept-to-flush per
+// request).
 #pragma once
 
 #include <chrono>
@@ -49,6 +56,11 @@ struct ServerOptions {
   std::size_t max_connections = 32;
   /// Keep-alive connections idle longer than this are closed.
   std::chrono::milliseconds idle_timeout{5000};
+  /// Ceiling on how long one request may stay partially received,
+  /// measured from its first byte (±poll_interval).  Slow-read
+  /// connections exceeding it are closed and counted in
+  /// net.idle_closed.
+  std::chrono::milliseconds read_timeout{2000};
   /// poll() granularity of the accept and connection loops — the
   /// latency bound on noticing Stop().
   std::chrono::milliseconds poll_interval{50};

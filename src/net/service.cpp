@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "serve/api.hpp"
 #include "serve/model_generation.hpp"
+#include "wal/log.hpp"
 
 namespace cfsf::net {
 
@@ -61,6 +62,13 @@ HttpResponse ServingService::Handle(const HttpRequest& request) {
       }
       return HandlePredictBatch(request);
     }
+    if (request.path == "/v1/rate") {
+      if (request.method != "POST") {
+        return ErrorResponse(serve::StatusCode::kMalformed,
+                             "use POST for /v1/rate", TraceIdOf(request));
+      }
+      return HandleRate(request);
+    }
     if (request.path == "/v1/top-n") {
       if (request.method != "GET") {
         return ErrorResponse(serve::StatusCode::kMalformed,
@@ -104,6 +112,15 @@ HttpResponse ServingService::HandlePredictBatch(const HttpRequest& request) {
   return Dispatch(request, std::move(parse.request));
 }
 
+HttpResponse ServingService::HandleRate(const HttpRequest& request) {
+  BodyParse parse = ParseRateBody(request.body);
+  if (!parse.ok) {
+    return ErrorResponse(serve::StatusCode::kMalformed, parse.error,
+                         TraceIdOf(request));
+  }
+  return Dispatch(request, std::move(parse.request));
+}
+
 HttpResponse ServingService::HandleTopN(const HttpRequest& request) {
   std::uint64_t user = 0;
   if (!ParseUint(request.QueryParam("user"), &user)) {
@@ -139,6 +156,11 @@ HttpResponse ServingService::HandleHealthz() {
   json.Key("breaker_state")
       .String(serve::ToString(stack_.breaker().state()));
   json.Key("queue_depth").Uint(stack_.QueueDepth());
+  const wal::WriteAheadLog* log = stack_.rating_log();
+  json.Key("rating_log")
+      .String(log == nullptr       ? "absent"
+              : log->available() ? "ok"
+                                 : "unavailable");
   json.EndObject();
 
   HttpResponse response;
@@ -172,6 +194,11 @@ HttpResponse ServingService::Dispatch(const HttpRequest& http,
 
   HttpResponse response;
   response.status = serve::ToHttpStatus(served.code);
+  if (request.kind == serve::Request::Kind::kRate && served.ok()) {
+    // The write is durable but only becomes visible in predictions
+    // after the DeltaFolder's next publish: 202, not 200.
+    response.status = 202;
+  }
   response.body = RenderResponseJson(request.kind, served);
   if (!served.trace_id.empty()) {
     response.Set("X-CFSF-Trace-Id", served.trace_id);

@@ -8,6 +8,9 @@
 // Routes (docs/SERVING_API.md is the normative reference):
 //   POST /v1/predict        {"user", "item", "rung_floor"?}
 //   POST /v1/predict-batch  {"queries": [[u, i], ...], "rung_floor"?}
+//   POST /v1/rate           {"user", "item", "rating", "timestamp"?}
+//                           202 on durable ack, 503 when the rating
+//                           log is absent or has fail-stopped
 //   GET  /v1/top-n?user=U&n=N
 //   GET  /healthz           liveness + active generation / breaker tier
 //   GET  /metrics           obs::MetricsRegistry::Global().ToJson()
@@ -54,6 +57,7 @@ class ServingService {
  private:
   HttpResponse HandlePredict(const HttpRequest& request);
   HttpResponse HandlePredictBatch(const HttpRequest& request);
+  HttpResponse HandleRate(const HttpRequest& request);
   HttpResponse HandleTopN(const HttpRequest& request);
   HttpResponse HandleHealthz();
   HttpResponse HandleMetrics();

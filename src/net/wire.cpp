@@ -209,13 +209,67 @@ BodyParse ParseBatchBody(const std::string& body, std::size_t max_batch) {
   return parse;
 }
 
+BodyParse ParseRateBody(const std::string& body) {
+  JsonCursor cursor(body);
+  bool have_user = false;
+  bool have_item = false;
+  bool have_rating = false;
+  std::uint64_t user = 0;
+  std::uint64_t item = 0;
+  std::uint64_t rating = 0;
+  std::uint64_t timestamp = 0;
+
+  if (!cursor.Expect('{')) return Malformed(cursor.error());
+  if (!cursor.Peek('}')) {
+    do {
+      std::string key;
+      if (!cursor.ParseKey(&key) || !cursor.Expect(':')) {
+        return Malformed(cursor.error());
+      }
+      std::uint64_t value = 0;
+      if (!cursor.ParseUint(&value)) return Malformed(cursor.error());
+      if (key == "user") {
+        user = value;
+        have_user = true;
+      } else if (key == "item") {
+        item = value;
+        have_item = true;
+      } else if (key == "rating") {
+        rating = value;
+        have_rating = true;
+      } else if (key == "timestamp") {
+        timestamp = value;
+      } else {
+        return Malformed("unknown field \"" + key + "\"");
+      }
+    } while (cursor.Peek(',') && cursor.Expect(','));
+  }
+  if (!cursor.Expect('}') || !cursor.AtEnd()) return Malformed(cursor.error());
+  if (!have_user) return Malformed("missing required field \"user\"");
+  if (!have_item) return Malformed("missing required field \"item\"");
+  if (!have_rating) return Malformed("missing required field \"rating\"");
+  if (rating < 1 || rating > 5) {
+    return Malformed("\"rating\" must be in [1, 5]");
+  }
+
+  BodyParse parse;
+  parse.ok = true;
+  parse.request = serve::Request::Rate(
+      static_cast<matrix::UserId>(user), static_cast<matrix::ItemId>(item),
+      static_cast<matrix::Rating>(rating),
+      static_cast<matrix::Timestamp>(timestamp));
+  return parse;
+}
+
 std::string RenderResponseJson(serve::Request::Kind kind,
                                const serve::Response& response) {
   obs::JsonWriter json;
   json.BeginObject();
   WriteEnvelope(json, response);
   if (response.ok()) {
-    if (kind == serve::Request::Kind::kTopN) {
+    if (kind == serve::Request::Kind::kRate) {
+      json.Key("lsn").Uint(response.lsn);
+    } else if (kind == serve::Request::Kind::kTopN) {
       json.Key("ranked").BeginArray();
       for (const serve::RankedItem& entry : response.ranked) {
         json.BeginObject();

@@ -33,10 +33,15 @@ BodyParse ParsePredictBody(const std::string& body);
 /// queries, at least one.
 BodyParse ParseBatchBody(const std::string& body, std::size_t max_batch);
 
+/// POST /v1/rate — `{"user": U, "item": I, "rating": R, "timestamp": T?}`.
+/// Integers only; R on the MovieLens 1..5 scale (range-checked again by
+/// Request::ValidationError).
+BodyParse ParseRateBody(const std::string& body);
+
 /// Renders a Response as the route's JSON document: the envelope echo
-/// (status, tier, probe, generation, trace_id) plus `predictions` or
-/// `ranked` on kOk, `message` otherwise.  `kind` picks which result
-/// array the document carries.
+/// (status, tier, probe, generation, trace_id) plus `predictions`,
+/// `ranked` or `lsn` (rate) on kOk, `message` otherwise.  `kind` picks
+/// which result the document carries.
 std::string RenderResponseJson(serve::Request::Kind kind,
                                const serve::Response& response);
 

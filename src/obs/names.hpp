@@ -69,6 +69,20 @@ inline constexpr const char kNetHttpResponses[] = "net.http.responses";
 inline constexpr const char kNetHttpMalformed[] = "net.http.malformed";
 inline constexpr const char kNetHttpWriteErrors[] = "net.http.write_errors";
 inline constexpr const char kNetHttpLatencyUs[] = "net.http.latency_us";
+inline constexpr const char kNetIdleClosed[] = "net.idle_closed";
+
+// --- durable rating ingestion (src/wal/, src/serve/delta_folder.cpp) -------
+inline constexpr const char kWalAppends[] = "wal.appends";
+inline constexpr const char kWalAppendLatencyUs[] = "wal.append.latency_us";
+inline constexpr const char kWalFsyncs[] = "wal.fsyncs";
+inline constexpr const char kWalRotations[] = "wal.rotations";
+inline constexpr const char kWalUnavailable[] = "wal.unavailable";
+inline constexpr const char kWalReplayRecovered[] = "wal.replay.recovered";
+inline constexpr const char kWalReplayTruncated[] = "wal.replay.truncated";
+inline constexpr const char kWalFoldedRecords[] = "wal.folded_records";
+inline constexpr const char kWalFoldSkipped[] = "wal.fold.skipped";
+inline constexpr const char kWalFoldPublishes[] = "wal.fold.publishes";
+inline constexpr const char kWalStalenessUs[] = "wal.staleness_us";
 
 // --- robustness (src/robust/, src/obs/failpoint.cpp, src/core/model_io.cpp)
 inline constexpr const char kRobustFailpointTrips[] = "robust.failpoint_trips";
@@ -147,6 +161,14 @@ inline constexpr FailPointInfo kFailPoints[] = {
      "connection dropped; server keeps accepting"},
     {"net.write", "`HttpServer` response write",
      "connection closed before the response"},
+    {"wal.append", "`WriteAheadLog::Append` entry, before any bytes",
+     "record refused (`IoError`); log stays serviceable"},
+    {"wal.fsync", "`WriteAheadLog` durability barrier",
+     "log fail-stops; serving degrades to read-only"},
+    {"wal.rotate", "segment rotation, before tmp+rename",
+     "log fail-stops; serving degrades to read-only"},
+    {"wal.replay", "`ReplayLog` scan entry",
+     "recovery aborts with `IoError`"},
 };
 // cfsf-lint: failpoint-inventory-end
 

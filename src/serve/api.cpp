@@ -9,6 +9,7 @@ const char* ToString(StatusCode code) {
     case StatusCode::kRejected: return "rejected";
     case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
     case StatusCode::kBreakerOpen: return "breaker_open";
+    case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kNotFound: return "not_found";
     case StatusCode::kMalformed: return "malformed";
     case StatusCode::kInternal: return "internal";
@@ -23,6 +24,7 @@ int ToHttpStatus(StatusCode code) {
     case StatusCode::kRejected: return 429;
     case StatusCode::kDeadlineExceeded: return 504;
     case StatusCode::kBreakerOpen: return 503;
+    case StatusCode::kUnavailable: return 503;
     case StatusCode::kNotFound: return 404;
     case StatusCode::kMalformed: return 400;
     case StatusCode::kInternal: return 500;
@@ -32,7 +34,7 @@ int ToHttpStatus(StatusCode code) {
 
 bool IsRetryable(StatusCode code) {
   return code == StatusCode::kShed || code == StatusCode::kRejected ||
-         code == StatusCode::kBreakerOpen;
+         code == StatusCode::kBreakerOpen || code == StatusCode::kUnavailable;
 }
 
 const char* ToString(Request::Kind kind) {
@@ -40,6 +42,7 @@ const char* ToString(Request::Kind kind) {
     case Request::Kind::kPredict: return "predict";
     case Request::Kind::kPredictBatch: return "predict-batch";
     case Request::Kind::kTopN: return "top-n";
+    case Request::Kind::kRate: return "rate";
   }
   return "unknown";
 }
@@ -74,6 +77,19 @@ Request Request::TopN(matrix::UserId user, std::size_t n,
   return request;
 }
 
+Request Request::Rate(matrix::UserId user, matrix::ItemId item,
+                      matrix::Rating rating, matrix::Timestamp timestamp,
+                      robust::Deadline deadline) {
+  Request request;
+  request.kind = Kind::kRate;
+  request.user = user;
+  request.item = item;
+  request.rating = rating;
+  request.rating_timestamp = timestamp;
+  request.deadline = deadline;
+  return request;
+}
+
 std::string Request::ValidationError() const {
   if (rung_floor > 3) {
     return "rung_floor must be 0..3 (full, sir, user_mean, global_mean)";
@@ -89,6 +105,12 @@ std::string Request::ValidationError() const {
       // Top-N has no degraded rung: a request that *asks* to be served
       // below full fusion is self-contradictory.
       if (rung_floor != 0) return "top-n cannot be served from a degraded rung";
+      return "";
+    case Kind::kRate:
+      // NaN fails both comparisons, so it is rejected here too.
+      if (!(rating >= 1.0F && rating <= 5.0F)) {
+        return "rate requires a rating in [1, 5]";
+      }
       return "";
   }
   return "unknown request kind";

@@ -41,6 +41,8 @@ enum class StatusCode {
   kDeadlineExceeded, // budget spent before any answer could be produced
   kBreakerOpen,      // the stack is degraded below the tier this
                      // request needs (top-N requires full fusion)
+  kUnavailable,      // the durable rating log is absent or has
+                     // fail-stopped; the stack serves read-only
   kNotFound,         // unknown user (top-N) or unknown route (wire)
   kMalformed,        // request failed validation / unparseable body
   kInternal,         // worker fault; no usable answer
@@ -59,11 +61,15 @@ bool IsRetryable(StatusCode code);
 /// One serving request.  Use the named constructors; the envelope
 /// fields (deadline, trace_id, rung_floor) apply to every kind.
 struct Request {
-  enum class Kind { kPredict, kPredictBatch, kTopN };
+  enum class Kind { kPredict, kPredictBatch, kTopN, kRate };
 
   Kind kind = Kind::kPredict;
   matrix::UserId user = 0;
-  matrix::ItemId item = 0;  // kPredict only
+  matrix::ItemId item = 0;  // kPredict / kRate
+  /// kRate only: the observed rating (MovieLens scale, 1..5) and its
+  /// optional timestamp (0 = none).
+  matrix::Rating rating = 0.0F;
+  matrix::Timestamp rating_timestamp = 0;
   /// kPredictBatch only; served as one queue unit under one deadline.
   std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries;
   std::size_t top_n = 10;  // kTopN only
@@ -84,6 +90,11 @@ struct Request {
       std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries,
       robust::Deadline deadline = {});
   static Request TopN(matrix::UserId user, std::size_t n,
+                      robust::Deadline deadline = {});
+  /// A rating write: durably logged (WAL) before it is acknowledged,
+  /// folded into predictions by the DeltaFolder afterwards.
+  static Request Rate(matrix::UserId user, matrix::ItemId item,
+                      matrix::Rating rating, matrix::Timestamp timestamp = 0,
                       robust::Deadline deadline = {});
 
   /// Empty when the request is well-formed; otherwise the reason it
@@ -122,6 +133,8 @@ struct Response {
   bool probe = false;
   /// Model generation that served the request (0 when refused).
   std::uint64_t generation = 0;
+  /// kRate only: the durable log sequence number of the acked record.
+  std::uint64_t lsn = 0;
   std::string trace_id;  // echoed from the request
   std::string message;   // human-readable detail for non-kOk statuses
 

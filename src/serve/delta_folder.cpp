@@ -1,0 +1,165 @@
+#include "serve/delta_folder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "util/backoff.hpp"
+#include "util/error.hpp"
+
+namespace cfsf::serve {
+
+namespace {
+
+struct FoldMetrics {
+  obs::Counter& folded;
+  obs::Counter& skipped;
+  obs::Counter& publishes;
+  obs::Gauge& staleness_us;
+
+  static FoldMetrics& Instance() {
+    static FoldMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return FoldMetrics{
+          registry.GetCounter(obs::names::kWalFoldedRecords),
+          registry.GetCounter(obs::names::kWalFoldSkipped),
+          registry.GetCounter(obs::names::kWalFoldPublishes),
+          registry.GetGauge(obs::names::kWalStalenessUs),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+DeltaFolder::DeltaFolder(wal::WriteAheadLog& log, ModelGeneration& models,
+                         std::unique_ptr<core::CfsfModel> shadow,
+                         const DeltaFolderOptions& options)
+    : log_(log), models_(models), options_(options), shadow_(std::move(shadow)) {
+  CFSF_REQUIRE(shadow_ != nullptr, "DeltaFolder: shadow model required");
+}
+
+DeltaFolder::~DeltaFolder() { Stop(); }
+
+std::unique_ptr<core::CfsfModel> DeltaFolder::CloneShadowLocked() {
+  // Restore() rebuilds smoothing deterministically from the persisted
+  // artefacts, so a clone predicts identically to the shadow without
+  // re-running K-means or the GIS build.
+  std::vector<std::uint32_t> assignments(shadow_->NumUsers());
+  for (matrix::UserId user = 0; user < assignments.size(); ++user) {
+    assignments[user] = shadow_->cluster_model().ClusterOf(user);
+  }
+  return core::CfsfModel::Restore(shadow_->config(), shadow_->train(),
+                                  shadow_->gis(), std::move(assignments));
+}
+
+std::uint64_t DeltaFolder::PublishNow() {
+  std::unique_ptr<core::CfsfModel> clone;
+  {
+    util::MutexLock lock(&mutex_);
+    clone = CloneShadowLocked();
+    ++publishes_;
+  }
+  FoldMetrics::Instance().publishes.Increment();
+  return models_.Install(std::move(clone));
+}
+
+std::size_t DeltaFolder::FoldOnce() {
+  std::vector<wal::AckedRecord> batch;
+  log_.DrainAcked(&batch);
+  if (batch.empty()) return 0;
+
+  FoldMetrics& metrics = FoldMetrics::Instance();
+  std::unique_ptr<core::CfsfModel> clone;
+  std::size_t folded = 0;
+  std::size_t skipped = 0;
+  auto oldest_ack = batch.front().acked_at;
+  {
+    util::MutexLock lock(&mutex_);
+    for (const wal::AckedRecord& acked : batch) {
+      oldest_ack = std::min(oldest_ack, acked.acked_at);
+      const matrix::RatingTriple& r = acked.record;
+      if (r.user < shadow_->NumUsers() && r.item < shadow_->NumItems()) {
+        shadow_->InsertRating(r.user, r.item, r.value, r.timestamp);
+        ++folded;
+      } else {
+        // Out-of-range ids are durable but not foldable; cold-start
+        // enrolment (CfsfModel::AddUser) is a separate path.
+        ++skipped;
+      }
+    }
+    folded_ += folded;
+    skipped_ += skipped;
+    if (folded > 0) {
+      clone = CloneShadowLocked();
+      ++publishes_;
+    }
+  }
+  metrics.folded.Increment(folded);
+  metrics.skipped.Increment(skipped);
+  if (clone != nullptr) {
+    models_.Install(std::move(clone));
+    metrics.publishes.Increment();
+    metrics.staleness_us.Set(std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - oldest_ack)
+                                 .count());
+  }
+  return batch.size();
+}
+
+void DeltaFolder::Start() {
+  {
+    util::MutexLock lock(&mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  thread_ = std::thread(&DeltaFolder::Loop, this);
+}
+
+void DeltaFolder::Stop() {
+  {
+    util::MutexLock lock(&mutex_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  if (thread_.joinable()) thread_.join();
+  util::MutexLock lock(&mutex_);
+  running_ = false;
+}
+
+void DeltaFolder::Loop() {
+  for (;;) {
+    {
+      util::MutexLock lock(&mutex_);
+      if (stop_) return;
+    }
+    try {
+      FoldOnce();
+    } catch (const util::Error&) {
+      // A fold failure (e.g. an injected fault inside InsertRating)
+      // must not kill the thread; the records of this batch are lost to
+      // the fold but remain in the log for the next boot's replay.
+    }
+    util::SleepFor(options_.poll_interval);
+  }
+}
+
+std::uint64_t DeltaFolder::folded_records() const {
+  util::MutexLock lock(&mutex_);
+  return folded_;
+}
+
+std::uint64_t DeltaFolder::skipped_records() const {
+  util::MutexLock lock(&mutex_);
+  return skipped_;
+}
+
+std::uint64_t DeltaFolder::publishes() const {
+  util::MutexLock lock(&mutex_);
+  return publishes_;
+}
+
+}  // namespace cfsf::serve

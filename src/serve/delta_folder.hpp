@@ -1,0 +1,90 @@
+// DeltaFolder — folds durably acked ratings into the serving model.
+//
+// The online half of ROADMAP open item 3: the WAL makes a rating
+// durable, this folder makes it *visible*.  A background thread drains
+// the log's acked queue, applies each record to a privately owned
+// shadow model via CfsfModel::InsertRating (the incremental path: GIS
+// co-rating accumulators are additive, smoothing is rebuilt from the
+// existing cluster assignments — no K-means restart), and publishes a
+// deterministic clone of the shadow through ModelGeneration::Install,
+// the same hot-swap path the mid-traffic soak already proves.  Requests
+// in flight keep the generation they pinned; the next request sees the
+// fold.
+//
+// Staleness — the time from a record's durable ack to the generation
+// swap that makes it predictable — is first-class: each publish sets
+// the wal.staleness_us gauge to the oldest drained record's ack-to-
+// publish latency.  wal.folded_records / wal.fold.skipped /
+// wal.fold.publishes count the traffic (skipped = user or item outside
+// the shadow's dimensions; enrolment is AddUser's job, not the
+// folder's).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/cfsf_model.hpp"
+#include "serve/model_generation.hpp"
+#include "util/mutex.hpp"
+#include "wal/log.hpp"
+
+namespace cfsf::serve {
+
+struct DeltaFolderOptions {
+  /// Drain cadence of the background thread (also the Stop() latency
+  /// bound).
+  std::chrono::milliseconds poll_interval{20};
+};
+
+class DeltaFolder {
+ public:
+  /// `log` and `models` must outlive the folder.  `shadow` is the
+  /// folder's private fitted model — typically the same fit the caller
+  /// installed (a clone of) as generation 1; keep them in sync by
+  /// installing via PublishNow() rather than Install() directly.
+  DeltaFolder(wal::WriteAheadLog& log, ModelGeneration& models,
+              std::unique_ptr<core::CfsfModel> shadow,
+              const DeltaFolderOptions& options = {});
+  ~DeltaFolder();  // Stop()
+
+  DeltaFolder(const DeltaFolder&) = delete;
+  DeltaFolder& operator=(const DeltaFolder&) = delete;
+
+  /// Installs a clone of the shadow as the active generation (first
+  /// boot, or forcing visibility in tests).  Returns the generation id.
+  std::uint64_t PublishNow() CFSF_EXCLUDES(mutex_);
+
+  /// One synchronous drain → fold → publish cycle; returns how many
+  /// records were drained.  Publishes only when something folded.
+  std::size_t FoldOnce() CFSF_EXCLUDES(mutex_);
+
+  void Start() CFSF_EXCLUDES(mutex_);
+  void Stop() CFSF_EXCLUDES(mutex_);
+
+  std::uint64_t folded_records() const CFSF_EXCLUDES(mutex_);
+  std::uint64_t skipped_records() const CFSF_EXCLUDES(mutex_);
+  std::uint64_t publishes() const CFSF_EXCLUDES(mutex_);
+
+ private:
+  std::unique_ptr<core::CfsfModel> CloneShadowLocked() CFSF_REQUIRES(mutex_);
+  void Loop();
+
+  wal::WriteAheadLog& log_;
+  ModelGeneration& models_;
+  const DeltaFolderOptions options_;
+
+  mutable util::Mutex mutex_;
+  std::unique_ptr<core::CfsfModel> shadow_ CFSF_GUARDED_BY(mutex_);
+  std::uint64_t folded_ CFSF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t skipped_ CFSF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t publishes_ CFSF_GUARDED_BY(mutex_) = 0;
+  bool stop_ CFSF_GUARDED_BY(mutex_) = false;
+  bool running_ CFSF_GUARDED_BY(mutex_) = false;
+
+  std::thread thread_;
+};
+
+}  // namespace cfsf::serve

@@ -10,6 +10,7 @@
 #include "obs/failpoint.hpp"
 #include "util/backoff.hpp"
 #include "util/error.hpp"
+#include "wal/log.hpp"
 
 namespace cfsf::serve {
 
@@ -98,47 +99,7 @@ std::size_t WeightOf(const Request& request) {
              : 1;
 }
 
-// --- old-API conversion (DEPRECATED shims) ---------------------------------
-
-ServeStatus ToServeStatus(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk: return ServeStatus::kOk;
-    case StatusCode::kShed: return ServeStatus::kShed;
-    case StatusCode::kRejected: return ServeStatus::kRejected;
-    default: return ServeStatus::kError;
-  }
-}
-
-ServeResult ResultFromResponse(const Response& response, std::size_t index) {
-  ServeResult result;
-  result.status = ToServeStatus(response.code);
-  result.tier = response.tier;
-  result.probe = response.probe;
-  result.generation = response.generation;
-  if (result.status == ServeStatus::kError) {
-    result.error = response.message.empty() ? ToString(response.code)
-                                            : response.message;
-  }
-  if (index < response.predictions.size()) {
-    const Prediction& prediction = response.predictions[index];
-    result.value = prediction.value;
-    result.rung = prediction.rung;
-    result.deadline_overrun = prediction.deadline_overrun;
-  }
-  return result;
-}
-
 }  // namespace
-
-const char* ToString(ServeStatus status) {
-  switch (status) {
-    case ServeStatus::kOk: return "ok";
-    case ServeStatus::kShed: return "shed";
-    case ServeStatus::kRejected: return "rejected";
-    case ServeStatus::kError: return "error";
-  }
-  return "unknown";
-}
 
 ServingStack::ServingStack(ModelGeneration& models,
                            const ServingOptions& options)
@@ -286,6 +247,14 @@ Response ServingStack::Process(const Request& request,
   bool bad = true;
   try {
     CFSF_FAILPOINT("serve.worker");
+    if (request.kind == Request::Kind::kRate) {
+      // A rating write needs the log, not the model, and its outcome
+      // says nothing about ladder health — the breaker never sees it.
+      ProcessRate(request, response);
+      (response.ok() ? ServeMetrics::Get().ok : ServeMetrics::Get().refused)
+          .Increment(weight);
+      return response;
+    }
     const auto model = models_.Active();
     if (model == nullptr) {
       throw util::Error("ServingStack: no active model generation");
@@ -397,6 +366,32 @@ void ServingStack::ProcessTopN(const Request& request,
   bad = false;
 }
 
+void ServingStack::ProcessRate(const Request& request, Response& response) {
+  response.generation = models_.ActiveGeneration();
+  if (options_.rating_log == nullptr) {
+    response.code = StatusCode::kUnavailable;
+    response.message = "no rating log attached; serving is read-only";
+    return;
+  }
+  if (request.deadline.Expired()) {
+    response.code = StatusCode::kDeadlineExceeded;
+    response.message = "budget spent before the rating was logged";
+    return;
+  }
+  try {
+    const wal::AppendAck ack = options_.rating_log->Append(
+        matrix::RatingTriple{request.user, request.item, request.rating,
+                             request.rating_timestamp},
+        /*require_durable=*/true);
+    response.lsn = ack.lsn;
+  } catch (const util::IoError& e) {
+    // The log refused the record or has fail-stopped: degrade to
+    // read-only (retryable 503) instead of taking the stack down.
+    response.code = StatusCode::kUnavailable;
+    response.message = e.what();
+  }
+}
+
 Response ServingStack::Await(std::future<Response>& future) {
   try {
     return future.get();
@@ -416,61 +411,6 @@ Response ServingStack::ServeSync(const Request& request) {
   auto future = Submit(request);
   return Await(future);
 }
-
-// --- DEPRECATED shims ------------------------------------------------------
-
-std::future<ServeResult> ServingStack::Submit(matrix::UserId user,
-                                              matrix::ItemId item) {
-  return Submit(user, item, robust::Deadline());
-}
-
-std::future<ServeResult> ServingStack::Submit(matrix::UserId user,
-                                              matrix::ItemId item,
-                                              robust::Deadline deadline) {
-  auto future = Submit(Request::Predict(user, item, deadline));
-  // Deferred: the conversion runs on the caller's thread inside get().
-  return std::async(std::launch::deferred,
-                    [future = std::move(future)]() mutable {
-                      return ResultFromResponse(Await(future), 0);
-                    });
-}
-
-std::future<std::vector<ServeResult>> ServingStack::SubmitBatch(
-    std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries,
-    robust::Deadline deadline) {
-  const std::size_t count = queries.size();
-  auto future = Submit(Request::PredictBatch(std::move(queries), deadline));
-  return std::async(std::launch::deferred,
-                    [future = std::move(future), count]() mutable {
-                      const Response response = Await(future);
-                      std::vector<ServeResult> results;
-                      results.reserve(count);
-                      for (std::size_t i = 0; i < count; ++i) {
-                        results.push_back(ResultFromResponse(response, i));
-                      }
-                      return results;
-                    });
-}
-
-ServeResult ServingStack::Await(std::future<ServeResult>& future) {
-  try {
-    return future.get();
-  } catch (const std::future_error&) {
-    ServeResult dropped;
-    dropped.status = ServeStatus::kError;
-    dropped.error = "request dropped at dispatch (broken promise)";
-    ServeMetrics::Get().errors.Increment();
-    return dropped;
-  }
-}
-
-ServeResult ServingStack::ServeSync(matrix::UserId user, matrix::ItemId item,
-                                    robust::Deadline deadline) {
-  return ResultFromResponse(ServeSync(Request::Predict(user, item, deadline)),
-                            0);
-}
-
-// ---------------------------------------------------------------------------
 
 void ServingStack::Drain() {
   {

@@ -24,11 +24,19 @@
 //
 // The API is one pair: Submit(serve::Request) -> future<serve::Response>
 // (serve/api.hpp).  A Request is a single prediction, a batch served as
-// one queue unit, or a top-N ranking; the Response carries the shared
-// StatusCode taxonomy, so the HTTP front end (src/net/) translates
-// rather than re-deciding.  Top-N has no degraded rung: when the
-// breaker or the watermark has moved the stack below full fusion, top-N
-// requests resolve as kBreakerOpen instead of serving stale rankings.
+// one queue unit, a top-N ranking, or a rating write; the Response
+// carries the shared StatusCode taxonomy, so the HTTP front end
+// (src/net/) translates rather than re-deciding.  Top-N has no degraded
+// rung: when the breaker or the watermark has moved the stack below
+// full fusion, top-N requests resolve as kBreakerOpen instead of
+// serving stale rankings.
+//
+// Rating writes (Request::Rate) are durable-or-refused: the record is
+// appended to the attached wal::WriteAheadLog with the durability
+// barrier forced, and acked (kOk, lsn set) only once fsynced.  With no
+// log attached, or once the log has fail-stopped (fsync/rotation
+// failure), rate requests resolve kUnavailable while predictions keep
+// serving — breaker-style degradation to read-only rather than dying.
 //
 // Shutdown drains gracefully: Drain() stops admissions (everything new
 // is shed) and waits for in-flight work; the destructor drains too, so
@@ -63,39 +71,16 @@
 #include "serve/model_generation.hpp"
 #include "util/mutex.hpp"
 
+namespace cfsf::wal {
+class WriteAheadLog;
+}  // namespace cfsf::wal
+
 namespace cfsf::serve {
-
-/// DEPRECATED (kept one PR for migration): the pre-api.hpp result
-/// vocabulary.  New code consumes serve::Response / serve::StatusCode.
-enum class ServeStatus {
-  kOk,        // answered (possibly from a degraded rung)
-  kShed,      // load-shed at admission (queue full or stack draining)
-  kRejected,  // refused by the kReject watermark policy
-  kError,     // worker fault; no usable answer
-};
-
-const char* ToString(ServeStatus status);
 
 /// What to do with requests admitted above the degrade watermark.
 enum class WatermarkPolicy {
   kDegrade,  // serve, but from `watermark_level` or cheaper
   kReject,   // refuse with kRejected
-};
-
-/// DEPRECATED (kept one PR): per-query result of the old Submit
-/// overloads, derived from a serve::Response by the shims below.
-struct ServeResult {
-  ServeStatus status = ServeStatus::kOk;
-  double value = 0.0;
-  robust::PredictionRung rung = robust::PredictionRung::kFull;
-  /// Ladder tier the request was planned at (breaker level, possibly
-  /// bumped by the watermark).
-  std::size_t tier = 0;
-  bool probe = false;
-  bool deadline_overrun = false;
-  /// Model generation that served the request (0 for shed/rejected).
-  std::uint64_t generation = 0;
-  std::string error;  // set when status == kError
 };
 
 struct ServingOptions {
@@ -112,6 +97,9 @@ struct ServingOptions {
   /// zero = unlimited.
   std::chrono::microseconds default_budget{0};
   CircuitBreakerOptions breaker;
+  /// Durable rating log behind Request::Rate; must outlive the stack.
+  /// nullptr = no ingestion: rate requests resolve kUnavailable.
+  wal::WriteAheadLog* rating_log = nullptr;
 };
 
 class ServingStack {
@@ -137,20 +125,6 @@ class ServingStack {
   /// Submit + Await in one call.
   Response ServeSync(const Request& request) CFSF_EXCLUDES(mutex_);
 
-  // --- DEPRECATED shims (kept one PR; thin wrappers over Submit) -----------
-  std::future<ServeResult> Submit(matrix::UserId user, matrix::ItemId item)
-      CFSF_EXCLUDES(mutex_);
-  std::future<ServeResult> Submit(matrix::UserId user, matrix::ItemId item,
-                                  robust::Deadline deadline)
-      CFSF_EXCLUDES(mutex_);
-  std::future<std::vector<ServeResult>> SubmitBatch(
-      std::vector<std::pair<matrix::UserId, matrix::ItemId>> queries,
-      robust::Deadline deadline) CFSF_EXCLUDES(mutex_);
-  static ServeResult Await(std::future<ServeResult>& future);
-  ServeResult ServeSync(matrix::UserId user, matrix::ItemId item,
-                        robust::Deadline deadline = {}) CFSF_EXCLUDES(mutex_);
-  // -------------------------------------------------------------------------
-
   /// Stops admitting (new requests are shed) and waits until every
   /// in-flight request has resolved.  Idempotent.
   void Drain() CFSF_EXCLUDES(mutex_);
@@ -164,6 +138,8 @@ class ServingStack {
   const CircuitBreaker& breaker() const { return breaker_; }
   ModelGeneration& models() { return models_; }
   const ServingOptions& options() const { return options_; }
+  /// The attached rating log (nullptr when serving read-only).
+  wal::WriteAheadLog* rating_log() const { return options_.rating_log; }
 
  private:
   struct Admission {
@@ -183,6 +159,7 @@ class ServingStack {
                       bool& bad);
   void ProcessTopN(const Request& request, std::size_t effective_level,
                    const ServableModel& model, Response& response, bool& bad);
+  void ProcessRate(const Request& request, Response& response);
 
   ModelGeneration& models_;
   const ServingOptions options_;

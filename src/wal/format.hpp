@@ -1,0 +1,73 @@
+// On-disk format of the rating write-ahead log.
+//
+// A log is a directory of size-capped segment files
+//
+//   wal-0000000001.log, wal-0000000002.log, ...
+//
+// each holding one fixed-size CRC'd header followed by fixed-size
+// CRC-framed rating records.  Everything is little-endian and
+// fixed-width, so a torn tail is detectable by construction: the first
+// frame whose CRC fails (or that is shorter than kRecordBytes) marks
+// the crash point, and every byte before it is exactly the record
+// sequence the writer produced.
+//
+//   segment header (28 bytes):
+//     "CFWL"            magic
+//     u32  version      kFormatVersion
+//     u64  seq          segment sequence number (also in the filename)
+//     u64  first_lsn    lsn of the segment's first record — replay
+//                       checks continuity across segments, so a
+//                       missing or duplicated segment is detected
+//     u32  crc32        of the preceding 24 bytes
+//
+//   record frame (24 bytes):
+//     u32  user
+//     u32  item
+//     f32  rating       IEEE-754 bits
+//     i64  timestamp    seconds since epoch; 0 = none
+//     u32  crc32        of the preceding 20 bytes
+//
+// Segments are created with the bundle-v2 atomic discipline: header
+// written to `<name>.tmp`, fsynced, renamed, directory fsynced.  A
+// `.tmp` leftover is never part of the log; recovery removes it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "matrix/types.hpp"
+
+namespace cfsf::wal {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kSegmentHeaderBytes = 28;
+inline constexpr std::size_t kRecordBytes = 24;
+
+struct SegmentHeader {
+  std::uint32_t version = kFormatVersion;
+  std::uint64_t seq = 0;
+  std::uint64_t first_lsn = 0;
+};
+
+void EncodeSegmentHeader(const SegmentHeader& header,
+                         unsigned char out[kSegmentHeaderBytes]);
+
+/// False on bad magic, unknown version or a CRC mismatch.
+bool DecodeSegmentHeader(const unsigned char in[kSegmentHeaderBytes],
+                         SegmentHeader* header);
+
+void EncodeRecord(const matrix::RatingTriple& record,
+                  unsigned char out[kRecordBytes]);
+
+/// False on a CRC mismatch (a torn or corrupted frame).
+bool DecodeRecord(const unsigned char in[kRecordBytes],
+                  matrix::RatingTriple* record);
+
+/// "wal-0000000042.log" for seq 42.
+std::string SegmentFileName(std::uint64_t seq);
+
+/// True when `name` is a segment file name; fills `seq`.
+bool ParseSegmentFileName(const std::string& name, std::uint64_t* seq);
+
+}  // namespace cfsf::wal

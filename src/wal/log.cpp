@@ -1,0 +1,338 @@
+#include "wal/log.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "obs/failpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "util/error.hpp"
+#include "wal/format.hpp"
+
+namespace cfsf::wal {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct WalMetrics {
+  obs::Counter& appends;
+  obs::Counter& fsyncs;
+  obs::Counter& rotations;
+  obs::Counter& unavailable;
+  obs::Histogram& append_latency_us;
+
+  static WalMetrics& Instance() {
+    static WalMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return WalMetrics{
+          registry.GetCounter(obs::names::kWalAppends),
+          registry.GetCounter(obs::names::kWalFsyncs),
+          registry.GetCounter(obs::names::kWalRotations),
+          registry.GetCounter(obs::names::kWalUnavailable),
+          registry.GetHistogram(obs::names::kWalAppendLatencyUs,
+                                obs::LatencyBucketsUs()),
+      };
+    }();
+    return metrics;
+  }
+};
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Full write with EINTR retry; false leaves `written` at the byte
+/// count that actually reached the file.
+bool WriteAllFd(int fd, const unsigned char* data, std::size_t size,
+                std::size_t* written) {
+  *written = 0;
+  while (*written < size) {
+    const ssize_t n = ::write(fd, data + *written, size - *written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    *written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string dir, const WalOptions& options,
+                             std::vector<RecoveredRecord>* recovered)
+    : dir_(std::move(dir)), options_(options) {
+  CFSF_REQUIRE(
+      options_.max_segment_bytes >= kSegmentHeaderBytes + kRecordBytes,
+      "WriteAheadLog: max_segment_bytes must hold a header and one record");
+  CFSF_REQUIRE(options_.fsync_every_n > 0,
+               "WriteAheadLog: fsync_every_n must be positive");
+
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw util::IoError("wal: cannot create directory " + dir_ + ": " +
+                        ec.message());
+  }
+
+  ReplayResult replay = ReplayLog(dir_, ReplayOptions{/*repair=*/true});
+  if (recovered != nullptr) *recovered = std::move(replay.records);
+
+  util::MutexLock lock(&mutex_);
+  dir_fd_ = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd_ < 0) {
+    throw util::IoError(Errno("wal: cannot open directory " + dir_));
+  }
+  next_lsn_ = replay.next_lsn;
+  durable_lsn_ = replay.next_lsn - 1;
+  last_sync_ = std::chrono::steady_clock::now();
+  healthy_ = true;
+  if (replay.tail_seq != 0) {
+    const std::string path =
+        (fs::path(dir_) / SegmentFileName(replay.tail_seq)).string();
+    fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (fd_ < 0) {
+      healthy_ = false;
+      throw util::IoError(Errno("wal: cannot open tail segment " + path));
+    }
+    segment_seq_ = replay.tail_seq;
+    segment_bytes_ = replay.tail_bytes;
+  } else {
+    CreateSegmentLocked(1, next_lsn_);
+  }
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  try {
+    Close();
+  } catch (...) {
+    // Destructor: the final barrier failing must not terminate.
+  }
+}
+
+void WriteAheadLog::CreateSegmentLocked(std::uint64_t seq,
+                                        std::uint64_t first_lsn) {
+  const fs::path final_path = fs::path(dir_) / SegmentFileName(seq);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+
+  unsigned char header[kSegmentHeaderBytes];
+  EncodeSegmentHeader(SegmentHeader{kFormatVersion, seq, first_lsn}, header);
+
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw util::IoError(Errno("wal: cannot create " + tmp_path.string()));
+  }
+  std::size_t written = 0;
+  // The same discipline as bundle-v2 saves: fully written and fsynced
+  // under the tmp name, renamed into place, directory entry fsynced —
+  // a crash at any point leaves either no segment or a complete one.
+  if (!WriteAllFd(fd, header, sizeof(header), &written) || ::fsync(fd) != 0) {
+    const std::string why = Errno("wal: cannot write segment header");
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    throw util::IoError(why);
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    const std::string why = Errno("wal: cannot rename " + tmp_path.string());
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    throw util::IoError(why);
+  }
+  if (::fsync(dir_fd_) != 0) {
+    const std::string why = Errno("wal: cannot fsync directory " + dir_);
+    ::close(fd);
+    throw util::IoError(why);
+  }
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+  segment_seq_ = seq;
+  segment_bytes_ = kSegmentHeaderBytes;
+}
+
+void WriteAheadLog::RotateLocked() {
+  // Settle the old segment first so its records are acked before the
+  // fd goes away; SyncLocked poisons on failure.
+  SyncLocked();
+  try {
+    CFSF_FAILPOINT("wal.rotate");
+    CreateSegmentLocked(segment_seq_ + 1, next_lsn_);
+    WalMetrics::Instance().rotations.Increment();
+  } catch (const util::IoError& e) {
+    // A half-done rotation leaves the tail ambiguous; fail stop.
+    PoisonLocked(std::string("rotation failed: ") + e.what());
+    throw;
+  }
+}
+
+void WriteAheadLog::SyncLocked() {
+  const bool had_unsynced = !unsynced_.empty();
+  try {
+    CFSF_FAILPOINT("wal.fsync");
+    if (::fsync(fd_) != 0) {
+      throw util::IoError(Errno("wal: fsync failed"));
+    }
+  } catch (const util::IoError& e) {
+    // After a failed fsync the kernel may have dropped dirty pages; no
+    // later success can prove these records are on disk.  Fail stop.
+    PoisonLocked(std::string("durability barrier failed: ") + e.what());
+    throw;
+  }
+  WalMetrics::Instance().fsyncs.Increment();
+  durable_lsn_ = next_lsn_ - 1;
+  last_sync_ = std::chrono::steady_clock::now();
+  if (had_unsynced) {
+    for (AckedRecord& record : unsynced_) {
+      record.acked_at = last_sync_;
+      acked_.push_back(std::move(record));
+    }
+    unsynced_.clear();
+  }
+}
+
+void WriteAheadLog::PoisonLocked(const std::string& reason) {
+  healthy_ = false;
+  unavailable_reason_ = reason;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // Never-acked buffered records are dropped — exactly the "unacked
+  // records may drop" half of the recovery invariant.
+  unsynced_.clear();
+}
+
+AppendAck WriteAheadLog::Append(const matrix::RatingTriple& record,
+                                bool require_durable) {
+  const auto start = std::chrono::steady_clock::now();
+  WalMetrics& metrics = WalMetrics::Instance();
+  util::MutexLock lock(&mutex_);
+  if (!healthy_) {
+    metrics.unavailable.Increment();
+    throw util::IoError("wal unavailable: " + unavailable_reason_);
+  }
+  // Before any bytes: a trip refuses this record but tears nothing, so
+  // the log stays serviceable.
+  CFSF_FAILPOINT("wal.append");
+
+  if (segment_bytes_ + kRecordBytes > options_.max_segment_bytes) {
+    RotateLocked();
+  }
+
+  unsigned char frame[kRecordBytes];
+  EncodeRecord(record, frame);
+  std::size_t written = 0;
+  if (!WriteAllFd(fd_, frame, sizeof(frame), &written)) {
+    const std::string why = Errno("wal: append write failed");
+    if (written == 0 || ::ftruncate(fd_, static_cast<off_t>(segment_bytes_)) ==
+                            0) {
+      // The partial frame is gone; the tail is back on a frame
+      // boundary and the log keeps serving.
+      throw util::IoError(why);
+    }
+    // Could not rewind: a torn frame sits mid-file.  Replay would stop
+    // there, silently dropping anything written after it — fail stop
+    // instead.
+    PoisonLocked(why + " (and the torn frame could not be truncated)");
+    throw util::IoError("wal unavailable: " + unavailable_reason_);
+  }
+
+  const std::uint64_t lsn = next_lsn_++;
+  segment_bytes_ += kRecordBytes;
+  unsynced_.push_back(AckedRecord{record, lsn, {}});
+
+  bool barrier = require_durable;
+  switch (options_.fsync_policy) {
+    case FsyncPolicy::kEveryRecord:
+      barrier = true;
+      break;
+    case FsyncPolicy::kEveryN:
+      barrier = barrier || unsynced_.size() >= options_.fsync_every_n;
+      break;
+    case FsyncPolicy::kTimed:
+      barrier = barrier || std::chrono::steady_clock::now() - last_sync_ >=
+                               options_.fsync_interval;
+      break;
+  }
+  if (barrier) SyncLocked();
+
+  metrics.appends.Increment();
+  metrics.append_latency_us.Record(
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return AppendAck{lsn, durable_lsn_ >= lsn};
+}
+
+void WriteAheadLog::Sync() {
+  util::MutexLock lock(&mutex_);
+  if (!healthy_) {
+    throw util::IoError("wal unavailable: " + unavailable_reason_);
+  }
+  SyncLocked();
+}
+
+std::size_t WriteAheadLog::DrainAcked(std::vector<AckedRecord>* out) {
+  util::MutexLock lock(&mutex_);
+  const std::size_t count = acked_.size();
+  if (count != 0) {
+    out->insert(out->end(), std::make_move_iterator(acked_.begin()),
+                std::make_move_iterator(acked_.end()));
+    acked_.clear();
+  }
+  return count;
+}
+
+bool WriteAheadLog::available() const {
+  util::MutexLock lock(&mutex_);
+  return healthy_;
+}
+
+std::string WriteAheadLog::unavailable_reason() const {
+  util::MutexLock lock(&mutex_);
+  return unavailable_reason_;
+}
+
+std::uint64_t WriteAheadLog::next_lsn() const {
+  util::MutexLock lock(&mutex_);
+  return next_lsn_;
+}
+
+std::uint64_t WriteAheadLog::durable_lsn() const {
+  util::MutexLock lock(&mutex_);
+  return durable_lsn_;
+}
+
+void WriteAheadLog::Close() {
+  util::MutexLock lock(&mutex_);
+  if (!healthy_) {
+    if (dir_fd_ >= 0) {
+      ::close(dir_fd_);
+      dir_fd_ = -1;
+    }
+    return;
+  }
+  try {
+    SyncLocked();
+  } catch (...) {
+    if (dir_fd_ >= 0) {
+      ::close(dir_fd_);
+      dir_fd_ = -1;
+    }
+    throw;
+  }
+  PoisonLocked("closed");
+  unavailable_reason_ = "closed";
+  if (dir_fd_ >= 0) {
+    ::close(dir_fd_);
+    dir_fd_ = -1;
+  }
+}
+
+}  // namespace cfsf::wal

@@ -1,0 +1,153 @@
+// WriteAheadLog — crash-safe, segmented, append-only rating log.
+//
+// The durability foundation of the online-learning path (ROADMAP open
+// item 3): a rating accepted at serve time lands here *before* it is
+// acknowledged, so a process crash can lose at most the records whose
+// acks never went out.  The contract, proven by the kill-recover
+// harness in tests/wal_crash_test.cpp:
+//
+//   acked    =>  durable   an Append that returns `durable` has been
+//                          fsynced (file and, across rotations, the
+//                          directory entry) and survives replay
+//   crashed  =>  prefix    recovery yields an exact prefix of the
+//                          appended sequence — a torn tail is dropped,
+//                          never a corrupt or duplicated record
+//
+// Records are fixed-size CRC-framed triples (wal/format.hpp) in
+// size-capped segments rotated with the bundle-v2 tmp+rename
+// discipline.  The fsync policy trades latency for ack batching:
+//
+//   kEveryRecord   fsync per append; every ack is durable (default)
+//   kEveryN        fsync once per N buffered records
+//   kTimed         fsync when `fsync_interval` has elapsed
+//
+// Callers that must not ack early (the serving path) pass
+// `require_durable`, which forces the barrier regardless of policy.
+//
+// Failure discipline is fail-stop: an fsync or rotation failure leaves
+// the log's durability state unknowable, so the log poisons itself and
+// every later Append throws — the serving layer degrades to read-only
+// (503 kUnavailable) instead of acking writes it cannot keep.  A plain
+// write failure rewinds the file to the last frame boundary and only
+// refuses that one record.  Already-acked records stay drainable.
+//
+// Failpoints: wal.append (before any bytes), wal.fsync, wal.rotate.
+// Metrics: wal.appends / wal.fsyncs / wal.rotations / wal.unavailable
+// counters, wal.append.latency_us histogram; replay adds
+// wal.replay.{recovered,truncated}.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/types.hpp"
+#include "util/mutex.hpp"
+#include "wal/replay.hpp"
+
+namespace cfsf::wal {
+
+enum class FsyncPolicy { kEveryRecord, kEveryN, kTimed };
+
+struct WalOptions {
+  /// A segment past this size rotates before the next append.  Must
+  /// hold the header plus at least one record.
+  std::uint64_t max_segment_bytes = 4u << 20;
+  FsyncPolicy fsync_policy = FsyncPolicy::kEveryRecord;
+  /// kEveryN: buffered records that force the barrier.
+  std::size_t fsync_every_n = 32;
+  /// kTimed: elapsed time since the last barrier that forces the next.
+  std::chrono::milliseconds fsync_interval{5};
+};
+
+struct AppendAck {
+  std::uint64_t lsn = 0;
+  /// True when the record is fsynced; with a batching policy, false
+  /// means "written, durable at the next barrier".
+  bool durable = false;
+};
+
+/// One durably acknowledged record, as handed to DrainAcked consumers
+/// (the serve::DeltaFolder).  `acked_at` feeds the wal.staleness_us
+/// gauge (ack → visible in predictions).
+struct AckedRecord {
+  matrix::RatingTriple record;
+  std::uint64_t lsn = 0;
+  std::chrono::steady_clock::time_point acked_at;
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens (creating the directory if needed) and recovers: replays
+  /// existing segments with repair (torn tail truncated on disk, tmp
+  /// leftovers removed) and positions the next append after the last
+  /// durable record.  When `recovered` is non-null the replayed records
+  /// are moved into it so the caller can fold them into its model.
+  /// Throws util::IoError on unrecoverable corruption.
+  explicit WriteAheadLog(std::string dir, const WalOptions& options = {},
+                         std::vector<RecoveredRecord>* recovered = nullptr);
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record.  Throws util::IoError when the log is
+  /// unavailable (poisoned or closed) or the record cannot be written;
+  /// a refused record is never partially present on disk.
+  AppendAck Append(const matrix::RatingTriple& record,
+                   bool require_durable = false) CFSF_EXCLUDES(mutex_);
+
+  /// Forces the durability barrier for everything appended so far.
+  void Sync() CFSF_EXCLUDES(mutex_);
+
+  /// Moves every durably acknowledged, not-yet-drained record into
+  /// `out` (appended, lsn order).  Returns how many were moved.  Still
+  /// valid on a poisoned log — what was acked stays acked.
+  std::size_t DrainAcked(std::vector<AckedRecord>* out) CFSF_EXCLUDES(mutex_);
+
+  /// False once the log has fail-stopped (or been closed).
+  bool available() const CFSF_EXCLUDES(mutex_);
+  std::string unavailable_reason() const CFSF_EXCLUDES(mutex_);
+
+  /// Lsn the next Append would get.
+  std::uint64_t next_lsn() const CFSF_EXCLUDES(mutex_);
+  /// Highest fsynced lsn (0 when none).
+  std::uint64_t durable_lsn() const CFSF_EXCLUDES(mutex_);
+
+  const std::string& dir() const { return dir_; }
+  const WalOptions& options() const { return options_; }
+
+  /// Graceful shutdown: final barrier, close.  Idempotent; the
+  /// destructor calls it (swallowing errors).
+  void Close() CFSF_EXCLUDES(mutex_);
+
+ private:
+  void CreateSegmentLocked(std::uint64_t seq, std::uint64_t first_lsn)
+      CFSF_REQUIRES(mutex_);
+  void RotateLocked() CFSF_REQUIRES(mutex_);
+  /// The durability barrier; on success every buffered record becomes
+  /// acked.  Poisons and rethrows on failure.
+  void SyncLocked() CFSF_REQUIRES(mutex_);
+  void PoisonLocked(const std::string& reason) CFSF_REQUIRES(mutex_);
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  mutable util::Mutex mutex_;
+  bool healthy_ CFSF_GUARDED_BY(mutex_) = false;
+  std::string unavailable_reason_ CFSF_GUARDED_BY(mutex_);
+  int fd_ CFSF_GUARDED_BY(mutex_) = -1;      // tail segment
+  int dir_fd_ CFSF_GUARDED_BY(mutex_) = -1;  // for directory fsync
+  std::uint64_t segment_seq_ CFSF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t segment_bytes_ CFSF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_lsn_ CFSF_GUARDED_BY(mutex_) = 1;
+  std::uint64_t durable_lsn_ CFSF_GUARDED_BY(mutex_) = 0;
+  /// Written but not yet fsynced, oldest first.
+  std::vector<AckedRecord> unsynced_ CFSF_GUARDED_BY(mutex_);
+  /// Fsynced, awaiting DrainAcked.
+  std::vector<AckedRecord> acked_ CFSF_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point last_sync_ CFSF_GUARDED_BY(mutex_);
+};
+
+}  // namespace cfsf::wal

@@ -1,0 +1,62 @@
+// Recovery scan of a write-ahead log directory.
+//
+// ReplayLog walks the segments in sequence order and reconstructs the
+// exact record sequence the writer durably produced.  The recovery
+// invariant (proven by tests/wal_crash_test.cpp) is:
+//
+//   * every record whose append was acknowledged is returned, in order,
+//     bit-identical to what was appended;
+//   * a torn tail — a crash mid-append or mid-rotate — is truncated at
+//     the first bad frame of the *last* segment and never yields a
+//     corrupt or duplicated record;
+//   * damage anywhere else (a bad CRC in a non-tail segment, a broken
+//     header, an lsn discontinuity) is not a tear but corruption, and
+//     replay rejects the log with an IoError naming the segment and
+//     byte offset rather than guessing.
+//
+// With `repair` set (the WriteAheadLog constructor's mode) the torn
+// tail is also truncated on disk and orphaned `.tmp` segments are
+// removed, so the reopened log appends from a clean frame boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace cfsf::wal {
+
+struct ReplayOptions {
+  /// Truncate the torn tail on disk and delete `.tmp` leftovers.
+  bool repair = false;
+};
+
+struct RecoveredRecord {
+  matrix::RatingTriple record;
+  std::uint64_t lsn = 0;
+};
+
+struct ReplayResult {
+  /// Every durably written record, in lsn order.
+  std::vector<RecoveredRecord> records;
+  /// Lsn the next append gets (1 for an empty log).
+  std::uint64_t next_lsn = 1;
+  /// Sequence number of the tail segment (0 when the log is empty).
+  std::uint64_t tail_seq = 0;
+  /// Byte size of the tail segment after tail truncation.
+  std::uint64_t tail_bytes = 0;
+  std::size_t segments = 0;
+  /// Frames dropped from the torn tail (partial frames count as one).
+  std::size_t truncated_records = 0;
+  std::size_t truncated_bytes = 0;
+  std::size_t removed_tmp = 0;
+};
+
+/// Scans `dir`.  Throws util::IoError on corruption outside the torn
+/// tail (diagnostic names the segment and offset) and when `dir` does
+/// not exist.  Failpoint: wal.replay (scan entry).
+ReplayResult ReplayLog(const std::string& dir, const ReplayOptions& options = {});
+
+}  // namespace cfsf::wal

@@ -1,9 +1,10 @@
 // Loopback integration test for the HTTP serving front end: a real
 // HttpServer on an ephemeral 127.0.0.1 port, driven through actual
 // sockets by a minimal test client.  Round-trips every route —
-// /v1/predict, /v1/predict-batch, /v1/top-n, /healthz, /metrics — and
-// the cross-cutting wire behaviours (keep-alive, deadline/trace
-// headers, error statuses, graceful drain).  ctest label: integration.
+// /v1/predict, /v1/predict-batch, /v1/rate, /v1/top-n, /healthz,
+// /metrics — and the cross-cutting wire behaviours (keep-alive,
+// deadline/trace headers, error statuses, the slow-read timeout,
+// graceful drain).  ctest label: integration.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -11,7 +12,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -20,8 +23,11 @@
 #include "net/server.hpp"
 #include "net/service.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "serve/model_generation.hpp"
 #include "serve/serving_stack.hpp"
+#include "wal/log.hpp"
 
 namespace cfsf {
 namespace {
@@ -278,6 +284,97 @@ TEST_F(NetIntegrationTest, ErrorStatusesComeFromTheSharedTaxonomy) {
   TestClient garbage(server_->port());
   ASSERT_TRUE(garbage.connected());
   EXPECT_EQ(garbage.Roundtrip("BOGUS\r\n\r\n").status, 400);
+}
+
+TEST_F(NetIntegrationTest, RateWithoutALogIs503ServeReadOnly) {
+  // The shared stack carries no rating log, so writes degrade to 503
+  // with Retry-After while every read route keeps serving.
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  const TestClient::Reply reply =
+      client.Post("/v1/rate", "{\"user\": 1, \"item\": 2, \"rating\": 4}");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 503);
+  EXPECT_NE(reply.body.find("\"status\":\"unavailable\""), std::string::npos)
+      << reply.body;
+  EXPECT_NE(reply.headers.find("Retry-After"), std::string::npos);
+}
+
+TEST_F(NetIntegrationTest, RateRouteAcksDurablyWith202) {
+  // A dedicated stack with a live rating log behind the shared models.
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "cfsf_net_rate_wal")
+          .string();
+  std::filesystem::remove_all(dir);
+  wal::WriteAheadLog log(dir);
+  serve::ServingOptions serving_options;
+  serving_options.rating_log = &log;
+  serve::ServingStack stack(*models_, serving_options);
+  net::ServingService service(stack);
+  net::HttpServer server(service);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const TestClient::Reply first = client.Post(
+      "/v1/rate", "{\"user\": 3, \"item\": 7, \"rating\": 5}");
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(first.status, 202);
+  EXPECT_NE(first.body.find("\"lsn\":1"), std::string::npos) << first.body;
+  const TestClient::Reply second = client.Post(
+      "/v1/rate",
+      "{\"user\": 4, \"item\": 8, \"rating\": 2, \"timestamp\": 99}");
+  EXPECT_EQ(second.status, 202);
+  EXPECT_NE(second.body.find("\"lsn\":2"), std::string::npos) << second.body;
+  // 202 means durable: both records are already fsynced.
+  EXPECT_EQ(log.durable_lsn(), 2u);
+
+  EXPECT_EQ(client.Get("/v1/rate").status, 400);  // wrong method
+  EXPECT_EQ(client.Post("/v1/rate",
+                        "{\"user\": 1, \"item\": 2, \"rating\": 9}")
+                .status,
+            400);
+  // healthz reports the log as healthy.
+  EXPECT_NE(client.Get("/healthz").body.find("\"rating_log\":\"ok\""),
+            std::string::npos);
+
+  server.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(NetIntegrationTest, SlowRequestReadTimesOutAndCloses) {
+  // A dedicated server with a tight slow-read deadline; the shared one
+  // keeps its defaults so the other tests never race this timeout.
+  net::ServingService service(*stack_);
+  net::ServerOptions options;
+  options.num_workers = 2;
+  options.poll_interval = std::chrono::milliseconds(5);
+  options.read_timeout = std::chrono::milliseconds(100);
+  net::HttpServer server(service, options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  auto& idle_closed =
+      obs::MetricsRegistry::Global().GetCounter(obs::names::kNetIdleClosed);
+  const std::uint64_t closed_before = idle_closed.Value();
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // Half a request, then silence: a slowloris client holding a worker.
+  // The server must close the connection once read_timeout elapses —
+  // the old last_activity-based idle check alone would wait forever if
+  // the client dripped a byte per poll interval.
+  const TestClient::Reply reply =
+      client.Roundtrip("POST /v1/predict HTTP/1.1\r\nContent-Le");
+  EXPECT_FALSE(reply.ok);  // closed without a response
+  EXPECT_GE(idle_closed.Value(), closed_before + 1);
+
+  // The server survives to serve well-behaved clients.
+  TestClient healthy(server.port());
+  ASSERT_TRUE(healthy.connected());
+  EXPECT_EQ(healthy.Get("/healthz").status, 200);
+  server.Stop();
 }
 
 TEST_F(NetIntegrationTest, StopDrainsAndRefusesNewConnections) {

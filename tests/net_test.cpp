@@ -191,6 +191,40 @@ TEST(WireTest, ParsesBatchBodyAndEnforcesTheCap) {
   EXPECT_FALSE(net::ParseBatchBody("{\"queries\": [[0]]}", 10).ok);
 }
 
+TEST(WireTest, ParsesRateBodyAndEnforcesTheRatingRange) {
+  const net::BodyParse parse = net::ParseRateBody(
+      "{\"user\": 3, \"item\": 7, \"rating\": 5, \"timestamp\": 123}");
+  ASSERT_TRUE(parse.ok) << parse.error;
+  EXPECT_EQ(parse.request.kind, Request::Kind::kRate);
+  EXPECT_EQ(parse.request.user, 3u);
+  EXPECT_EQ(parse.request.item, 7u);
+  EXPECT_EQ(parse.request.rating, 5.0F);
+  EXPECT_EQ(parse.request.rating_timestamp, 123);
+
+  // Timestamp is optional; everything else is required and strict.
+  EXPECT_TRUE(
+      net::ParseRateBody("{\"user\": 1, \"item\": 2, \"rating\": 3}").ok);
+  EXPECT_FALSE(net::ParseRateBody("").ok);
+  EXPECT_FALSE(net::ParseRateBody("{\"user\": 1, \"item\": 2}").ok);
+  EXPECT_FALSE(
+      net::ParseRateBody("{\"user\": 1, \"item\": 2, \"rating\": 0}").ok);
+  EXPECT_FALSE(
+      net::ParseRateBody("{\"user\": 1, \"item\": 2, \"rating\": 6}").ok);
+  EXPECT_FALSE(net::ParseRateBody(
+                   "{\"user\": 1, \"item\": 2, \"rating\": 3, \"x\": 4}").ok);
+}
+
+TEST(WireTest, RateResponseCarriesTheLsn) {
+  Response acked;
+  acked.code = StatusCode::kOk;
+  acked.lsn = 42;
+  const std::string doc = net::RenderResponseJson(Request::Kind::kRate, acked);
+  std::string error;
+  EXPECT_TRUE(obs::ValidateJson(doc, &error)) << error;
+  EXPECT_NE(doc.find("\"lsn\":42"), std::string::npos) << doc;
+  EXPECT_EQ(doc.find("\"predictions\""), std::string::npos) << doc;
+}
+
 TEST(WireTest, RenderedResponsesAreValidJson) {
   Response ok;
   ok.code = StatusCode::kOk;

@@ -1,16 +1,16 @@
 // Tests for the resilient serving layer: circuit-breaker state machine,
 // admission control (shedding, watermark degrade/reject), deadline
-// propagation, hot model swap, dispatch-fault survival — and the chaos
-// soak that drives all of it at once under randomized failpoint
+// propagation, hot model swap, dispatch-fault survival, the durable
+// Rate verb (write-ahead log + DeltaFolder fold-and-publish) — and the
+// chaos soak that drives all of it at once under randomized failpoint
 // schedules (ctest labels: fault + stress).
 //
-// Everything speaks the unified serve::Request/serve::Response API; one
-// test (DeprecatedShimsStillServe) pins the old Submit overloads until
-// they are removed next PR.
+// Everything speaks the unified serve::Request/serve::Response API.
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <future>
 #include <thread>
 #include <utility>
@@ -22,10 +22,13 @@
 #include "obs/failpoint.hpp"
 #include "serve/api.hpp"
 #include "serve/circuit_breaker.hpp"
+#include "serve/delta_folder.hpp"
 #include "serve/model_generation.hpp"
 #include "serve/serving_stack.hpp"
 #include "serve/soak.hpp"
 #include "util/error.hpp"
+#include "wal/log.hpp"
+#include "wal/replay.hpp"
 
 namespace cfsf {
 namespace {
@@ -456,29 +459,133 @@ TEST_F(ServeTest, BreakerTripsAndRecoversThroughTheStack) {
   EXPECT_EQ(stack.ServeSync(Request::TopN(0, 5)).code, StatusCode::kOk);
 }
 
-// ------------------------------------------------ deprecated shims ----
+// ------------------------------------------------ durable ingestion ----
 
-TEST_F(ServeTest, DeprecatedShimsStillServe) {
-  // The pre-api.hpp Submit overloads stay for exactly one PR; this test
-  // goes away with them.
+std::string FreshWalDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST_F(ServeTest, RateWithoutALogIsUnavailableAndRetryable) {
   ServingStack stack(Models(), SmallStack());
-  const serve::ServeResult single = stack.ServeSync(0, 0);
-  EXPECT_EQ(single.status, serve::ServeStatus::kOk);
-  EXPECT_EQ(single.rung, PredictionRung::kFull);
-  EXPECT_GT(single.generation, 0u);
+  const Response response = stack.ServeSync(Request::Rate(0, 0, 4.0F));
+  EXPECT_EQ(response.code, StatusCode::kUnavailable);
+  EXPECT_TRUE(serve::IsRetryable(response.code));
+  EXPECT_NE(response.message.find("read-only"), std::string::npos);
+}
 
-  auto future = stack.Submit(1, 1);
-  const serve::ServeResult submitted = ServingStack::Await(future);
-  EXPECT_EQ(submitted.status, serve::ServeStatus::kOk);
+TEST_F(ServeTest, RateValidatesTheRatingRangeBeforeTheLog) {
+  ServingStack stack(Models(), SmallStack());
+  EXPECT_EQ(stack.ServeSync(Request::Rate(0, 0, 9.0F)).code,
+            StatusCode::kMalformed);
+  EXPECT_EQ(stack.ServeSync(Request::Rate(0, 0, 0.0F)).code,
+            StatusCode::kMalformed);
+}
 
-  auto batch_future =
-      stack.SubmitBatch({{0, 0}, {1, 1}}, robust::Deadline());
-  const std::vector<serve::ServeResult> batch = batch_future.get();
-  ASSERT_EQ(batch.size(), 2u);
-  for (const serve::ServeResult& result : batch) {
-    EXPECT_EQ(result.status, serve::ServeStatus::kOk);
-    EXPECT_TRUE(std::isfinite(result.value));
+TEST_F(ServeTest, RateAcksDurablyWithTheLogsLsn) {
+  const std::string dir = FreshWalDir("cfsf_serve_rate_ack");
+  wal::WriteAheadLog log(dir);
+  ServingOptions options = SmallStack();
+  options.rating_log = &log;
+  ServingStack stack(Models(), options);
+
+  const Response first = stack.ServeSync(Request::Rate(3, 7, 5.0F, 123));
+  ASSERT_EQ(first.code, StatusCode::kOk);
+  EXPECT_EQ(first.lsn, 1u);
+  const Response second = stack.ServeSync(Request::Rate(4, 8, 2.0F));
+  EXPECT_EQ(second.lsn, 2u);
+  EXPECT_EQ(log.durable_lsn(), 2u);  // acked => already fsynced
+
+  log.Close();
+  const wal::ReplayResult replay = wal::ReplayLog(dir);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0].record,
+            (matrix::RatingTriple{3, 7, 5.0F, 123}));
+  EXPECT_EQ(replay.records[1].record, (matrix::RatingTriple{4, 8, 2.0F, 0}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServeTest, RateWithAnExpiredDeadlineRefusesBeforeTheLog) {
+  const std::string dir = FreshWalDir("cfsf_serve_rate_deadline");
+  wal::WriteAheadLog log(dir);
+  ServingOptions options = SmallStack();
+  options.rating_log = &log;
+  ServingStack stack(Models(), options);
+  const Response response = stack.ServeSync(
+      Request::Rate(0, 0, 3.0F, 0,
+                    robust::Deadline::After(std::chrono::microseconds(0))));
+  EXPECT_EQ(response.code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(log.next_lsn(), 1u);  // nothing was appended
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServeTest, FsyncFaultDegradesWritesToReadOnlyServing) {
+  const std::string dir = FreshWalDir("cfsf_serve_rate_fsync_fault");
+  wal::WriteAheadLog log(dir);
+  ServingOptions options = SmallStack();
+  options.rating_log = &log;
+  ServingStack stack(Models(), options);
+  ASSERT_EQ(stack.ServeSync(Request::Rate(1, 1, 4.0F)).code, StatusCode::kOk);
+  {
+    ScopedFailPoint fp("wal.fsync", "once");
+    EXPECT_EQ(stack.ServeSync(Request::Rate(1, 2, 4.0F)).code,
+              StatusCode::kUnavailable);
   }
+  // The log fail-stopped: writes keep refusing, reads keep serving.
+  EXPECT_FALSE(log.available());
+  EXPECT_EQ(stack.ServeSync(Request::Rate(1, 3, 4.0F)).code,
+            StatusCode::kUnavailable);
+  EXPECT_EQ(stack.ServeSync(Request::Predict(0, 0)).code, StatusCode::kOk);
+  // Rate refusals never score the breaker: still closed at full fusion.
+  EXPECT_EQ(stack.breaker().state(), BreakerState::kClosed);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServeTest, DeltaFolderFoldsAckedRatingsIntoANewGeneration) {
+  const std::string dir = FreshWalDir("cfsf_serve_delta_fold");
+  wal::WriteAheadLog log(dir);
+  ModelGeneration models;
+  serve::DeltaFolder folder(log, models, FreshModel());
+  EXPECT_EQ(folder.PublishNow(), 1u);
+
+  ServingOptions options = SmallStack();
+  options.rating_log = &log;
+  ServingStack stack(models, options);
+  ASSERT_EQ(stack.ServeSync(Request::Rate(2, 5, 5.0F)).code, StatusCode::kOk);
+  // One in-range record folds and publishes; an out-of-range user is
+  // durable but skipped (enrolment is AddUser's job).
+  ASSERT_EQ(stack.ServeSync(Request::Rate(100000, 5, 5.0F)).code,
+            StatusCode::kOk);
+  EXPECT_EQ(folder.FoldOnce(), 2u);
+  EXPECT_EQ(folder.folded_records(), 1u);
+  EXPECT_EQ(folder.skipped_records(), 1u);
+  EXPECT_EQ(models.ActiveGeneration(), 2u);
+  // The fold is visible: the folded pair now predicts near its rating.
+  const Response predict = stack.ServeSync(Request::Predict(2, 5));
+  ASSERT_EQ(predict.code, StatusCode::kOk);
+  EXPECT_TRUE(std::isfinite(predict.predictions[0].value));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServeTest, DeltaFolderBackgroundThreadPublishesWithoutPrompting) {
+  const std::string dir = FreshWalDir("cfsf_serve_delta_bg");
+  wal::WriteAheadLog log(dir);
+  ModelGeneration models;
+  serve::DeltaFolderOptions folder_options;
+  folder_options.poll_interval = std::chrono::milliseconds(1);
+  serve::DeltaFolder folder(log, models, FreshModel(), folder_options);
+  folder.PublishNow();
+  folder.Start();
+  log.Append(matrix::RatingTriple{1, 2, 4.0F, 0}, /*require_durable=*/true);
+  for (int i = 0; i < 2000 && folder.folded_records() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  folder.Stop();
+  EXPECT_EQ(folder.folded_records(), 1u);
+  EXPECT_GE(models.ActiveGeneration(), 2u);
+  std::filesystem::remove_all(dir);
 }
 
 // --------------------------------------------------------- hot swap ----

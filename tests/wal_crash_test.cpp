@@ -1,0 +1,375 @@
+// Fault-tier tests (ctest label `fault`) for the rating write-ahead
+// log — the crash half of the durability contract:
+//
+//   * kill-recover harness: a forked writer child is SIGKILLed at
+//     seeded random points mid-append and mid-rotate (tiny segment cap
+//     forces frequent rotations); every acknowledged record must
+//     survive replay, unacked appends may drop, and recovery never
+//     yields a corrupt or duplicated record — many seeded iterations;
+//   * randomized corruption sweep: bit flips and truncations at sampled
+//     offsets must either leave replay a strict prefix of the written
+//     sequence or reject the log with a diagnostic naming the bad
+//     segment and byte offset (mirrors model_io_fault_test);
+//   * armed failpoints: wal.append refuses one record and stays
+//     serviceable; wal.fsync and wal.rotate fail-stop the log;
+//     wal.replay aborts recovery.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "matrix/types.hpp"
+#include "obs/failpoint.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "wal/format.hpp"
+#include "wal/log.hpp"
+#include "wal/replay.hpp"
+
+namespace cfsf {
+namespace {
+
+namespace fs = std::filesystem;
+
+using obs::FailPointRegistry;
+using obs::ScopedFailPoint;
+
+// Deterministic record content keyed by its (1-based) lsn, so replay
+// can be verified bit-identical without shipping the records across the
+// parent/child boundary.
+matrix::RatingTriple RecordForLsn(std::uint64_t lsn) {
+  matrix::RatingTriple record;
+  record.user = static_cast<matrix::UserId>(lsn * 2654435761u);
+  record.item = static_cast<matrix::ItemId>(lsn * 40503u + 7);
+  record.value = static_cast<matrix::Rating>(1 + (lsn % 5));
+  record.timestamp = static_cast<matrix::Timestamp>(1000000000 + lsn);
+  return record;
+}
+
+class WalCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPointRegistry::Global().DisarmAll();
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("cfsf_wal_crash_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    FailPointRegistry::Global().DisarmAll();
+    fs::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+// Requires `replay` to be an exact, in-order, duplicate-free prefix of
+// the RecordForLsn sequence.
+void ExpectExactPrefix(const wal::ReplayResult& replay) {
+  for (std::size_t i = 0; i < replay.records.size(); ++i) {
+    ASSERT_EQ(replay.records[i].lsn, i + 1) << "lsn gap or duplicate";
+    ASSERT_EQ(replay.records[i].record, RecordForLsn(i + 1))
+        << "corrupt record surfaced at lsn " << (i + 1);
+  }
+}
+
+// ------------------------------------------------- kill-recover ------
+
+// One forked writer, one seeded kill.  Returns the number of records
+// replay recovered, so the driver can report coverage.
+std::size_t RunKillRecoverIteration(const std::string& dir,
+                                    std::uint64_t seed) {
+  fs::remove_all(dir);
+  util::Rng rng(seed);
+  // Kill after this many observed acks, plus a sub-millisecond jitter so
+  // the kill lands mid-append / mid-rotate, not always on the ack edge.
+  const auto kill_after_acks = static_cast<std::size_t>(rng.NextInt(1, 40));
+  const auto jitter_us = static_cast<useconds_t>(rng.NextBounded(400));
+
+  int pipe_fd[2];
+  if (::pipe(pipe_fd) != 0) {
+    ADD_FAILURE() << "pipe() failed";
+    return 0;
+  }
+  const pid_t child = ::fork();
+  if (child < 0) {
+    ADD_FAILURE() << "fork() failed";
+    ::close(pipe_fd[0]);
+    ::close(pipe_fd[1]);
+    return 0;
+  }
+
+  if (child == 0) {
+    // Writer child: tiny segments (header + 3 records) force a rotation
+    // every few appends; every ack is durable before it goes down the
+    // pipe.  Bounded loop so a parent bug cannot hang the suite; the
+    // pipe never fills (8 bytes per ack < the pipe buffer / bound).
+    ::close(pipe_fd[0]);
+    try {
+      wal::WalOptions options;
+      options.max_segment_bytes =
+          wal::kSegmentHeaderBytes + 3 * wal::kRecordBytes;
+      wal::WriteAheadLog log(dir, options);
+      for (std::uint64_t lsn = 1; lsn <= 4000; ++lsn) {
+        const wal::AppendAck ack =
+            log.Append(RecordForLsn(lsn), /*require_durable=*/true);
+        if (::write(pipe_fd[1], &ack.lsn, sizeof(ack.lsn)) !=
+            sizeof(ack.lsn)) {
+          ::_exit(3);
+        }
+      }
+    } catch (...) {
+      ::_exit(4);
+    }
+    ::_exit(0);
+  }
+
+  ::close(pipe_fd[1]);
+  std::size_t acks_seen = 0;
+  std::uint64_t highest_acked = 0;
+  std::uint64_t lsn = 0;
+  while (acks_seen < kill_after_acks &&
+         ::read(pipe_fd[0], &lsn, sizeof(lsn)) == sizeof(lsn)) {
+    highest_acked = lsn;
+    ++acks_seen;
+  }
+  ::usleep(jitter_us);
+  ::kill(child, SIGKILL);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  // The child kept acking during the jitter window; those acks are just
+  // as durable, so drain the pipe before judging the replay.
+  while (::read(pipe_fd[0], &lsn, sizeof(lsn)) == sizeof(lsn)) {
+    highest_acked = lsn;
+  }
+  ::close(pipe_fd[0]);
+  if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+    ADD_FAILURE() << "seed " << seed << ": writer child failed with exit "
+                  << WEXITSTATUS(status);
+    return 0;
+  }
+
+  // Read-only replay first: acked => survives, and nothing corrupt or
+  // duplicated ever surfaces.
+  const wal::ReplayResult replay = wal::ReplayLog(dir);
+  EXPECT_GE(replay.records.size(), highest_acked)
+      << "seed " << seed << ": an acked record was lost";
+  ExpectExactPrefix(replay);
+
+  // Reopen through the recovery constructor (repairs the torn tail) and
+  // keep writing: the log must continue seamlessly from the crash.
+  const std::uint64_t recovered = replay.records.size();
+  {
+    std::vector<wal::RecoveredRecord> records;
+    wal::WriteAheadLog log(dir, {}, &records);
+    EXPECT_EQ(records.size(), recovered) << "seed " << seed;
+    EXPECT_EQ(log.next_lsn(), recovered + 1) << "seed " << seed;
+    for (std::uint64_t i = 1; i <= 2; ++i) {
+      const wal::AppendAck ack = log.Append(RecordForLsn(recovered + i),
+                                            /*require_durable=*/true);
+      EXPECT_EQ(ack.lsn, recovered + i) << "seed " << seed;
+    }
+  }
+  const wal::ReplayResult after = wal::ReplayLog(dir);
+  EXPECT_EQ(after.records.size(), recovered + 2) << "seed " << seed;
+  ExpectExactPrefix(after);
+  return replay.records.size();
+}
+
+TEST_F(WalCrashTest, KillRecoverHarnessNeverLosesAnAckedRecord) {
+  // >= 50 seeded iterations (acceptance floor); the 3-record segment
+  // cap means a kill lands mid-rotate in a sizable fraction of them.
+  constexpr std::uint64_t kIterations = 56;
+  std::size_t total_recovered = 0;
+  for (std::uint64_t seed = 1; seed <= kIterations; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    total_recovered += RunKillRecoverIteration(dir_, 0xC0FFEE00 + seed);
+    if (HasFatalFailure()) return;
+  }
+  // Sanity: the harness actually exercised the log (not 56 empty runs).
+  EXPECT_GT(total_recovered, kIterations);
+}
+
+// ---------------------------------------------- corruption sweep ------
+
+// Writes a known multi-segment log and returns its directory size map.
+std::vector<fs::path> BuildLog(const std::string& dir,
+                               std::uint64_t records) {
+  fs::remove_all(dir);
+  wal::WalOptions options;
+  options.max_segment_bytes =
+      wal::kSegmentHeaderBytes + 4 * wal::kRecordBytes;
+  wal::WriteAheadLog log(dir, options);
+  for (std::uint64_t lsn = 1; lsn <= records; ++lsn) {
+    log.Append(RecordForLsn(lsn));
+  }
+  log.Close();
+  std::vector<fs::path> segments;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    segments.push_back(entry.path());
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+// Shared verdict for every sweep trial: replay either yields a strict
+// prefix of the written sequence, or throws an IoError whose diagnostic
+// names the damaged segment and byte offset.
+void ExpectPrefixOrDiagnostic(const std::string& dir, std::uint64_t written,
+                              const std::string& trial) {
+  try {
+    const wal::ReplayResult replay = wal::ReplayLog(dir);
+    EXPECT_LE(replay.records.size(), written) << trial;
+    ExpectExactPrefix(replay);
+  } catch (const util::IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("in segment wal-"), std::string::npos)
+        << trial << ": diagnostic does not name the segment: " << what;
+    EXPECT_NE(what.find("at offset"), std::string::npos)
+        << trial << ": diagnostic does not name the offset: " << what;
+  }
+}
+
+TEST_F(WalCrashTest, RandomBitFlipsReplayToAPrefixOrAreDiagnosed) {
+  constexpr std::uint64_t kRecords = 30;
+  util::Rng rng(0xB17F11B5);
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::vector<fs::path> segments = BuildLog(dir_, kRecords);
+    const fs::path& victim = segments[static_cast<std::size_t>(
+        rng.NextBounded(segments.size()))];
+    std::fstream file(victim,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.good());
+    const auto size = fs::file_size(victim);
+    const auto offset =
+        static_cast<std::streamoff>(rng.NextBounded(size));
+    file.seekg(offset);
+    char byte = 0;
+    file.get(byte);
+    byte = static_cast<char>(byte ^ (1 << rng.NextBounded(8)));
+    file.seekp(offset);
+    file.put(byte);
+    file.close();
+
+    ExpectPrefixOrDiagnostic(
+        dir_, kRecords,
+        "flip in " + victim.filename().string() + " at offset " +
+            std::to_string(offset));
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(WalCrashTest, RandomTruncationsReplayToAPrefixOrAreDiagnosed) {
+  constexpr std::uint64_t kRecords = 30;
+  util::Rng rng(0x7A11CA7);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::vector<fs::path> segments = BuildLog(dir_, kRecords);
+    const fs::path& victim = segments[static_cast<std::size_t>(
+        rng.NextBounded(segments.size()))];
+    const auto size = fs::file_size(victim);
+    const auto keep = rng.NextBounded(size);  // [0, size)
+    fs::resize_file(victim, keep);
+
+    ExpectPrefixOrDiagnostic(
+        dir_, kRecords,
+        "truncate " + victim.filename().string() + " to " +
+            std::to_string(keep) + " bytes");
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(WalCrashTest, CorruptNonTailSegmentNamesSegmentAndOffset) {
+  BuildLog(dir_, 12);  // 3 segments of 4 records
+  // Damage the first record frame of the FIRST segment: unambiguously
+  // not a torn tail, so replay must refuse rather than truncate.
+  const fs::path victim = fs::path(dir_) / wal::SegmentFileName(1);
+  std::fstream file(victim, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(static_cast<std::streamoff>(wal::kSegmentHeaderBytes));
+  file.put('\x7F');
+  file.close();
+  try {
+    wal::ReplayLog(dir_);
+    FAIL() << "corrupt non-tail segment was not rejected";
+  } catch (const util::IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("wal-0000000001.log"), std::string::npos) << what;
+    EXPECT_NE(what.find("at offset 28"), std::string::npos) << what;
+  }
+}
+
+// ------------------------------------------------ armed failpoints ----
+
+TEST_F(WalCrashTest, AppendFaultRefusesOneRecordAndStaysServiceable) {
+  wal::WriteAheadLog log(dir_);
+  log.Append(RecordForLsn(1));
+  {
+    ScopedFailPoint fp("wal.append", "once");
+    EXPECT_THROW(log.Append(RecordForLsn(2)), util::IoError);
+  }
+  // The refusal poisoned nothing: the log keeps appending, and the
+  // refused record never reached disk.
+  EXPECT_TRUE(log.available());
+  EXPECT_EQ(log.Append(RecordForLsn(2)).lsn, 2u);
+  log.Close();
+  const wal::ReplayResult replay = wal::ReplayLog(dir_);
+  EXPECT_EQ(replay.records.size(), 2u);
+  ExpectExactPrefix(replay);
+}
+
+TEST_F(WalCrashTest, FsyncFaultFailStopsTheLog) {
+  wal::WriteAheadLog log(dir_);
+  log.Append(RecordForLsn(1));
+  {
+    ScopedFailPoint fp("wal.fsync", "once");
+    EXPECT_THROW(log.Append(RecordForLsn(2)), util::IoError);
+  }
+  // Durability is unknowable after a failed barrier: fail-stop.
+  EXPECT_FALSE(log.available());
+  EXPECT_NE(log.unavailable_reason().find("durability barrier"),
+            std::string::npos);
+  EXPECT_THROW(log.Append(RecordForLsn(3)), util::IoError);
+  // What was acked before the fault stays drainable.
+  std::vector<wal::AckedRecord> drained;
+  EXPECT_EQ(log.DrainAcked(&drained), 1u);
+}
+
+TEST_F(WalCrashTest, RotateFaultFailStopsButAckedRecordsSurviveReopen) {
+  wal::WalOptions options;
+  options.max_segment_bytes =
+      wal::kSegmentHeaderBytes + 2 * wal::kRecordBytes;
+  wal::WriteAheadLog log(dir_, options);
+  log.Append(RecordForLsn(1));
+  log.Append(RecordForLsn(2));  // segment now full
+  {
+    ScopedFailPoint fp("wal.rotate", "once");
+    EXPECT_THROW(log.Append(RecordForLsn(3)), util::IoError);
+  }
+  EXPECT_FALSE(log.available());
+  EXPECT_NE(log.unavailable_reason().find("rotation failed"),
+            std::string::npos);
+  // A fresh log over the same directory recovers both acked records and
+  // appends where the poisoned one left off.
+  std::vector<wal::RecoveredRecord> recovered;
+  wal::WriteAheadLog reopened(dir_, options, &recovered);
+  EXPECT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(reopened.Append(RecordForLsn(3)).lsn, 3u);
+}
+
+TEST_F(WalCrashTest, ReplayFaultAbortsRecovery) {
+  { wal::WriteAheadLog log(dir_); }
+  ScopedFailPoint fp("wal.replay", "once");
+  EXPECT_THROW(wal::ReplayLog(dir_), util::IoError);
+}
+
+}  // namespace
+}  // namespace cfsf

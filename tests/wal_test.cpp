@@ -1,0 +1,251 @@
+// Unit tests for the rating write-ahead log: frame encode/decode,
+// append → replay round trips, segment rotation, fsync policies, the
+// acked-record drain contract and graceful shutdown.  The crash and
+// corruption halves of the contract live in tests/wal_crash_test.cpp
+// (ctest label `fault`).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "matrix/types.hpp"
+#include "util/error.hpp"
+#include "wal/format.hpp"
+#include "wal/log.hpp"
+#include "wal/replay.hpp"
+
+namespace cfsf {
+namespace {
+
+namespace fs = std::filesystem;
+
+matrix::RatingTriple MakeRecord(std::uint32_t i) {
+  matrix::RatingTriple record;
+  record.user = i;
+  record.item = i * 7 + 1;
+  record.value = static_cast<matrix::Rating>(1 + (i % 5));
+  record.timestamp = static_cast<matrix::Timestamp>(1000000 + i);
+  return record;
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("cfsf_wal_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+// ------------------------------------------------------------ format ----
+
+TEST(WalFormatTest, RecordRoundTripsThroughTheFrame) {
+  const matrix::RatingTriple record = MakeRecord(42);
+  unsigned char frame[wal::kRecordBytes];
+  wal::EncodeRecord(record, frame);
+  matrix::RatingTriple decoded;
+  ASSERT_TRUE(wal::DecodeRecord(frame, &decoded));
+  EXPECT_EQ(decoded, record);
+}
+
+TEST(WalFormatTest, AnySingleBitFlipFailsTheRecordCrc) {
+  unsigned char frame[wal::kRecordBytes];
+  wal::EncodeRecord(MakeRecord(7), frame);
+  for (std::size_t byte = 0; byte < wal::kRecordBytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      unsigned char bent[wal::kRecordBytes];
+      std::copy(frame, frame + wal::kRecordBytes, bent);
+      bent[byte] = static_cast<unsigned char>(bent[byte] ^ (1u << bit));
+      matrix::RatingTriple decoded;
+      EXPECT_FALSE(wal::DecodeRecord(bent, &decoded))
+          << "bit " << bit << " of byte " << byte << " went undetected";
+    }
+  }
+}
+
+TEST(WalFormatTest, SegmentHeaderRoundTripsAndRejectsDamage) {
+  wal::SegmentHeader header;
+  header.seq = 42;
+  header.first_lsn = 1009;
+  unsigned char bytes[wal::kSegmentHeaderBytes];
+  wal::EncodeSegmentHeader(header, bytes);
+  wal::SegmentHeader decoded;
+  ASSERT_TRUE(wal::DecodeSegmentHeader(bytes, &decoded));
+  EXPECT_EQ(decoded.version, wal::kFormatVersion);
+  EXPECT_EQ(decoded.seq, 42u);
+  EXPECT_EQ(decoded.first_lsn, 1009u);
+
+  bytes[0] ^= 0x01;  // magic
+  EXPECT_FALSE(wal::DecodeSegmentHeader(bytes, &decoded));
+  bytes[0] ^= 0x01;
+  bytes[9] ^= 0x40;  // seq
+  EXPECT_FALSE(wal::DecodeSegmentHeader(bytes, &decoded));
+}
+
+TEST(WalFormatTest, SegmentFileNamesRoundTripAndRejectStrays) {
+  EXPECT_EQ(wal::SegmentFileName(42), "wal-0000000042.log");
+  std::uint64_t seq = 0;
+  ASSERT_TRUE(wal::ParseSegmentFileName("wal-0000000042.log", &seq));
+  EXPECT_EQ(seq, 42u);
+  EXPECT_FALSE(wal::ParseSegmentFileName("wal-0000000042.log.tmp", &seq));
+  EXPECT_FALSE(wal::ParseSegmentFileName("wal-abc.log", &seq));
+  EXPECT_FALSE(wal::ParseSegmentFileName("model.bin", &seq));
+}
+
+// ----------------------------------------------------------- append ----
+
+TEST_F(WalTest, AppendReplayRoundTripPreservesEveryRecord) {
+  std::vector<matrix::RatingTriple> written;
+  {
+    wal::WriteAheadLog log(dir_);
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      written.push_back(MakeRecord(i));
+      const wal::AppendAck ack = log.Append(written.back());
+      EXPECT_EQ(ack.lsn, i + 1);
+      EXPECT_TRUE(ack.durable);  // default policy: fsync per record
+    }
+    EXPECT_EQ(log.durable_lsn(), 100u);
+  }
+  const wal::ReplayResult replay = wal::ReplayLog(dir_);
+  ASSERT_EQ(replay.records.size(), 100u);
+  EXPECT_EQ(replay.next_lsn, 101u);
+  for (std::size_t i = 0; i < replay.records.size(); ++i) {
+    EXPECT_EQ(replay.records[i].lsn, i + 1);
+    EXPECT_EQ(replay.records[i].record, written[i]);
+  }
+}
+
+TEST_F(WalTest, SegmentsRotateAtTheSizeCapAndReplayAcrossThem) {
+  wal::WalOptions options;
+  // Header + 4 records per segment.
+  options.max_segment_bytes =
+      wal::kSegmentHeaderBytes + 4 * wal::kRecordBytes;
+  {
+    wal::WriteAheadLog log(dir_, options);
+    for (std::uint32_t i = 0; i < 10; ++i) log.Append(MakeRecord(i));
+  }
+  const wal::ReplayResult replay = wal::ReplayLog(dir_);
+  EXPECT_EQ(replay.records.size(), 10u);
+  EXPECT_EQ(replay.segments, 3u);  // 4 + 4 + 2
+  EXPECT_EQ(replay.tail_seq, 3u);
+}
+
+TEST_F(WalTest, ReopeningAppendsAfterTheLastDurableRecord) {
+  {
+    wal::WriteAheadLog log(dir_);
+    for (std::uint32_t i = 0; i < 5; ++i) log.Append(MakeRecord(i));
+  }
+  std::vector<wal::RecoveredRecord> recovered;
+  wal::WriteAheadLog log(dir_, {}, &recovered);
+  ASSERT_EQ(recovered.size(), 5u);
+  EXPECT_EQ(log.next_lsn(), 6u);
+  const wal::AppendAck ack = log.Append(MakeRecord(99));
+  EXPECT_EQ(ack.lsn, 6u);
+  log.Close();
+  EXPECT_EQ(wal::ReplayLog(dir_).records.size(), 6u);
+}
+
+TEST_F(WalTest, EveryNPolicyAcksDurablyOnlyAtTheBarrier) {
+  wal::WalOptions options;
+  options.fsync_policy = wal::FsyncPolicy::kEveryN;
+  options.fsync_every_n = 4;
+  wal::WriteAheadLog log(dir_, options);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(log.Append(MakeRecord(i)).durable);
+  }
+  EXPECT_EQ(log.durable_lsn(), 0u);
+  EXPECT_TRUE(log.Append(MakeRecord(3)).durable);  // 4th record: barrier
+  EXPECT_EQ(log.durable_lsn(), 4u);
+  // require_durable overrides the batching policy.
+  EXPECT_TRUE(log.Append(MakeRecord(4), /*require_durable=*/true).durable);
+  EXPECT_EQ(log.durable_lsn(), 5u);
+}
+
+TEST_F(WalTest, SyncPromotesBufferedRecordsToAcked) {
+  wal::WalOptions options;
+  options.fsync_policy = wal::FsyncPolicy::kEveryN;
+  options.fsync_every_n = 100;  // never reached
+  wal::WriteAheadLog log(dir_, options);
+  for (std::uint32_t i = 0; i < 5; ++i) log.Append(MakeRecord(i));
+  std::vector<wal::AckedRecord> drained;
+  EXPECT_EQ(log.DrainAcked(&drained), 0u);  // nothing durable yet
+  log.Sync();
+  EXPECT_EQ(log.durable_lsn(), 5u);
+  EXPECT_EQ(log.DrainAcked(&drained), 5u);
+  ASSERT_EQ(drained.size(), 5u);
+  for (std::size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i].lsn, i + 1);
+    EXPECT_EQ(drained[i].record, MakeRecord(static_cast<std::uint32_t>(i)));
+  }
+  // A drain is a move: the records are handed over exactly once.
+  std::vector<wal::AckedRecord> again;
+  EXPECT_EQ(log.DrainAcked(&again), 0u);
+}
+
+TEST_F(WalTest, TimedPolicySyncsOnceTheIntervalElapses) {
+  wal::WalOptions options;
+  options.fsync_policy = wal::FsyncPolicy::kTimed;
+  options.fsync_interval = std::chrono::milliseconds(0);  // always elapsed
+  wal::WriteAheadLog log(dir_, options);
+  EXPECT_TRUE(log.Append(MakeRecord(0)).durable);
+}
+
+TEST_F(WalTest, ValidationRejectsAbsurdOptions) {
+  wal::WalOptions options;
+  options.max_segment_bytes = 8;  // cannot hold header + one record
+  EXPECT_THROW(wal::WriteAheadLog(dir_, options), util::Error);
+}
+
+// ------------------------------------------------------------- close ----
+
+TEST_F(WalTest, CloseIsIdempotentAndRefusesLaterAppends) {
+  wal::WriteAheadLog log(dir_);
+  log.Append(MakeRecord(0));
+  log.Close();
+  log.Close();
+  EXPECT_FALSE(log.available());
+  EXPECT_EQ(log.unavailable_reason(), "closed");
+  EXPECT_THROW(log.Append(MakeRecord(1)), util::IoError);
+  // Acked records remain drainable after close.
+  std::vector<wal::AckedRecord> drained;
+  EXPECT_EQ(log.DrainAcked(&drained), 1u);
+}
+
+// ------------------------------------------------------------ replay ----
+
+TEST_F(WalTest, ReplayOfAMissingDirectoryThrows) {
+  EXPECT_THROW(wal::ReplayLog(dir_ + "/nope"), util::IoError);
+}
+
+TEST_F(WalTest, ReplayOfAnEmptyLogYieldsLsnOne) {
+  { wal::WriteAheadLog log(dir_); }
+  const wal::ReplayResult replay = wal::ReplayLog(dir_);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.next_lsn, 1u);
+  EXPECT_EQ(replay.segments, 1u);
+}
+
+TEST_F(WalTest, RecoveryRemovesTmpLeftoversOnlyInRepairMode) {
+  { wal::WriteAheadLog log(dir_); }
+  const std::string tmp = dir_ + "/" + wal::SegmentFileName(9) + ".tmp";
+  { std::ofstream out(tmp, std::ios::binary); out << "half a header"; }
+  EXPECT_EQ(wal::ReplayLog(dir_).removed_tmp, 0u);  // read-only scan
+  EXPECT_TRUE(fs::exists(tmp));
+  wal::ReplayOptions repair;
+  repair.repair = true;
+  EXPECT_EQ(wal::ReplayLog(dir_, repair).removed_tmp, 1u);
+  EXPECT_FALSE(fs::exists(tmp));
+}
+
+}  // namespace
+}  // namespace cfsf

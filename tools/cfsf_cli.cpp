@@ -16,7 +16,8 @@
 //                        --seed=N --chaos=true --swap-file=PATH]
 //   cfsf_cli serve     [--model=model.bin] [--bind=127.0.0.1 --port=0
 //                      --workers=4 --max-connections=32 --capacity=64
-//                      --duration-ms=0]
+//                      --duration-ms=0] [--wal-dir=DIR]
+//   cfsf_cli wal-dump  --dir=DIR [--limit=N]
 //   cfsf_cli list-failpoints [--markdown]
 //
 // Without --data, `fit`/`evaluate` fall back to the synthetic MovieLens
@@ -48,8 +49,11 @@
 #include "robust/fallback.hpp"
 #include "net/server.hpp"
 #include "net/service.hpp"
+#include "serve/delta_folder.hpp"
 #include "serve/serving_stack.hpp"
 #include "serve/soak.hpp"
+#include "wal/log.hpp"
+#include "wal/replay.hpp"
 #include "util/args.hpp"
 #include "util/backoff.hpp"
 #include "util/logging.hpp"
@@ -434,8 +438,15 @@ int CmdServeBench(util::ArgParser& args) {
 // binds loopback by default; --port=0 picks an ephemeral port, printed
 // after start so scripts can scrape it.  --duration-ms bounds the run
 // (0 = serve until stdin reaches EOF, i.e. Ctrl-D or a closed pipe).
+//
+// --wal-dir=DIR makes ingestion durable: the rating log in DIR is
+// replayed (folding surviving records into the model before the first
+// generation installs), POST /v1/rate acks 202 only after fsync, and a
+// DeltaFolder folds acked records into fresh generations in the
+// background.
 int CmdServe(util::ArgParser& args) {
   const std::string model_path = args.GetString("model", "");
+  const std::string wal_dir = args.GetString("wal-dir", "");
   net::ServerOptions server_options;
   server_options.bind_address = args.GetString("bind", "127.0.0.1");
   server_options.port =
@@ -454,6 +465,7 @@ int CmdServe(util::ArgParser& args) {
 
   serve::ModelGeneration models;
   util::Stopwatch watch;
+  std::unique_ptr<core::CfsfModel> model;
   if (model_path.empty()) {
     data::SyntheticConfig dconfig;
     dconfig.num_users = 200;
@@ -463,15 +475,45 @@ int CmdServe(util::ArgParser& args) {
     config.num_clusters = 10;
     config.top_m_items = 40;
     config.top_k_users = 15;
-    auto model = std::make_unique<core::CfsfModel>(config);
+    model = std::make_unique<core::CfsfModel>(config);
     model->Fit(data::GenerateSynthetic(dconfig));
-    models.Install(std::move(model));
     std::printf("serve: fitted synthetic generation 1 in %.2fs\n",
                 watch.ElapsedSeconds());
   } else {
-    models.Install(core::LoadModel(model_path));
+    model = core::LoadModel(model_path);
     std::printf("serve: loaded %s in %.2fs\n", model_path.c_str(),
                 watch.ElapsedSeconds());
+  }
+
+  std::unique_ptr<wal::WriteAheadLog> rating_log;
+  if (!wal_dir.empty()) {
+    std::vector<wal::RecoveredRecord> recovered;
+    rating_log = std::make_unique<wal::WriteAheadLog>(wal_dir,
+                                                      wal::WalOptions{},
+                                                      &recovered);
+    std::size_t folded = 0;
+    for (const wal::RecoveredRecord& rec : recovered) {
+      const matrix::RatingTriple& r = rec.record;
+      if (r.user < model->NumUsers() && r.item < model->NumItems()) {
+        model->InsertRating(r.user, r.item, r.value, r.timestamp);
+        ++folded;
+      }
+    }
+    serving_options.rating_log = rating_log.get();
+    std::printf("serve: rating log %s — replayed %zu record(s), folded "
+                "%zu, next lsn %llu\n",
+                wal_dir.c_str(), recovered.size(), folded,
+                static_cast<unsigned long long>(rating_log->next_lsn()));
+  }
+
+  std::unique_ptr<serve::DeltaFolder> folder;
+  if (rating_log != nullptr) {
+    folder = std::make_unique<serve::DeltaFolder>(*rating_log, models,
+                                                  std::move(model));
+    folder->PublishNow();
+    folder->Start();
+  } else {
+    models.Install(std::move(model));
   }
 
   serve::ServingStack stack(models, serving_options);
@@ -486,7 +528,7 @@ int CmdServe(util::ArgParser& args) {
               server_options.bind_address.c_str(), server.port(),
               server_options.num_workers);
   std::printf("serve: routes: POST /v1/predict  POST /v1/predict-batch  "
-              "GET /v1/top-n  GET /healthz  GET /metrics\n");
+              "POST /v1/rate  GET /v1/top-n  GET /healthz  GET /metrics\n");
   if (duration_ms > 0) {
     util::SleepFor(std::chrono::milliseconds(duration_ms));
   } else {
@@ -495,7 +537,45 @@ int CmdServe(util::ArgParser& args) {
     }
   }
   server.Stop();
+  if (folder != nullptr) folder->Stop();
   std::printf("serve: drained and stopped\n");
+  return 0;
+}
+
+// `wal-dump`: read-only scan of a rating log directory via
+// wal::ReplayLog (no repair — the torn tail is reported, not
+// truncated).  Corruption outside the tail exits 1 through main's
+// catch, with the diagnostic naming the bad segment and byte offset.
+int CmdWalDump(util::ArgParser& args) {
+  const std::string dir = args.GetString("dir", "");
+  const auto limit = static_cast<std::size_t>(args.GetInt("limit", 0));
+  args.RejectUnknown();
+  if (dir.empty()) {
+    std::fprintf(stderr, "wal-dump requires --dir=PATH\n");
+    return 2;
+  }
+  const wal::ReplayResult replay = wal::ReplayLog(dir);
+  std::size_t shown = 0;
+  for (const wal::RecoveredRecord& rec : replay.records) {
+    if (limit > 0 && shown >= limit) break;
+    std::printf("lsn %-8llu user %-6u item %-6u rating %.1f ts %llu\n",
+                static_cast<unsigned long long>(rec.lsn), rec.record.user,
+                rec.record.item, static_cast<double>(rec.record.value),
+                static_cast<unsigned long long>(rec.record.timestamp));
+    ++shown;
+  }
+  if (shown < replay.records.size()) {
+    std::printf("  ... %zu more record(s)\n", replay.records.size() - shown);
+  }
+  std::printf("%zu record(s) in %zu segment(s); next lsn %llu\n",
+              replay.records.size(), replay.segments,
+              static_cast<unsigned long long>(replay.next_lsn));
+  if (replay.truncated_bytes > 0) {
+    std::printf("torn tail: %zu frame(s) / %zu byte(s) beyond the last "
+                "clean frame of segment %llu\n",
+                replay.truncated_records, replay.truncated_bytes,
+                static_cast<unsigned long long>(replay.tail_seq));
+  }
   return 0;
 }
 
@@ -537,7 +617,7 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: cfsf_cli <generate|stats|fit|predict|recommend|"
                "add-user|evaluate|verify-model|json-check|serve|"
-               "serve-bench|list-failpoints> [flags]\n(see the "
+               "serve-bench|wal-dump|list-failpoints> [flags]\n(see the "
                "header of tools/cfsf_cli.cpp for the full flag list)\n");
 }
 
@@ -553,6 +633,7 @@ int Dispatch(const std::string& command, util::ArgParser& args) {
   if (command == "json-check") return CmdJsonCheck(args);
   if (command == "serve") return CmdServe(args);
   if (command == "serve-bench") return CmdServeBench(args);
+  if (command == "wal-dump") return CmdWalDump(args);
   if (command == "list-failpoints") return CmdListFailpoints(args);
   PrintUsage();
   return 2;

@@ -3,7 +3,10 @@
 #
 #   1. asan preset  (address+undefined sanitizers) : build + ctest -L "unit|stress"
 #   2. fault tier   (asan build)                   : ctest -L fault with
-#      CFSF_FAILPOINTS exported — fault-injection paths under ASan
+#      CFSF_FAILPOINTS exported — fault-injection paths under ASan,
+#      including the WAL kill-recover harness (tests/wal_crash_test.cpp:
+#      SIGKILL a forked writer at seeded points mid-append/mid-rotate
+#      and prove no acked rating is ever lost)
 #   2b. integration (asan build)                   : ctest -L integration —
 #      loopback-socket round-trips over every HTTP route of the net
 #      front end, parser and drain paths under ASan
@@ -77,7 +80,7 @@ run_tier() {
 
 if [[ "${RUN_ASAN}" -eq 1 ]]; then
   run_tier asan
-  echo "=== [asan] ctest -L fault (failpoints armed via env) ==="
+  echo "=== [asan] ctest -L fault (failpoints armed, WAL kill-recover) ==="
   # The env spec itself is exercised too: ci.noop targets no call site,
   # proving an armed-but-unreferenced failpoint is harmless, while the
   # tests arm their own points on top through the API.
@@ -85,8 +88,9 @@ if [[ "${RUN_ASAN}" -eq 1 ]]; then
     ctest --test-dir "${ROOT}/build/asan" -L fault --output-on-failure \
     -j "${JOBS}"
   echo "=== [asan] ctest -L integration (net loopback round-trips) ==="
-  # Real-socket round-trips over all five HTTP routes with ASan watching
-  # the parser, the connection workers and the drain path.
+  # Real-socket round-trips over all six HTTP routes (incl. durable
+  # /v1/rate acks and the slow-read timeout) with ASan watching the
+  # parser, the connection workers and the drain path.
   ctest --test-dir "${ROOT}/build/asan" -L integration --output-on-failure \
     -j "${JOBS}"
   echo "=== [asan] chaos-soak smoke (cfsf_cli serve-bench) ==="

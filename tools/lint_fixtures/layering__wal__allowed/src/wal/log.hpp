@@ -1,0 +1,2 @@
+#pragma once
+#include "serve/serving_stack.hpp"  // cfsf-lint: allow(layering)
