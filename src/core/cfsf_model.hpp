@@ -29,6 +29,7 @@
 #include "eval/predictor.hpp"
 #include "eval/degradable.hpp"
 #include "similarity/item_similarity.hpp"
+#include "util/attrs.hpp"
 #include "util/mutex.hpp"
 
 namespace cfsf::core {
@@ -68,10 +69,12 @@ class CfsfModel : public eval::Predictor, public eval::DegradableModel {
                                             std::vector<std::uint32_t> assignments);
 
   /// Online prediction (Algorithm 1, lines 10–15).
-  double Predict(matrix::UserId user, matrix::ItemId item) const override;
+  double Predict(matrix::UserId user, matrix::ItemId item) const
+      CFSF_HOT_PATH override;
 
   /// Predict with the per-component breakdown.
-  FusionBreakdown PredictDetailed(matrix::UserId user, matrix::ItemId item) const;
+  FusionBreakdown PredictDetailed(matrix::UserId user,
+                                  matrix::ItemId item) const CFSF_HOT_PATH;
 
   /// SIR′ alone, straight off the GIS row (Eq. 12, first line) — no top-K
   /// user selection, so it skips the expensive online step entirely.
@@ -102,7 +105,7 @@ class CfsfModel : public eval::Predictor, public eval::DegradableModel {
   /// the path eval::Evaluate and the bench sweeps drive.
   std::vector<double> PredictBatch(
       std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries)
-      const override;
+      const CFSF_HOT_PATH override;
 
   /// Top-N recommendation: highest predicted unrated items for `user`.
   struct Recommendation {
@@ -110,7 +113,7 @@ class CfsfModel : public eval::Predictor, public eval::DegradableModel {
     double score = 0.0;
   };
   std::vector<Recommendation> RecommendTopN(matrix::UserId user,
-                                            std::size_t n) const;
+                                            std::size_t n) const CFSF_HOT_PATH;
 
   /// The online phase's user-selection step (Section IV-E2), exposed for
   /// tests/diagnostics.  Results are similarity-descending.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "matrix/rating_matrix.hpp"
+#include "util/attrs.hpp"
 
 namespace cfsf::eval {
 
@@ -24,7 +25,8 @@ class Predictor {
 
   /// Predicts the rating of `item` by `user`.  Must be total: approaches
   /// fall back to user/item/global means when no evidence is available.
-  virtual double Predict(matrix::UserId user, matrix::ItemId item) const = 0;
+  virtual double Predict(matrix::UserId user, matrix::ItemId item) const
+      CFSF_HOT_PATH = 0;
 
   /// Predicts a whole batch of (user, item) queries.  The default simply
   /// loops Predict; approaches with a cheaper amortised path (CFSF's

@@ -30,6 +30,7 @@
 
 #include "net/http.hpp"
 #include "serve/serving_stack.hpp"
+#include "util/attrs.hpp"
 
 namespace cfsf::net {
 
@@ -50,7 +51,7 @@ class ServingService {
 
   /// Dispatches one parsed request.  Never throws: handler faults
   /// become 500 documents.
-  HttpResponse Handle(const HttpRequest& request);
+  HttpResponse Handle(const HttpRequest& request) CFSF_HOT_PATH;
 
   const ServiceOptions& options() const { return options_; }
 

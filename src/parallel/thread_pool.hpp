@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/attrs.hpp"
 #include "util/mutex.hpp"
 
 namespace cfsf::par {
@@ -53,7 +54,7 @@ class ThreadPool {
 
   /// Blocks until every submitted task has finished.  Rethrows the first
   /// task exception, if any, and clears it.
-  void Wait() CFSF_EXCLUDES(mutex_);
+  void Wait() CFSF_BLOCKING CFSF_EXCLUDES(mutex_);
 
   /// Tasks submitted but not yet picked up by a worker.  A snapshot for
   /// admission control and tests; stale by the time the caller reads it.
@@ -68,7 +69,7 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop() CFSF_EXCLUDES(mutex_);
+  void WorkerLoop() CFSF_BLOCKING CFSF_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
   mutable util::Mutex mutex_;

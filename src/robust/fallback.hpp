@@ -37,6 +37,7 @@
 #include "eval/degradable.hpp"
 #include "eval/predictor.hpp"
 #include "matrix/types.hpp"
+#include "util/attrs.hpp"
 #include "util/error.hpp"
 
 namespace cfsf::robust {
@@ -85,7 +86,8 @@ class FallbackPredictor : public eval::Predictor {
   void Fit(const matrix::RatingMatrix& train) override { base_.Fit(train); }
 
   /// Ladder prediction under the configured per-call budget.
-  double Predict(matrix::UserId user, matrix::ItemId item) const override;
+  double Predict(matrix::UserId user, matrix::ItemId item) const
+      CFSF_HOT_PATH override;
 
   /// Serial ladder loop.  Each query gets its own per-call budget AND
   /// shares the batch-wide deadline derived from `batch_budget` — once
@@ -96,7 +98,7 @@ class FallbackPredictor : public eval::Predictor {
   /// per-query behaviour.)
   std::vector<double> PredictBatch(
       std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries)
-      const override;
+      const CFSF_HOT_PATH override;
 
   /// The full ladder with an explicit deadline, for callers that manage
   /// budgets themselves.  `floor` is the best rung the call may serve
@@ -106,14 +108,15 @@ class FallbackPredictor : public eval::Predictor {
   LadderResult PredictWithLadder(matrix::UserId user, matrix::ItemId item,
                                  Deadline deadline,
                                  PredictionRung floor =
-                                     PredictionRung::kFull) const;
+                                     PredictionRung::kFull) const
+      CFSF_HOT_PATH;
 
   /// Batch ladder under one shared deadline (plus each query's per-call
   /// budget); the serving stack's deadline-propagation path.
   std::vector<LadderResult> PredictBatchWithLadder(
       std::span<const std::pair<matrix::UserId, matrix::ItemId>> queries,
       Deadline batch_deadline,
-      PredictionRung floor = PredictionRung::kFull) const;
+      PredictionRung floor = PredictionRung::kFull) const CFSF_HOT_PATH;
 
   const FallbackOptions& options() const { return options_; }
 

@@ -69,6 +69,7 @@
 #include "serve/api.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "serve/model_generation.hpp"
+#include "util/attrs.hpp"
 #include "util/mutex.hpp"
 
 namespace cfsf::wal {
@@ -116,14 +117,16 @@ class ServingStack {
   /// Await() can resolve; refused requests (shed/rejected/malformed)
   /// come back already completed.  A Request without a deadline picks
   /// up options().default_budget.
-  std::future<Response> Submit(const Request& request) CFSF_EXCLUDES(mutex_);
+  std::future<Response> Submit(const Request& request)
+      CFSF_HOT_PATH CFSF_EXCLUDES(mutex_);
 
   /// future.get() with the broken-promise case (a fault injected at the
   /// pool dispatch site) mapped onto a kInternal response.
-  static Response Await(std::future<Response>& future);
+  static Response Await(std::future<Response>& future) CFSF_BLOCKING;
 
   /// Submit + Await in one call.
-  Response ServeSync(const Request& request) CFSF_EXCLUDES(mutex_);
+  Response ServeSync(const Request& request)
+      CFSF_BLOCKING CFSF_EXCLUDES(mutex_);
 
   /// Stops admitting (new requests are shed) and waits until every
   /// in-flight request has resolved.  Idempotent.
@@ -153,13 +156,15 @@ class ServingStack {
   Admission Admit() CFSF_EXCLUDES(mutex_);
   void ReleaseSlot() CFSF_EXCLUDES(mutex_);
 
-  Response Process(const Request& request, bool degraded_admission);
+  Response Process(const Request& request, bool degraded_admission)
+      CFSF_HOT_PATH;
   void ProcessPredict(const Request& request, std::size_t effective_level,
                       const ServableModel& model, Response& response,
                       bool& bad);
   void ProcessTopN(const Request& request, std::size_t effective_level,
                    const ServableModel& model, Response& response, bool& bad);
-  void ProcessRate(const Request& request, Response& response);
+  void ProcessRate(const Request& request, Response& response)
+      CFSF_ACK_POINT;
 
   ModelGeneration& models_;
   const ServingOptions options_;

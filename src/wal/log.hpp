@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "matrix/types.hpp"
+#include "util/attrs.hpp"
 #include "util/mutex.hpp"
 #include "wal/replay.hpp"
 
@@ -96,10 +97,11 @@ class WriteAheadLog {
   /// unavailable (poisoned or closed) or the record cannot be written;
   /// a refused record is never partially present on disk.
   AppendAck Append(const matrix::RatingTriple& record,
-                   bool require_durable = false) CFSF_EXCLUDES(mutex_);
+                   bool require_durable = false)
+      CFSF_BLOCKING CFSF_EXCLUDES(mutex_);
 
   /// Forces the durability barrier for everything appended so far.
-  void Sync() CFSF_EXCLUDES(mutex_);
+  void Sync() CFSF_BLOCKING CFSF_EXCLUDES(mutex_);
 
   /// Moves every durably acknowledged, not-yet-drained record into
   /// `out` (appended, lsn order).  Returns how many were moved.  Still
@@ -120,7 +122,7 @@ class WriteAheadLog {
 
   /// Graceful shutdown: final barrier, close.  Idempotent; the
   /// destructor calls it (swallowing errors).
-  void Close() CFSF_EXCLUDES(mutex_);
+  void Close() CFSF_BLOCKING CFSF_EXCLUDES(mutex_);
 
  private:
   void CreateSegmentLocked(std::uint64_t seq, std::uint64_t first_lsn)

@@ -1,6 +1,6 @@
-// cfsf_lint — repo-specific C++ linter for the CFSF tree (v3).
+// cfsf_lint — repo-specific C++ linter for the CFSF tree (v4).
 //
-// Three rule engines share one scan:
+// Four rule engines share one scan:
 //
 //  * line rules — regexes over comment/string-stripped single lines;
 //  * token rules — a lightweight tokenizer plus a per-file state
@@ -9,7 +9,14 @@
 //  * cross-file rules (v3) — a whole-repo index (include graph, string
 //    literals, CMakeLists labels, the names/docs inventories) that
 //    enforces the declared module layering and the registry contracts
-//    between code, docs, bench JSON and tests.
+//    between code, docs, bench JSON and tests;
+//  * call-graph rules (v4) — a whole-repo function index and call graph
+//    over src/ (function definitions with qualified names, calls
+//    resolved by terminal name — deliberately conservative for
+//    overloads and virtual dispatch — plus address-of-function
+//    conservative edges), driven by the annotation macros in
+//    src/util/attrs.hpp (CFSF_HOT_PATH / CFSF_BLOCKING /
+//    CFSF_ACK_POINT) and the TSA macros in src/util/mutex.hpp.
 //
 // Line rules:
 //
@@ -90,6 +97,29 @@
 //                           must be one of unit/integration/stress/
 //                           lint/fault.
 //
+// Call-graph rules (v4, enabled by --repo-root; see docs/TOOLING.md
+// "Interprocedural analysis (lint v4)"):
+//
+//   blocking-call-on-hot-path  from every CFSF_HOT_PATH root no
+//                           transitive callee may reach a blocking
+//                           primitive (fsync, file open/read/write,
+//                           sleeps, condvar/future waits) unless the
+//                           path crosses a callee annotated
+//                           CFSF_BLOCKING — the sanctioned boundaries
+//                           (WAL append, thread-pool joins, the
+//                           Submit+Await sync bridge).  The report
+//                           prints the full call chain.
+//   lock-order-inversion    the lock-order graph built from
+//                           util::MutexLock scopes and CFSF_REQUIRES/
+//                           CFSF_ACQUIRE entry contracts must be
+//                           acyclic; every cycle (e.g. a two-mutex
+//                           ABBA) is reported once, deterministically,
+//                           with the witness acquisition sites.
+//   ack-before-durable      every CFSF_ACK_POINT function must reach a
+//                           CFSF_BLOCKING callee that itself reaches
+//                           fsync/fdatasync — the durability barrier
+//                           must sit on the ack path.
+//
 // Suppression, in order of preference:
 //   1. inline, same line:           // cfsf-lint: allow(rule-id)
 //      (for missing-pragma-once the marker may sit on any line; for
@@ -107,14 +137,24 @@
 // corpus is skipped with a notice when the directory is absent).
 //
 // Usage: cfsf_lint [--allowlist FILE] [--repo-root DIR] [--self-test]
-//                  [--fixtures DIR] [--list-rules] DIR...
+//                  [--fixtures DIR] [--list-rules] [--json]
+//                  [--rules ID[,ID...]] DIR...
+//
+//   --json    emit the machine-readable report (per-rule counts plus
+//             findings with file:line and call chains) on stdout
+//             instead of the human listing; exit codes are unchanged.
+//   --rules   run only the named rules (comma list); CI uses this to
+//             run the call-graph rules as their own timed step.
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
+#include <tuple>
 #include <regex>
 #include <set>
 #include <sstream>
@@ -130,7 +170,17 @@ struct Violation {
   std::size_t line = 0;
   std::string rule;
   std::string message;
+  // v4: hop-by-hop call chain ("qualified-name (path:line)") for the
+  // call-graph rules; empty for every other rule.
+  std::vector<std::string> chain;
 };
+
+// Active-rule filter (--rules).  nullptr = every rule runs.
+using RuleFilter = std::set<std::string>;
+
+bool RuleActive(const RuleFilter* filter, const std::string& id) {
+  return filter == nullptr || filter->count(id) != 0;
+}
 
 struct AllowEntry {
   std::string rule;  // "*" matches every rule
@@ -626,11 +676,13 @@ bool InlineAllowed(const std::string& original_line, const std::string& rule) {
 }
 
 void LintFile(const std::string& display_path, const std::string& content,
-              std::vector<Violation>& out) {
+              std::vector<Violation>& out,
+              const RuleFilter* filter = nullptr) {
   const std::vector<std::string> original_lines = SplitLines(content);
 
   const bool header = IsHeader(display_path);
-  if (header && content.find("#pragma once") == std::string::npos) {
+  if (header && RuleActive(filter, "missing-pragma-once") &&
+      content.find("#pragma once") == std::string::npos) {
     // File-level rule: the allow marker may sit on any line.
     const bool allowed = std::any_of(
         original_lines.begin(), original_lines.end(),
@@ -639,7 +691,7 @@ void LintFile(const std::string& display_path, const std::string& content,
         });
     if (!allowed) {
       out.push_back({display_path, 1, "missing-pragma-once",
-                     "header is missing #pragma once"});
+                     "header is missing #pragma once", {}});
     }
   }
 
@@ -649,16 +701,18 @@ void LintFile(const std::string& display_path, const std::string& content,
 
   for (std::size_t n = 0; n < stripped_lines.size(); ++n) {
     for (const auto& rule : LineRules()) {
+      if (!RuleActive(filter, rule.id)) continue;
       if (rule.library_only && !library) continue;
       if (PathExempt(display_path, rule.exempt_path_substrings)) continue;
       if (!LineTriggersRule(rule, stripped_lines[n])) continue;
       if (InlineAllowed(original_lines[n], rule.id)) continue;
-      out.push_back({display_path, n + 1, rule.id, rule.message});
+      out.push_back({display_path, n + 1, rule.id, rule.message, {}});
     }
   }
 
   const std::vector<Token> tokens = Tokenize(stripped);
   for (const auto& rule : TokenRules()) {
+    if (!RuleActive(filter, rule.id)) continue;
     if (rule.library_only && !library) continue;
     if (PathExempt(display_path, rule.exempt_path_substrings)) continue;
     std::vector<std::size_t> lines;
@@ -668,7 +722,7 @@ void LintFile(const std::string& display_path, const std::string& content,
           InlineAllowed(original_lines[line - 1], rule.id)) {
         continue;
       }
-      out.push_back({display_path, line, rule.id, rule.message});
+      out.push_back({display_path, line, rule.id, rule.message, {}});
     }
   }
 }
@@ -702,13 +756,6 @@ std::vector<AllowEntry> LoadAllowlist(const std::string& path) {
   return entries;
 }
 
-bool Allowlisted(const Violation& v, const std::vector<AllowEntry>& allow) {
-  return std::any_of(allow.begin(), allow.end(), [&v](const AllowEntry& e) {
-    return (e.rule == "*" || e.rule == v.rule) &&
-           v.path.find(e.path_substring) != std::string::npos;
-  });
-}
-
 // ---------------------------------------------------------------------------
 // v3: whole-repo cross-file analysis.
 //
@@ -732,6 +779,18 @@ const std::vector<std::string>& CrossFileRuleIds() {
   static const std::vector<std::string> ids = {
       "layering", "include-cycle", "stray-metric-literal",
       "undocumented-failpoint", "unknown-ctest-label"};
+  return ids;
+}
+
+// v4 call-graph rules.  These are the rules whose allowlist entries are
+// additionally checked for *suppression* staleness: an entry that
+// suppressed nothing in a run where its rule executed is rot (the
+// violation it excused was fixed), and fails the run with exit 3 —
+// the tree's target is zero call-graph allowlist entries.
+const std::vector<std::string>& CallGraphRuleIds() {
+  static const std::vector<std::string> ids = {
+      "blocking-call-on-hot-path", "lock-order-inversion",
+      "ack-before-durable"};
   return ids;
 }
 
@@ -866,8 +925,1038 @@ std::string ResolveInclude(const std::string& includer,
   return "";
 }
 
+// ---------------------------------------------------------------------------
+// v4: function index and call graph.
+//
+// Built from the same tokenizer as the token rules, over src/ only (the
+// contracts are library properties; tests/bench/tools define thousands
+// of helpers that would only blur terminal-name resolution).  The
+// parser is deliberately approximate where C++ forces a real frontend,
+// and every approximation errs conservative for the rules:
+//
+//  * calls resolve by *terminal* name to every definition sharing it —
+//    overloads and virtual overrides all become edges, so a blocking
+//    override behind a base-class pointer is still reached;
+//  * an address-of / reference to a known function (function pointers,
+//    `&Class::Method` thread entry points) becomes a conservative edge;
+//  * lambdas are attributed to their enclosing function (their calls
+//    become its calls), which is exact for immediately-run lambdas and
+//    conservative for deferred ones;
+//  * preprocessor lines are blanked, so macro *bodies* are invisible —
+//    CFSF_LOG/CFSF_FAILPOINT internals do not generate edges.
+//
+// Annotations (CFSF_HOT_PATH / CFSF_BLOCKING / CFSF_ACK_POINT, plus the
+// TSA CFSF_REQUIRES / CFSF_ACQUIRE lock contracts) are read from the
+// token position the repo mandates — after the parameter list — on
+// declarations and definitions alike, keyed by qualified name, so a
+// header declaration annotates its out-of-line definition.
+// ---------------------------------------------------------------------------
+
+struct PrimitiveHit {
+  std::string name;  // "fsync", "sleep_for", "std::future::get", ...
+  std::size_t line = 0;
+};
+
+struct CallSite {
+  std::string terminal;           // unqualified callee name
+  std::size_t line = 0;
+  bool bare = false;              // address-of / fn-pointer conservative edge
+  bool is_member = false;         // called through `.` / `->`
+  std::string recv;               // receiver identifier for member calls
+  std::vector<std::string> quals; // explicit `A::B::` qualifier chain
+  std::vector<std::string> held;  // lock ids held at the call site
+};
+
+struct LockAcq {
+  std::string lock;  // qualified id, e.g. "cfsf::wal::WriteAheadLog::mutex_"
+  std::size_t line = 0;
+};
+
+struct FunctionDef {
+  std::string name;      // fully qualified
+  std::string terminal;  // last component
+  std::string cls;       // qualified enclosing class/namespace scope
+  std::string path;
+  std::size_t line = 0;
+  // True when this is (heuristically) a class member: defined inside a
+  // class scope, or out-of-line with a CamelCase qualifier (the repo
+  // style: classes are CamelCase, namespaces lowercase).
+  bool member_fn = false;
+  bool hot = false, blocking = false, ack = false;
+  std::vector<CallSite> calls;
+  std::vector<PrimitiveHit> primitives;
+  std::vector<LockAcq> acquisitions;  // every MutexLock in the body
+  // Scope-nested ordering facts: lock `first` was held when `second`
+  // was acquired.
+  std::vector<std::pair<std::string, LockAcq>> lock_edges;
+  std::vector<std::string> entry_locks;  // CFSF_REQUIRES/CFSF_ACQUIRE
+};
+
+struct FnAnnotation {
+  bool hot = false, blocking = false, ack = false;
+  std::set<std::string> entry_locks;
+};
+
+struct CallGraph {
+  std::vector<FunctionDef> defs;
+  // terminal name -> indices into defs (deterministic: files are
+  // visited in sorted order, tokens in source order).
+  std::map<std::string, std::vector<std::size_t>> by_terminal;
+  std::map<std::string, FnAnnotation> annotations;  // by qualified name
+};
+
+// Blocking primitives, matched as called terminal names.  Capitalised
+// entries are the repo's own sanctioned sleep helpers — calling them
+// from a hot path is exactly the bug the rule exists to catch.
+const std::set<std::string>& BlockingPrimitiveNames() {
+  static const std::set<std::string> names = {
+      // durability / file descriptors
+      "fsync", "fdatasync", "open", "openat", "creat", "close", "read",
+      "write", "pread", "pwrite", "ftruncate", "rename", "unlink", "mkdir",
+      "rmdir",
+      // stdio
+      "fopen", "freopen", "fclose", "fread", "fwrite", "fflush",
+      // sockets
+      "recv", "send", "accept", "connect", "poll", "select",
+      // sleeps
+      "usleep", "nanosleep", "sleep", "sleep_for", "sleep_until", "SleepFor",
+      "SleepNext",
+      // waits (condition_variable / future); `get` is special-cased on
+      // a future-like receiver below to avoid flagging shared_ptr::get
+      "wait", "wait_for", "wait_until"};
+  return names;
+}
+
+// iostream types whose construction/open is file I/O.
+bool IsFileStreamType(const std::string& ident) {
+  return ident == "ifstream" || ident == "ofstream" || ident == "fstream";
+}
+
+bool IsCallKeyword(const std::string& ident) {
+  static const std::set<std::string> keywords = {
+      "if",      "for",        "while",      "switch",    "return",
+      "sizeof",  "catch",      "new",        "delete",    "throw",
+      "operator", "decltype",  "alignof",    "noexcept",  "static_cast",
+      "dynamic_cast", "reinterpret_cast", "const_cast", "static_assert",
+      "alignas", "requires",   "assert",     "defined"};
+  return keywords.count(ident) != 0;
+}
+
+// Blank preprocessor lines (and their backslash continuations) so macro
+// definitions cannot masquerade as function definitions.  Newlines are
+// preserved to keep token line numbers stable.
+std::string BlankPreprocessorLines(std::string text) {
+  bool at_line_start = true;
+  bool in_directive = false;
+  char last_nonspace = '\0';
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      in_directive = in_directive && last_nonspace == '\\';
+      at_line_start = true;
+      last_nonspace = '\0';
+      continue;
+    }
+    if (at_line_start && !in_directive) {
+      if (c == '#') in_directive = true;
+      if (!std::isspace(static_cast<unsigned char>(c))) at_line_start = false;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) last_nonspace = c;
+    if (in_directive) text[i] = ' ';
+  }
+  return text;
+}
+
+// Skip a balanced token group starting at `i` (tokens[i] must be the
+// opener).  Returns the index one past the matching closer, or
+// tokens.size() when unbalanced.
+std::size_t SkipBalanced(const std::vector<Token>& tokens, std::size_t i,
+                         const char* open, const char* close) {
+  int depth = 0;
+  for (; i < tokens.size(); ++i) {
+    if (tokens[i].text == open) {
+      ++depth;
+    } else if (tokens[i].text == close) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return tokens.size();
+}
+
+// Outcome of the post-parameter-list lookahead.
+struct SignatureTail {
+  enum class Kind { kNeither, kDeclaration, kDefinition } kind = Kind::kNeither;
+  std::size_t end = 0;   // ';' for declarations, '{' (body open) for defs
+  std::size_t zone_end = 0;  // end of the annotation zone (exclusive)
+};
+
+// After a candidate `name ( ... )`, decide declaration vs definition by
+// scanning the qualifier zone: const/noexcept/override/&/&&/trailing
+// return/annotation macros (with balanced parens), an optional ctor
+// initialiser list, then `{` (definition) or `;`/`=` (declaration).
+SignatureTail ScanSignatureTail(const std::vector<Token>& tokens,
+                                std::size_t after_close) {
+  SignatureTail tail;
+  std::size_t k = after_close;
+  const std::size_t limit = std::min(tokens.size(), after_close + 200);
+  while (k < limit) {
+    const std::string& t = tokens[k].text;
+    if (t == "{") {
+      tail.kind = SignatureTail::Kind::kDefinition;
+      tail.end = k;
+      tail.zone_end = k;
+      return tail;
+    }
+    if (t == ";" || t == "=") {
+      tail.kind = SignatureTail::Kind::kDeclaration;
+      tail.end = k;
+      tail.zone_end = k;
+      return tail;
+    }
+    if (t == ":") {
+      // Constructor initialiser list: `ident (args)` or `ident {args}`
+      // groups separated by commas, then the body `{`.
+      tail.zone_end = k;
+      ++k;
+      while (k < tokens.size()) {
+        while (k < tokens.size() &&
+               (IsIdentifierToken(tokens[k].text) || tokens[k].text == "::")) {
+          ++k;
+        }
+        if (k < tokens.size() && tokens[k].text == "<") {
+          k = SkipBalanced(tokens, k, "<", ">");
+        }
+        if (k >= tokens.size()) break;
+        if (tokens[k].text == "(") {
+          k = SkipBalanced(tokens, k, "(", ")");
+        } else if (tokens[k].text == "{") {
+          k = SkipBalanced(tokens, k, "{", "}");
+        } else {
+          return tail;  // not an initialiser list — give up
+        }
+        if (k < tokens.size() && tokens[k].text == ",") {
+          ++k;
+          continue;
+        }
+        if (k < tokens.size() && tokens[k].text == "{") {
+          tail.kind = SignatureTail::Kind::kDefinition;
+          tail.end = k;
+          return tail;
+        }
+        return tail;
+      }
+      return tail;
+    }
+    if (t == "(") {
+      k = SkipBalanced(tokens, k, "(", ")");
+      continue;
+    }
+    if (t == "[") {
+      k = SkipBalanced(tokens, k, "[", "]");
+      continue;
+    }
+    if (IsIdentifierToken(t) || t == "const" || t == "&" || t == "&&" ||
+        t == "->" || t == "::" || t == "<" || t == ">" || t == "," ||
+        t == "*") {
+      ++k;
+      continue;
+    }
+    return tail;  // anything else: not a function signature
+  }
+  return tail;
+}
+
+// Lock identity for a `&receiver` expression or an annotation argument.
+// Members (trailing underscore, per the style guide) qualify with the
+// enclosing class; `g_`-prefixed globals with the enclosing namespace.
+// Anything else (parameters, through-pointer receivers) is unknowable
+// without types and is skipped — an under-approximation the docs call
+// out.
+std::string LockIdFor(const std::string& ident, const std::string& scope) {
+  const bool member = !ident.empty() && ident.back() == '_';
+  const bool global = ident.rfind("g_", 0) == 0;
+  if (!member && !global) return "";
+  if (scope.empty()) return ident;
+  return scope + "::" + ident;
+}
+
+// Collect CFSF_* annotations from a signature's qualifier zone.
+void CollectAnnotations(const std::vector<Token>& tokens, std::size_t begin,
+                        std::size_t end, const std::string& scope,
+                        FnAnnotation* ann) {
+  for (std::size_t k = begin; k < end; ++k) {
+    const std::string& t = tokens[k].text;
+    if (t == "CFSF_HOT_PATH") ann->hot = true;
+    if (t == "CFSF_BLOCKING") ann->blocking = true;
+    if (t == "CFSF_ACK_POINT") ann->ack = true;
+    if ((t == "CFSF_REQUIRES" || t == "CFSF_ACQUIRE") &&
+        k + 1 < end && tokens[k + 1].text == "(") {
+      const std::size_t close = SkipBalanced(tokens, k + 1, "(", ")");
+      for (std::size_t a = k + 2; a + 1 < close; ++a) {
+        if (!IsIdentifierToken(tokens[a].text)) continue;
+        if (tokens[a].text == "this") continue;
+        const std::string id = LockIdFor(tokens[a].text, scope);
+        if (!id.empty()) ann->entry_locks.insert(id);
+      }
+      k = close - 1;
+    }
+  }
+}
+
+// Parse one src/ file into the call graph: function definitions with
+// their bodies' calls, blocking primitives and lock acquisitions, and
+// annotations from declarations and definitions alike.
+void IndexFileForCallGraph(const std::string& path, const std::string& content,
+                           CallGraph* cg) {
+  const std::string stripped =
+      BlankPreprocessorLines(StripCommentsAndStrings(content));
+  const std::vector<Token> tokens = Tokenize(stripped);
+
+  struct ScopeEnt {
+    enum class Kind { kPlain, kNamespace, kClass } kind = Kind::kPlain;
+    std::string name;
+  };
+  std::vector<ScopeEnt> scopes;
+  const auto scope_name = [&scopes](bool namespaces_only) {
+    std::string joined;
+    for (const auto& s : scopes) {
+      if (s.kind == ScopeEnt::Kind::kPlain) continue;
+      if (namespaces_only && s.kind != ScopeEnt::Kind::kNamespace) continue;
+      if (s.name.empty()) continue;
+      if (!joined.empty()) joined += "::";
+      joined += s.name;
+    }
+    return joined;
+  };
+
+  std::size_t i = 0;
+  const std::size_t n = tokens.size();
+  while (i < n) {
+    const std::string& t = tokens[i].text;
+
+    if (t == "namespace") {
+      std::string name;
+      std::size_t k = i + 1;
+      while (k < n && (IsIdentifierToken(tokens[k].text) ||
+                       tokens[k].text == "::")) {
+        name += tokens[k].text;
+        ++k;
+      }
+      if (k < n && tokens[k].text == "{") {
+        scopes.push_back({ScopeEnt::Kind::kNamespace, name});
+        i = k + 1;
+        continue;
+      }
+      i = k + 1;  // alias or using-directive — no scope
+      continue;
+    }
+
+    if (t == "class" || t == "struct" || t == "union" || t == "enum") {
+      const bool is_enum = t == "enum";
+      std::string name;
+      bool past_colon = false;
+      std::size_t k = i + 1;
+      while (k < n && tokens[k].text != "{" && tokens[k].text != ";" &&
+             tokens[k].text != "(" && tokens[k].text != "=") {
+        if (tokens[k].text == ":") past_colon = true;
+        if (tokens[k].text == "<") past_colon = true;  // specialisation args
+        if (!past_colon && IsIdentifierToken(tokens[k].text) &&
+            tokens[k].text != "final" && tokens[k].text != "class") {
+          name = tokens[k].text;
+        }
+        ++k;
+      }
+      if (k < n && tokens[k].text == "{") {
+        scopes.push_back({is_enum ? ScopeEnt::Kind::kPlain
+                                  : ScopeEnt::Kind::kClass,
+                          is_enum ? "" : name});
+        i = k + 1;
+        continue;
+      }
+      i = k + 1;  // forward declaration / variable — nothing to push
+      continue;
+    }
+
+    if (t == "{") {
+      scopes.push_back({ScopeEnt::Kind::kPlain, ""});
+      ++i;
+      continue;
+    }
+    if (t == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      ++i;
+      continue;
+    }
+
+    // Candidate function signature: identifier directly followed by `(`.
+    if (IsIdentifierToken(t) && !IsCallKeyword(t) && i + 1 < n &&
+        tokens[i + 1].text == "(" &&
+        !(i > 0 && (tokens[i - 1].text == "." || tokens[i - 1].text == "->" ||
+                    tokens[i - 1].text == "operator"))) {
+      const std::size_t after_close = SkipBalanced(tokens, i + 1, "(", ")");
+      if (after_close >= n) {
+        ++i;
+        continue;
+      }
+      const SignatureTail tail = ScanSignatureTail(tokens, after_close);
+      if (tail.kind == SignatureTail::Kind::kNeither) {
+        ++i;
+        continue;
+      }
+
+      // Explicit qualifiers (`Class::Name`) walked back from the name.
+      std::vector<std::string> explicit_parts;
+      std::size_t back = i;
+      while (back >= 2 && tokens[back - 1].text == "::" &&
+             IsIdentifierToken(tokens[back - 2].text)) {
+        explicit_parts.insert(explicit_parts.begin(), tokens[back - 2].text);
+        back -= 2;
+      }
+      std::string terminal = t;
+      if (back > 0 && tokens[back - 1].text == "~") terminal = "~" + t;
+
+      std::string cls = scope_name(false);
+      for (const auto& part : explicit_parts) {
+        cls = cls.empty() ? part : cls + "::" + part;
+      }
+      const std::string qualified =
+          cls.empty() ? terminal : cls + "::" + terminal;
+
+      FnAnnotation sig_ann;
+      CollectAnnotations(tokens, after_close, tail.zone_end, cls, &sig_ann);
+      FnAnnotation& merged = cg->annotations[qualified];
+      merged.hot |= sig_ann.hot;
+      merged.blocking |= sig_ann.blocking;
+      merged.ack |= sig_ann.ack;
+      merged.entry_locks.insert(sig_ann.entry_locks.begin(),
+                                sig_ann.entry_locks.end());
+
+      if (tail.kind == SignatureTail::Kind::kDeclaration) {
+        i = tail.end + 1;
+        continue;
+      }
+
+      // Definition: scan the body.
+      FunctionDef def;
+      def.name = qualified;
+      def.terminal = terminal;
+      def.cls = cls;
+      def.path = path;
+      def.line = tokens[i].line;
+      def.member_fn =
+          std::any_of(scopes.begin(), scopes.end(),
+                      [](const ScopeEnt& s) {
+                        return s.kind == ScopeEnt::Kind::kClass;
+                      }) ||
+          (!explicit_parts.empty() &&
+           std::isupper(static_cast<unsigned char>(explicit_parts.back()[0])));
+      def.entry_locks.assign(sig_ann.entry_locks.begin(),
+                             sig_ann.entry_locks.end());
+
+      std::vector<std::pair<std::string, int>> held;  // lock id, depth
+      for (const auto& lock : def.entry_locks) held.emplace_back(lock, 0);
+      const auto held_ids = [&held]() {
+        std::vector<std::string> ids;
+        ids.reserve(held.size());
+        for (const auto& [lock, depth] : held) ids.push_back(lock);
+        return ids;
+      };
+
+      int depth = 1;
+      std::size_t j = tail.end + 1;
+      while (j < n && depth > 0) {
+        const std::string& bt = tokens[j].text;
+        if (bt == "{") {
+          ++depth;
+          ++j;
+          continue;
+        }
+        if (bt == "}") {
+          --depth;
+          while (!held.empty() && held.back().second > depth) held.pop_back();
+          ++j;
+          continue;
+        }
+
+        // util::MutexLock <var>(&receiver) acquisition.
+        if (bt == "MutexLock" && j + 3 < n &&
+            IsIdentifierToken(tokens[j + 1].text) &&
+            tokens[j + 2].text == "(" && tokens[j + 3].text == "&") {
+          std::string receiver;
+          std::size_t r = j + 4;
+          if (r + 2 < n && tokens[r].text == "this" &&
+              tokens[r + 1].text == "->" &&
+              IsIdentifierToken(tokens[r + 2].text) &&
+              tokens[r + 3].text == ")") {
+            receiver = tokens[r + 2].text;
+          } else if (r + 1 < n && IsIdentifierToken(tokens[r].text) &&
+                     tokens[r + 1].text == ")") {
+            receiver = tokens[r].text;
+          }
+          const std::string scope =
+              cls.empty() ? scope_name(true) : cls;
+          const std::string lock_id =
+              receiver.empty() ? "" : LockIdFor(receiver, scope);
+          if (!lock_id.empty()) {
+            const LockAcq acq{lock_id, tokens[j].line};
+            for (const auto& [h, hd] : held) {
+              def.lock_edges.emplace_back(h, acq);
+            }
+            def.acquisitions.push_back(acq);
+            held.emplace_back(lock_id, depth);
+          }
+          j = SkipBalanced(tokens, j + 2, "(", ")");
+          continue;
+        }
+
+        if (IsIdentifierToken(bt)) {
+          const bool is_call = j + 1 < n && tokens[j + 1].text == "(";
+          const bool member =
+              j > 0 && (tokens[j - 1].text == "." || tokens[j - 1].text == "->");
+          // Call-site context: explicit `A::B::` qualifiers, or the
+          // receiver identifier of a member call.
+          const auto make_site = [&](bool bare) {
+            CallSite site;
+            site.terminal = bt;
+            site.line = tokens[j].line;
+            site.bare = bare;
+            site.held = held_ids();
+            std::size_t cb = j;
+            while (cb >= 2 && tokens[cb - 1].text == "::" &&
+                   IsIdentifierToken(tokens[cb - 2].text)) {
+              site.quals.insert(site.quals.begin(), tokens[cb - 2].text);
+              cb -= 2;
+            }
+            if (site.quals.empty() && cb > 0 &&
+                (tokens[cb - 1].text == "." || tokens[cb - 1].text == "->")) {
+              site.is_member = true;
+              if (cb >= 2 && IsIdentifierToken(tokens[cb - 2].text)) {
+                site.recv = tokens[cb - 2].text;
+              }
+            }
+            return site;
+          };
+          if (is_call && !IsCallKeyword(bt)) {
+            // Blocking primitive?
+            if (BlockingPrimitiveNames().count(bt) != 0) {
+              def.primitives.push_back({bt, tokens[j].line});
+            } else if (bt == "get" && member && j >= 2 &&
+                       IsIdentifierToken(tokens[j - 2].text)) {
+              // std::future::get — only on a future-looking receiver, so
+              // the ubiquitous shared_ptr::get stays quiet.
+              const std::string& recv = tokens[j - 2].text;
+              if (recv.find("future") != std::string::npos ||
+                  recv.find("fut") != std::string::npos ||
+                  recv.find("promise") != std::string::npos) {
+                def.primitives.push_back({"std::future::get", tokens[j].line});
+              }
+            }
+            if (IsFileStreamType(bt)) {
+              def.primitives.push_back({"std::" + bt, tokens[j].line});
+            }
+            def.calls.push_back(make_site(false));
+          } else if (!is_call) {
+            if (IsFileStreamType(bt)) {
+              def.primitives.push_back({"std::" + bt, tokens[j].line});
+            } else if (std::isupper(static_cast<unsigned char>(bt[0])) &&
+                       !member && j + 1 < n &&
+                       (tokens[j + 1].text == ")" ||
+                        tokens[j + 1].text == "," ||
+                        tokens[j + 1].text == ";" ||
+                        tokens[j + 1].text == "}")) {
+              // Possible address-of-function / functor reference (an
+              // argument or initializer position: `&Class::Method,` /
+              // `Submit(Helper)`) — resolved against the function index
+              // later; names that match no definition are dropped.
+              // Idents followed by `*`, `&`, `<`, `::` or another ident
+              // are type mentions, not references.
+              def.calls.push_back(make_site(true));
+            }
+          }
+          ++j;
+          continue;
+        }
+        ++j;
+      }
+
+      cg->defs.push_back(std::move(def));
+      i = j;
+      continue;
+    }
+
+    ++i;
+  }
+}
+
+CallGraph BuildCallGraph(const RepoIndex& repo) {
+  CallGraph cg;
+  for (const auto& [path, content] : repo.code) {
+    if (!path.starts_with("src/")) continue;
+    IndexFileForCallGraph(path, content, &cg);
+  }
+  for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+    FunctionDef& def = cg.defs[d];
+    const auto ann = cg.annotations.find(def.name);
+    if (ann != cg.annotations.end()) {
+      def.hot |= ann->second.hot;
+      def.blocking |= ann->second.blocking;
+      def.ack |= ann->second.ack;
+      for (const auto& lock : ann->second.entry_locks) {
+        if (std::find(def.entry_locks.begin(), def.entry_locks.end(), lock) ==
+            def.entry_locks.end()) {
+          def.entry_locks.push_back(lock);
+        }
+      }
+    }
+    cg.by_terminal[def.terminal].push_back(d);
+  }
+  return cg;
+}
+
+std::string LowerCopy(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+// Receiver-name ~ class-name heuristic for member calls: `pool.Submit`
+// resolves to ThreadPool::Submit, not to every Submit in the tree.  A
+// receiver matches a class when either contains the other (lowercased,
+// trailing `_` stripped) or any `_`-separated receiver piece of length
+// >= 3 appears in the class name (`rating_log` ~ WriteAheadLog).
+bool ReceiverMatchesClass(const std::string& recv, const std::string& cls) {
+  const std::size_t pos = cls.rfind("::");
+  std::string klass =
+      LowerCopy(pos == std::string::npos ? cls : cls.substr(pos + 2));
+  std::string r = LowerCopy(recv);
+  while (!r.empty() && r.back() == '_') r.pop_back();
+  if (r.empty() || klass.empty()) return false;
+  if (klass.find(r) != std::string::npos ||
+      r.find(klass) != std::string::npos) {
+    return true;
+  }
+  std::istringstream pieces(r);
+  std::string piece;
+  while (std::getline(pieces, piece, '_')) {
+    if (piece.size() >= 3 && klass.find(piece) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Resolve a call site to its candidate definitions.  Resolution is by
+// terminal name, narrowed when the site carries usable context, and
+// falls back to EVERY terminal match when it does not — virtual
+// dispatch through a base pointer, overloads, and function pointers all
+// stay conservative:
+//
+//  * `A::B::f(...)` — defs whose qualified name ends in `A::B::f`;
+//  * `obj.f(...)` / `obj->f(...)` — defs whose class matches the
+//    receiver name (ReceiverMatchesClass); `this->f()` prefers the
+//    caller's own class;
+//  * plain `f(...)` — the caller's own members plus free functions
+//    (an unqualified call cannot name another class's member; inherited
+//    members still resolve via the fallback when nothing narrows).
+//
+// An empty narrowed set always widens back to every terminal match.
+void ForEachCallee(const CallGraph& cg, const FunctionDef& caller,
+                   const CallSite& call,
+                   const std::function<void(std::size_t)>& fn) {
+  const auto it = cg.by_terminal.find(call.terminal);
+  if (it == cg.by_terminal.end()) return;
+  const std::vector<std::size_t>& all = it->second;
+  std::vector<std::size_t> narrowed;
+  if (!call.quals.empty()) {
+    std::string suffix;
+    for (const auto& q : call.quals) suffix += q + "::";
+    suffix += call.terminal;
+    for (const std::size_t d : all) {
+      const std::string& name = cg.defs[d].name;
+      if (name == suffix ||
+          (name.size() > suffix.size() + 2 &&
+           name.compare(name.size() - suffix.size() - 2, 2, "::") == 0 &&
+           name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+               0)) {
+        narrowed.push_back(d);
+      }
+    }
+  } else if (call.is_member) {
+    if (call.recv == "this") {
+      for (const std::size_t d : all) {
+        if (cg.defs[d].cls == caller.cls) narrowed.push_back(d);
+      }
+    } else if (!call.recv.empty()) {
+      for (const std::size_t d : all) {
+        if (cg.defs[d].member_fn &&
+            ReceiverMatchesClass(call.recv, cg.defs[d].cls)) {
+          narrowed.push_back(d);
+        }
+      }
+    }
+  } else {
+    for (const std::size_t d : all) {
+      if (cg.defs[d].cls == caller.cls || !cg.defs[d].member_fn) {
+        narrowed.push_back(d);
+      }
+    }
+  }
+  const std::vector<std::size_t>& targets = narrowed.empty() ? all : narrowed;
+  for (const std::size_t target : targets) fn(target);
+}
+
+std::string ChainEntry(const FunctionDef& def) {
+  return def.name + " (" + def.path + ":" + std::to_string(def.line) + ")";
+}
+
+// Rule 1: blocking-call-on-hot-path.  BFS from every CFSF_HOT_PATH
+// definition; CFSF_BLOCKING definitions are sanctioned boundaries (not
+// expanded, not checked); any other reachable definition containing a
+// blocking primitive is a violation, anchored at the root (the function
+// whose contract broke) with the full call chain.
+void CheckHotPaths(
+    const CallGraph& cg,
+    const std::function<void(const std::string&, std::size_t,
+                             const std::string&, const std::string&,
+                             const std::vector<std::string>&)>& emit) {
+  std::vector<std::size_t> roots;
+  for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+    if (cg.defs[d].hot) roots.push_back(d);
+  }
+  std::sort(roots.begin(), roots.end(), [&cg](std::size_t a, std::size_t b) {
+    return cg.defs[a].name != cg.defs[b].name
+               ? cg.defs[a].name < cg.defs[b].name
+               : cg.defs[a].path < cg.defs[b].path;
+  });
+  for (const std::size_t root : roots) {
+    const FunctionDef& root_def = cg.defs[root];
+    if (root_def.blocking) {
+      emit(root_def.path, root_def.line, "blocking-call-on-hot-path",
+           "`" + root_def.name +
+               "` is annotated both CFSF_HOT_PATH and CFSF_BLOCKING — a "
+               "hot root cannot also be a sanctioned blocking boundary",
+           {ChainEntry(root_def)});
+      continue;
+    }
+    std::map<std::size_t, std::size_t> parent;  // def -> predecessor
+    std::vector<std::size_t> queue{root};
+    std::set<std::size_t> visited{root};
+    std::set<std::size_t> reported;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const std::size_t d = queue[qi];
+      const FunctionDef& def = cg.defs[d];
+      if (d != root && def.blocking) continue;  // sanctioned boundary
+      if (!def.primitives.empty() && reported.insert(d).second) {
+        const PrimitiveHit& prim = def.primitives.front();
+        std::vector<std::string> chain;
+        for (std::size_t v = d; v != root; v = parent.at(v)) {
+          chain.push_back(ChainEntry(cg.defs[v]));
+        }
+        chain.push_back(ChainEntry(root_def));
+        std::reverse(chain.begin(), chain.end());
+        emit(root_def.path, root_def.line, "blocking-call-on-hot-path",
+             "hot path `" + root_def.name + "` reaches blocking primitive `" +
+                 prim.name + "` (" + def.path + ":" +
+                 std::to_string(prim.line) +
+                 ") — move it off the request path or annotate a sanctioned "
+                 "boundary CFSF_BLOCKING (src/util/attrs.hpp)",
+             chain);
+      }
+      for (const CallSite& call : def.calls) {
+        ForEachCallee(cg, def, call, [&](std::size_t target) {
+          if (visited.insert(target).second) {
+            parent[target] = d;
+            queue.push_back(target);
+          }
+        });
+      }
+    }
+  }
+}
+
+// Rule 2: lock-order-inversion.  Edge H -> L when L is acquired while H
+// is held — directly (nested MutexLock scopes, or an acquisition under
+// a CFSF_REQUIRES entry contract) or transitively (a call made while H
+// is held reaches a function that acquires L).  Cycles found with the
+// same Tarjan machinery as include-cycle, one deterministic report per
+// cycle.
+void CheckLockOrder(
+    const CallGraph& cg,
+    const std::function<void(const std::string&, std::size_t,
+                             const std::string&, const std::string&,
+                             const std::vector<std::string>&)>& emit) {
+  // Transitive acquisition sets per definition (fixpoint over the call
+  // graph; conservative via terminal-name resolution).
+  std::vector<std::set<std::string>> acquires(cg.defs.size());
+  for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+    for (const auto& acq : cg.defs[d].acquisitions) {
+      acquires[d].insert(acq.lock);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+      for (const CallSite& call : cg.defs[d].calls) {
+        ForEachCallee(cg, cg.defs[d], call, [&](std::size_t target) {
+          for (const auto& lock : acquires[target]) {
+            if (acquires[d].insert(lock).second) changed = true;
+          }
+        });
+      }
+    }
+  }
+
+  struct Witness {
+    std::string path;
+    std::size_t line = 0;
+    std::string how;
+  };
+  std::map<std::pair<std::string, std::string>, Witness> edges;
+  const auto add_edge = [&edges](const std::string& from,
+                                 const std::string& to, Witness w) {
+    if (from == to) return;  // re-acquisition is TSA's department
+    const auto key = std::make_pair(from, to);
+    const auto it = edges.find(key);
+    if (it == edges.end() ||
+        std::tie(w.path, w.line) < std::tie(it->second.path, it->second.line)) {
+      edges.insert_or_assign(it == edges.end() ? edges.begin() : it, key,
+                             std::move(w));
+    }
+  };
+  for (const FunctionDef& def : cg.defs) {
+    for (const auto& [from, acq] : def.lock_edges) {
+      add_edge(from, acq.lock,
+               {def.path, acq.line, "acquired in `" + def.name + "`"});
+    }
+  }
+  for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+    const FunctionDef& def = cg.defs[d];
+    for (const CallSite& call : def.calls) {
+      if (call.held.empty()) continue;
+      ForEachCallee(cg, def, call, [&](std::size_t target) {
+        for (const auto& lock : acquires[target]) {
+          for (const auto& held : call.held) {
+            add_edge(held, lock,
+                     {def.path, call.line,
+                      "via call to `" + cg.defs[target].name + "` from `" +
+                          def.name + "`"});
+          }
+        }
+      });
+    }
+  }
+
+  // Tarjan over the lock graph (iterative, as for include-cycle).
+  std::map<std::string, std::size_t> id;
+  for (const auto& [key, w] : edges) {
+    id.emplace(key.first, id.size());
+    id.emplace(key.second, id.size());
+  }
+  const std::size_t n = id.size();
+  std::vector<std::string> order(n);
+  for (const auto& [lock, node] : id) order[node] = lock;
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const auto& [key, w] : edges) {
+    adj[id.at(key.first)].push_back(id.at(key.second));
+  }
+  for (auto& targets : adj) std::sort(targets.begin(), targets.end());
+
+  std::vector<std::size_t> index(n, 0), low(n, 0), stack;
+  std::vector<bool> visited(n, false), on_stack(n, false);
+  std::vector<std::vector<std::size_t>> sccs;
+  std::size_t counter = 0;
+  struct Frame {
+    std::size_t v;
+    std::size_t edge = 0;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    std::vector<Frame> frames{{root, 0}};
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::size_t v = f.v;
+      if (f.edge == 0 && !visited[v]) {
+        visited[v] = true;
+        index[v] = low[v] = counter++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      if (f.edge < adj[v].size()) {
+        const std::size_t w = adj[v][f.edge++];
+        if (!visited[w]) {
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      } else {
+        if (low[v] == index[v]) {
+          std::vector<std::size_t> scc;
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          sccs.push_back(std::move(scc));
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+  }
+
+  for (const auto& scc : sccs) {
+    if (scc.size() == 1) continue;  // self-edges are filtered at add_edge
+    const std::set<std::size_t> members(scc.begin(), scc.end());
+    std::size_t start = scc[0];
+    for (const std::size_t v : scc) {
+      if (order[v] < order[start]) start = v;
+    }
+    // Shortest cycle through `start` (BFS within the component).
+    std::size_t pred_of_start = n;
+    std::map<std::size_t, std::size_t> parent;
+    std::vector<std::size_t> queue{start};
+    std::set<std::size_t> seen{start};
+    for (std::size_t qi = 0; qi < queue.size() && pred_of_start == n; ++qi) {
+      const std::size_t u = queue[qi];
+      for (const std::size_t w : adj[u]) {
+        if (w == start) {
+          pred_of_start = u;
+          break;
+        }
+        if (members.count(w) == 0 || !seen.insert(w).second) continue;
+        parent[w] = u;
+        queue.push_back(w);
+      }
+    }
+    if (pred_of_start == n) continue;
+    std::vector<std::size_t> cycle{start};
+    {
+      std::vector<std::size_t> hops;
+      for (std::size_t v = pred_of_start; v != start; v = parent.at(v)) {
+        hops.push_back(v);
+      }
+      std::reverse(hops.begin(), hops.end());
+      cycle.insert(cycle.end(), hops.begin(), hops.end());
+    }
+    std::string pretty;
+    std::vector<std::string> chain;
+    for (std::size_t h = 0; h < cycle.size(); ++h) {
+      const std::string& from = order[cycle[h]];
+      const std::string& to = order[cycle[(h + 1) % cycle.size()]];
+      pretty += (h == 0 ? "" : " -> ") + from;
+      const Witness& w = edges.at({from, to});
+      chain.push_back(from + " -> " + to + " (" + w.path + ":" +
+                      std::to_string(w.line) + ", " + w.how + ")");
+    }
+    pretty += " -> " + order[start];
+    const Witness& anchor = edges.at({order[cycle[0]], order[cycle[1]]});
+    emit(anchor.path, anchor.line, "lock-order-inversion",
+         "lock-order cycle: " + pretty +
+             " — pick one acquisition order and restructure the odd one out",
+         chain);
+  }
+}
+
+// Rule 3: ack-before-durable.  A CFSF_ACK_POINT definition must reach
+// (full traversal, boundaries included) a CFSF_BLOCKING definition that
+// itself reaches fsync/fdatasync — the durability barrier sits on the
+// ack path.  This is must-reach, not true dominance: a token scanner
+// cannot prove ordering, but a Rate path with *no* fsync barrier at all
+// is exactly the regression the rule exists to stop.
+void CheckAckDurability(
+    const CallGraph& cg,
+    const std::function<void(const std::string&, std::size_t,
+                             const std::string&, const std::string&,
+                             const std::vector<std::string>&)>& emit) {
+  std::vector<bool> reaches_fsync(cg.defs.size(), false);
+  for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+    for (const auto& prim : cg.defs[d].primitives) {
+      if (prim.name == "fsync" || prim.name == "fdatasync") {
+        reaches_fsync[d] = true;
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+      if (reaches_fsync[d]) continue;
+      for (const CallSite& call : cg.defs[d].calls) {
+        ForEachCallee(cg, cg.defs[d], call, [&](std::size_t target) {
+          if (reaches_fsync[target] && !reaches_fsync[d]) {
+            reaches_fsync[d] = true;
+            changed = true;
+          }
+        });
+        if (reaches_fsync[d]) break;
+      }
+    }
+  }
+
+  std::vector<std::size_t> acks;
+  for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+    if (cg.defs[d].ack) acks.push_back(d);
+  }
+  std::sort(acks.begin(), acks.end(), [&cg](std::size_t a, std::size_t b) {
+    return cg.defs[a].name != cg.defs[b].name
+               ? cg.defs[a].name < cg.defs[b].name
+               : cg.defs[a].path < cg.defs[b].path;
+  });
+  for (const std::size_t root : acks) {
+    std::map<std::size_t, std::size_t> parent;
+    std::vector<std::size_t> queue{root};
+    std::set<std::size_t> visited{root};
+    std::size_t barrier = cg.defs.size();
+    for (std::size_t qi = 0; qi < queue.size() && barrier == cg.defs.size();
+         ++qi) {
+      const std::size_t d = queue[qi];
+      if (cg.defs[d].blocking && reaches_fsync[d]) {
+        barrier = d;
+        break;
+      }
+      for (const CallSite& call : cg.defs[d].calls) {
+        ForEachCallee(cg, cg.defs[d], call, [&](std::size_t target) {
+          if (visited.insert(target).second) {
+            parent[target] = d;
+            queue.push_back(target);
+          }
+        });
+      }
+    }
+    const FunctionDef& ack_def = cg.defs[root];
+    if (barrier == cg.defs.size()) {
+      emit(ack_def.path, ack_def.line, "ack-before-durable",
+           "ack point `" + ack_def.name +
+               "` reaches no durability barrier: no CFSF_BLOCKING callee "
+               "on its call graph reaches fsync/fdatasync — the ack must "
+               "be dominated by the WAL append",
+           {ChainEntry(ack_def)});
+    }
+  }
+}
+
+void AnalyzeCallGraph(const RepoIndex& repo, const RuleFilter* filter,
+                      const std::function<void(
+                          const std::string&, std::size_t, const std::string&,
+                          const std::string&,
+                          const std::vector<std::string>&)>& emit) {
+  const bool hot = RuleActive(filter, "blocking-call-on-hot-path");
+  const bool locks = RuleActive(filter, "lock-order-inversion");
+  const bool ack = RuleActive(filter, "ack-before-durable");
+  if (!hot && !locks && !ack) return;
+  const CallGraph cg = BuildCallGraph(repo);
+  if (hot) CheckHotPaths(cg, emit);
+  if (locks) CheckLockOrder(cg, emit);
+  if (ack) CheckAckDurability(cg, emit);
+}
+
 void AnalyzeRepo(const RepoIndex& repo, const LayerSpec* spec,
-                 std::vector<Violation>& out) {
+                 std::vector<Violation>& out,
+                 const RuleFilter* filter = nullptr) {
   // Original lines of every indexed file, for inline allow markers.
   std::map<std::string, std::vector<std::string>> lines;
   for (const auto& [path, content] : repo.code) {
@@ -877,15 +1966,22 @@ void AnalyzeRepo(const RepoIndex& repo, const LayerSpec* spec,
     lines.emplace(path, SplitLines(content));
   }
 
-  const auto emit = [&lines, &out](const std::string& path,
-                                   std::size_t line_no, const char* rule,
-                                   const std::string& message) {
+  const auto emit_chain = [&lines, &out](const std::string& path,
+                                         std::size_t line_no,
+                                         const std::string& rule,
+                                         const std::string& message,
+                                         const std::vector<std::string>& chain) {
     const auto it = lines.find(path);
     if (it != lines.end() && line_no >= 1 && line_no <= it->second.size() &&
         InlineAllowed(it->second[line_no - 1], rule)) {
       return;
     }
-    out.push_back({path, line_no, rule, message});
+    out.push_back({path, line_no, rule, message, chain});
+  };
+  const auto emit = [&emit_chain](const std::string& path, std::size_t line_no,
+                                  const char* rule,
+                                  const std::string& message) {
+    emit_chain(path, line_no, rule, message, {});
   };
 
   // ---- include graph (shared by layering and include-cycle) ---------------
@@ -899,7 +1995,7 @@ void AnalyzeRepo(const RepoIndex& repo, const LayerSpec* spec,
   }
 
   // ---- layering -----------------------------------------------------------
-  if (spec != nullptr) {
+  if (spec != nullptr && RuleActive(filter, "layering")) {
     std::set<std::string> reported_unknown;  // one report per unknown module
     for (const auto& [path, edges] : graph) {
       const std::string from = ModuleOf(path);
@@ -944,7 +2040,7 @@ void AnalyzeRepo(const RepoIndex& repo, const LayerSpec* spec,
   }
 
   // ---- include-cycle ------------------------------------------------------
-  {
+  if (RuleActive(filter, "include-cycle")) {
     // Tarjan SCCs over the resolved include graph; every component with
     // more than one file (or a self-include) is a cycle.  Iterative so
     // deep include chains cannot blow the stack.
@@ -1062,6 +2158,7 @@ void AnalyzeRepo(const RepoIndex& repo, const LayerSpec* spec,
 
   // ---- stray-metric-literal -----------------------------------------------
   for (const auto& [path, content] : repo.code) {
+    if (!RuleActive(filter, "stray-metric-literal")) break;
     if (!path.starts_with("src/") && !path.starts_with("bench/")) continue;
     const std::vector<Token> tokens = TokenizeWithStrings(content);
     for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
@@ -1083,7 +2180,7 @@ void AnalyzeRepo(const RepoIndex& repo, const LayerSpec* spec,
   }
 
   // ---- undocumented-failpoint ---------------------------------------------
-  {
+  if (RuleActive(filter, "undocumented-failpoint")) {
     // (a) inventory rows in src/obs/names.hpp between the
     //     failpoint-inventory markers: first string literal of each `{...}`.
     std::map<std::string, std::size_t> inventory;  // name -> names.hpp line
@@ -1204,7 +2301,7 @@ void AnalyzeRepo(const RepoIndex& repo, const LayerSpec* spec,
   }
 
   // ---- unknown-ctest-label ------------------------------------------------
-  {
+  if (RuleActive(filter, "unknown-ctest-label")) {
     static const std::set<std::string> known = {"unit", "integration",
                                                "stress", "lint", "fault"};
     static const std::regex labels_kw(R"(\bLABELS?\b)");
@@ -1252,6 +2349,9 @@ void AnalyzeRepo(const RepoIndex& repo, const LayerSpec* spec,
       }
     }
   }
+
+  // ---- v4 call-graph rules ------------------------------------------------
+  AnalyzeCallGraph(repo, filter, emit_chain);
 }
 
 bool HasLintableExtension(const fs::path& path) {
@@ -1303,7 +2403,8 @@ void LoadRepoIndex(const fs::path& root, RepoIndex* repo) {
 
 // Parse the index's layer spec (if any) and run every cross-file rule.
 // Returns false on a malformed spec (message to stderr).
-bool AnalyzeRepoWithSpec(const RepoIndex& repo, std::vector<Violation>& out) {
+bool AnalyzeRepoWithSpec(const RepoIndex& repo, std::vector<Violation>& out,
+                         const RuleFilter* filter = nullptr) {
   LayerSpec spec;
   const LayerSpec* spec_ptr = nullptr;
   if (repo.has_layers) {
@@ -1314,7 +2415,7 @@ bool AnalyzeRepoWithSpec(const RepoIndex& repo, std::vector<Violation>& out) {
     }
     spec_ptr = &spec;
   }
-  AnalyzeRepo(repo, spec_ptr, out);
+  AnalyzeRepo(repo, spec_ptr, out, filter);
   return true;
 }
 
@@ -1576,6 +2677,48 @@ const std::vector<CrossTestCase>& CrossTestCases() {
       {"variable label reference clean",
        {{"tests/CMakeLists.txt", "set(_props LABELS ${CFSF_TEST_LABEL})\n"}},
        ""},
+      // --- call-graph construction edge cases --------------------------------
+      // Virtual dispatch through a base pointer: the receiver name gives no
+      // hint, so resolution widens to every definition of the terminal name
+      // (conservative fallback) and still reaches the derived override's
+      // fsync.
+      {"virtual dispatch widens to derived override fires",
+       {{"src/serve/host.cpp",
+         "class Sink {\n"
+         " public:\n"
+         "  virtual int Emit(int fd) = 0;\n"
+         "};\n"
+         "class DiskSink : public Sink {\n"
+         " public:\n"
+         "  int Emit(int fd) override { return ::fsync(fd); }\n"
+         "};\n"
+         "int Pump(Sink* out, int fd) CFSF_HOT_PATH {\n"
+         "  return out->Emit(fd);\n"
+         "}\n"}},
+       "blocking-call-on-hot-path"},
+      // Self-recursion must terminate (BFS visited set) and stay clean when
+      // nothing on the cycle blocks.
+      {"recursive hot path terminates clean",
+       {{"src/core/walker.cpp",
+         "int Depth(int n) CFSF_HOT_PATH {\n"
+         "  if (n <= 0) return 0;\n"
+         "  return 1 + Depth(n - 1);\n"
+         "}\n"}},
+       ""},
+      // A function pointer taken as `&Class::Method` adds a conservative
+      // call edge even though the call site never names the method with
+      // `(...)` directly.
+      {"function pointer member reference adds conservative edge fires",
+       {{"src/serve/queue.cpp",
+         "class Job {\n"
+         " public:\n"
+         "  int Run(int fd) { return ::fsync(fd); }\n"
+         "};\n"
+         "int Invoke(int (Job::*method)(int), int fd);\n"
+         "int Drain(int fd) CFSF_HOT_PATH {\n"
+         "  return Invoke(&Job::Run, fd);\n"
+         "}\n"}},
+       "blocking-call-on-hot-path"},
   };
   return cases;
 }
@@ -1781,6 +2924,40 @@ int RunSelfTest(const std::string& fixtures_dir) {
   return failures == 0 ? 0 : 1;
 }
 
+// Every rule id the tool knows, for --rules validation and --list-rules.
+std::vector<std::string> AllRuleIds() {
+  std::vector<std::string> ids = {"missing-pragma-once"};
+  for (const auto& rule : LineRules()) ids.push_back(rule.id);
+  for (const auto& rule : TokenRules()) ids.push_back(rule.id);
+  for (const auto& id : CrossFileRuleIds()) ids.push_back(id);
+  for (const auto& id : CallGraphRuleIds()) ids.push_back(id);
+  return ids;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1788,18 +2965,21 @@ int main(int argc, char** argv) {
   std::string allowlist_path;
   std::string repo_root;
   std::string fixtures_dir;
+  std::string rules_arg;
   bool self_test = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--self-test") {
       self_test = true;
       continue;
     }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
     if (arg == "--list-rules") {
-      std::cout << "missing-pragma-once\n";
-      for (const auto& rule : LineRules()) std::cout << rule.id << "\n";
-      for (const auto& rule : TokenRules()) std::cout << rule.id << "\n";
-      for (const auto& id : CrossFileRuleIds()) std::cout << id << "\n";
+      for (const auto& id : AllRuleIds()) std::cout << id << "\n";
       return 0;
     }
     const auto need_value = [&argc, &argv, &i](const char* flag) {
@@ -1815,6 +2995,8 @@ int main(int argc, char** argv) {
       repo_root = need_value("--repo-root");
     } else if (arg == "--fixtures") {
       fixtures_dir = need_value("--fixtures");
+    } else if (arg == "--rules") {
+      rules_arg = need_value("--rules");
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "cfsf_lint: unknown flag " << arg << "\n";
       return 2;
@@ -1825,12 +3007,51 @@ int main(int argc, char** argv) {
   if (self_test) return RunSelfTest(fixtures_dir);
   if (roots.empty() && repo_root.empty()) {
     std::cerr << "usage: cfsf_lint [--allowlist FILE] [--repo-root DIR] "
-                 "[--self-test] [--fixtures DIR] [--list-rules] DIR...\n";
+                 "[--self-test] [--fixtures DIR] [--list-rules] [--json] "
+                 "[--rules ID[,ID...]] DIR...\n";
     return 2;
+  }
+
+  // --rules: validate every id against the full rule list up front so a
+  // typo fails loudly instead of silently running nothing.
+  RuleFilter filter_storage;
+  const RuleFilter* filter = nullptr;
+  if (!rules_arg.empty()) {
+    const std::vector<std::string> known_vec = AllRuleIds();
+    const std::set<std::string> known(known_vec.begin(), known_vec.end());
+    std::istringstream pieces(rules_arg);
+    std::string piece;
+    while (std::getline(pieces, piece, ',')) {
+      if (piece.empty()) continue;
+      if (known.count(piece) == 0) {
+        std::cerr << "cfsf_lint: --rules: unknown rule id `" << piece
+                  << "` (see --list-rules)\n";
+        return 2;
+      }
+      filter_storage.insert(piece);
+    }
+    if (filter_storage.empty()) {
+      std::cerr << "cfsf_lint: --rules: no rule ids given\n";
+      return 2;
+    }
+    filter = &filter_storage;
   }
 
   std::vector<AllowEntry> allow;
   if (!allowlist_path.empty()) allow = LoadAllowlist(allowlist_path);
+  // Per-entry suppression counters, for the v4 staleness check.
+  std::vector<std::size_t> allow_hits(allow.size(), 0);
+  const auto allowlisted = [&allow, &allow_hits](const Violation& v) {
+    bool hit = false;
+    for (std::size_t e = 0; e < allow.size(); ++e) {
+      if ((allow[e].rule == "*" || allow[e].rule == v.rule) &&
+          v.path.find(allow[e].path_substring) != std::string::npos) {
+        ++allow_hits[e];
+        hit = true;
+      }
+    }
+    return hit;
+  };
 
   std::vector<Violation> violations;
   std::vector<std::string> scanned_paths;
@@ -1855,16 +3076,17 @@ int main(int argc, char** argv) {
       buffer << in.rdbuf();
       const std::string display = it->path().generic_string();
       std::vector<Violation> file_violations;
-      LintFile(display, buffer.str(), file_violations);
+      LintFile(display, buffer.str(), file_violations, filter);
       scanned_paths.push_back(display);
       for (auto& v : file_violations) {
-        if (!Allowlisted(v, allow)) violations.push_back(std::move(v));
+        if (!allowlisted(v)) violations.push_back(std::move(v));
       }
     }
   }
 
-  // Whole-repo cross-file analysis (v3).  Violations carry repo-root-
-  // relative paths, so allowlist path substrings match either form.
+  // Whole-repo cross-file analysis (v3) and call-graph analysis (v4).
+  // Violations carry repo-root-relative paths, so allowlist path
+  // substrings match either form.
   if (!repo_root.empty()) {
     if (!fs::is_directory(repo_root)) {
       std::cerr << "cfsf_lint: --repo-root " << repo_root
@@ -1879,7 +3101,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::vector<Violation> cross;
-    if (!AnalyzeRepoWithSpec(repo, cross)) return 2;
+    if (!AnalyzeRepoWithSpec(repo, cross, filter)) return 2;
     for (const auto& [path, content] : repo.code) {
       scanned_paths.push_back(path);
     }
@@ -1887,7 +3109,7 @@ int main(int argc, char** argv) {
       scanned_paths.push_back(path);
     }
     for (auto& v : cross) {
-      if (!Allowlisted(v, allow)) violations.push_back(std::move(v));
+      if (!allowlisted(v)) violations.push_back(std::move(v));
     }
   }
 
@@ -1895,16 +3117,17 @@ int main(int argc, char** argv) {
             [](const Violation& a, const Violation& b) {
               return a.path != b.path ? a.path < b.path : a.line < b.line;
             });
-  for (const auto& v : violations) {
-    std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
-              << v.message << "\n";
-  }
 
-  // An allowlist entry that matches no scanned file is rot: the code it
-  // excused is gone (or renamed), so the entry must go too.  Distinct
-  // message + exit code so CI failures are unambiguous.
+  // Staleness (both checks report to stderr so --json stdout stays pure
+  // JSON).  (1) An entry that matches no scanned file is rot: the code
+  // it excused is gone or renamed.  (2, v4) An entry for a call-graph
+  // rule that ran and suppressed nothing is rot too: the violation it
+  // excused was fixed, and the tree's target is zero call-graph entries.
   bool stale = false;
-  for (const auto& entry : allow) {
+  const std::set<std::string> call_graph_ids(CallGraphRuleIds().begin(),
+                                             CallGraphRuleIds().end());
+  for (std::size_t e = 0; e < allow.size(); ++e) {
+    const AllowEntry& entry = allow[e];
     const bool matches_any = std::any_of(
         scanned_paths.begin(), scanned_paths.end(),
         [&entry](const std::string& path) {
@@ -1916,11 +3139,65 @@ int main(int argc, char** argv) {
                 << "`: matches no scanned file — remove it from the "
                    "allowlist\n";
       stale = true;
+      continue;
+    }
+    if (call_graph_ids.count(entry.rule) != 0 && !repo_root.empty() &&
+        RuleActive(filter, entry.rule) && allow_hits[e] == 0) {
+      std::cerr << "cfsf_lint: stale allowlist entry `" << entry.rule << " "
+                << entry.path_substring
+                << "`: its rule ran and the entry suppressed nothing — the "
+                   "violation it excused was fixed; remove it\n";
+      stale = true;
     }
   }
 
-  std::cout << "cfsf_lint: " << scanned_paths.size() << " files scanned, "
-            << violations.size() << " violation(s)\n";
+  if (json) {
+    // Machine-readable report (validated in CI with `cfsf_cli
+    // json-check`).  Exit codes are identical to the human mode.
+    std::map<std::string, std::size_t> per_rule;
+    for (const auto& id : AllRuleIds()) {
+      if (RuleActive(filter, id)) per_rule.emplace(id, 0);
+    }
+    for (const auto& v : violations) ++per_rule[v.rule];
+    std::cout << "{\n  \"tool\": \"cfsf_lint\",\n  \"version\": 4,\n"
+              << "  \"files_scanned\": " << scanned_paths.size() << ",\n"
+              << "  \"violations\": " << violations.size() << ",\n"
+              << "  \"stale_allowlist_entries\": " << (stale ? "true" : "false")
+              << ",\n  \"rules\": {";
+    bool first = true;
+    for (const auto& [id, count] : per_rule) {
+      std::cout << (first ? "" : ",") << "\n    \"" << JsonEscape(id)
+                << "\": " << count;
+      first = false;
+    }
+    std::cout << "\n  },\n  \"findings\": [";
+    first = true;
+    for (const auto& v : violations) {
+      std::cout << (first ? "" : ",")
+                << "\n    {\n      \"rule\": \"" << JsonEscape(v.rule)
+                << "\",\n      \"path\": \"" << JsonEscape(v.path)
+                << "\",\n      \"line\": " << v.line
+                << ",\n      \"message\": \"" << JsonEscape(v.message)
+                << "\",\n      \"chain\": [";
+      for (std::size_t h = 0; h < v.chain.size(); ++h) {
+        std::cout << (h == 0 ? "" : ", ") << "\"" << JsonEscape(v.chain[h])
+                  << "\"";
+      }
+      std::cout << "]\n    }";
+      first = false;
+    }
+    std::cout << "\n  ]\n}\n";
+  } else {
+    for (const auto& v : violations) {
+      std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
+                << v.message << "\n";
+      for (std::size_t h = 0; h < v.chain.size(); ++h) {
+        std::cout << "    " << (h == 0 ? "" : "-> ") << v.chain[h] << "\n";
+      }
+    }
+    std::cout << "cfsf_lint: " << scanned_paths.size() << " files scanned, "
+              << violations.size() << " violation(s)\n";
+  }
   if (stale) return 3;
   return violations.empty() ? 0 : 1;
 }

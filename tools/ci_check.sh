@@ -23,7 +23,12 @@
 #   6. cfsf_lint                                   : self-test (with the
 #      fixture corpus) + whole-repo scan — per-file rules plus the v3
 #      cross-file rules (layering DAG, include cycles, metric-name and
-#      failpoint registry contracts, ctest-label vocabulary)
+#      failpoint registry contracts, ctest-label vocabulary) and the v4
+#      call-graph rules (blocking-call-on-hot-path, lock-order-inversion,
+#      ack-before-durable).  The scan also emits a --json report that
+#      must pass `cfsf_cli json-check`, and the call-graph rules rerun
+#      as their own timed step with a < 30 s wall-clock budget so the
+#      analyzer stays fast as the tree grows.
 #   7. deep analyzer (non-advisory)                : clang --analyze when
 #      clang is on PATH, else GCC -fanalyzer; every finding must be
 #      fixed or carry an `analyzer-<flag> <path>` entry in
@@ -152,6 +157,41 @@ fi
   --repo-root "${ROOT}" \
   "${ROOT}/src" "${ROOT}/bench" "${ROOT}/examples" "${ROOT}/tests" \
   "${ROOT}/tools"
+
+echo "=== cfsf_lint --json report ==="
+# The machine-readable report a CI workflow archives: per-rule counts and
+# findings with call chains.  It must be valid JSON by our own validator.
+CLI_BIN=""
+for d in "${ROOT}/build/asan" "${ROOT}/build/tsan" "${ROOT}/build/release" "${ROOT}/build"; do
+  if [[ -x "${d}/tools/cfsf_cli" ]]; then CLI_BIN="${d}/tools/cfsf_cli"; break; fi
+done
+if [[ -z "${CLI_BIN}" ]]; then
+  cmake --preset release -S "${ROOT}"
+  cmake --build --preset release -j "${JOBS}" --target cfsf_cli
+  CLI_BIN="${ROOT}/build/release/tools/cfsf_cli"
+fi
+LINT_REPORT="$(mktemp)"
+"${LINT_BIN}" --json --allowlist "${ROOT}/tools/cfsf_lint_allow.txt" \
+  --repo-root "${ROOT}" \
+  "${ROOT}/src" "${ROOT}/bench" "${ROOT}/examples" "${ROOT}/tests" \
+  "${ROOT}/tools" > "${LINT_REPORT}"
+"${CLI_BIN}" json-check --file="${LINT_REPORT}"
+rm -f "${LINT_REPORT}"
+
+echo "=== cfsf_lint call-graph rules (timed, budget 30 s) ==="
+# The interprocedural rules walk a whole-repo call graph; assert they
+# stay inside their wall-clock budget so the gate keeps scaling.
+CG_START="${SECONDS}"
+"${LINT_BIN}" \
+  --rules blocking-call-on-hot-path,lock-order-inversion,ack-before-durable \
+  --allowlist "${ROOT}/tools/cfsf_lint_allow.txt" \
+  --repo-root "${ROOT}" "${ROOT}/src"
+CG_ELAPSED=$((SECONDS - CG_START))
+echo "ci_check: call-graph scan took ${CG_ELAPSED} s"
+if [[ "${CG_ELAPSED}" -ge 30 ]]; then
+  echo "ci_check: call-graph scan blew its 30 s budget (${CG_ELAPSED} s)" >&2
+  exit 1
+fi
 
 if [[ "${RUN_ANALYZE}" -eq 1 ]]; then
   echo "=== deep analyzer (non-advisory) ==="

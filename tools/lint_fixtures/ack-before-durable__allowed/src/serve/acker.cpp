@@ -1,0 +1,11 @@
+#include "serve/acker.hpp"
+
+namespace fix {
+
+int Acker::Rate(int value) {  // cfsf-lint: allow(ack-before-durable)
+  return Stage(value);
+}
+
+int Acker::Stage(int value) { return value + 1; }
+
+}  // namespace fix

@@ -1,0 +1,16 @@
+#pragma once
+#include "util/attrs.hpp"
+
+namespace fix {
+
+// Same seeded violation as the `bad` twin, suppressed with an inline
+// marker on the ack point's definition line (where the rule anchors).
+class Acker {
+ public:
+  int Rate(int value) CFSF_ACK_POINT;
+
+ private:
+  int Stage(int value);
+};
+
+}  // namespace fix

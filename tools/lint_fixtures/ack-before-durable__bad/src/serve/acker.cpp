@@ -1,0 +1,9 @@
+#include "serve/acker.hpp"
+
+namespace fix {
+
+int Acker::Rate(int value) { return Stage(value); }
+
+int Acker::Stage(int value) { return value + 1; }
+
+}  // namespace fix

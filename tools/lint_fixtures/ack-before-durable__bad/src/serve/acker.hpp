@@ -1,0 +1,16 @@
+#pragma once
+#include "util/attrs.hpp"
+
+namespace fix {
+
+// Seeded violation: the ack point's call graph reaches no CFSF_BLOCKING
+// barrier that fsyncs — the client would be acked before durability.
+class Acker {
+ public:
+  int Rate(int value) CFSF_ACK_POINT;
+
+ private:
+  int Stage(int value);
+};
+
+}  // namespace fix

@@ -1,0 +1,7 @@
+#include "serve/acker.hpp"
+
+namespace fix {
+
+int Acker::Rate(int value) { return log_.Append(value); }
+
+}  // namespace fix

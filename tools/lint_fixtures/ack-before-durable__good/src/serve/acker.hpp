@@ -1,0 +1,17 @@
+#pragma once
+#include "util/attrs.hpp"
+#include "wal/durable_log.hpp"
+
+namespace fix {
+
+// Clean: the ack point calls the log's CFSF_BLOCKING append, which
+// reaches ::fsync — the durability barrier covers the ack.
+class Acker {
+ public:
+  int Rate(int value) CFSF_ACK_POINT;
+
+ private:
+  DurableLog log_;
+};
+
+}  // namespace fix

@@ -1,0 +1,7 @@
+#include "wal/durable_log.hpp"
+
+namespace fix {
+
+int DurableLog::Append(int fd) { return ::fsync(fd); }
+
+}  // namespace fix

@@ -1,0 +1,11 @@
+#pragma once
+#include "util/attrs.hpp"
+
+namespace fix {
+
+class DurableLog {
+ public:
+  int Append(int fd) CFSF_BLOCKING;
+};
+
+}  // namespace fix

@@ -1,0 +1,16 @@
+#pragma once
+#include "util/attrs.hpp"
+
+namespace fix {
+
+// Seeded violation: the hot root's call graph reaches ::fsync with no
+// CFSF_BLOCKING boundary on the path.
+class Handler {
+ public:
+  int Serve(int request) CFSF_HOT_PATH;
+
+ private:
+  int Flush(int fd);
+};
+
+}  // namespace fix

@@ -1,0 +1,9 @@
+#include "serve/handler.hpp"
+
+namespace fix {
+
+int Handler::Serve(int request) { return Flush(request); }
+
+int Handler::Flush(int fd) { return ::fsync(fd); }
+
+}  // namespace fix

@@ -1,0 +1,16 @@
+#pragma once
+#include "util/attrs.hpp"
+
+namespace fix {
+
+// Clean: the fsync sits behind a CFSF_BLOCKING sanctioned boundary, so
+// the hot root's walk stops at Flush's annotated entry point.
+class Handler {
+ public:
+  int Serve(int request) CFSF_HOT_PATH;
+
+ private:
+  int Flush(int fd) CFSF_BLOCKING;
+};
+
+}  // namespace fix

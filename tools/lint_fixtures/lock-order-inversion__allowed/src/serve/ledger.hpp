@@ -1,0 +1,21 @@
+#pragma once
+#include "util/mutex.hpp"
+
+namespace fix {
+
+// Same ABBA inversion as the `bad` twin, suppressed with an inline
+// marker on the witness acquisition line (where the cycle report
+// anchors).
+class Ledger {
+ public:
+  void Credit();
+  void Debit();
+
+ private:
+  util::Mutex alpha_;
+  util::Mutex beta_;
+  int credits_ = 0;
+  int debits_ = 0;
+};
+
+}  // namespace fix

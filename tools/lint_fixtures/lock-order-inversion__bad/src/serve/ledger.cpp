@@ -1,0 +1,17 @@
+#include "serve/ledger.hpp"
+
+namespace fix {
+
+void Ledger::Credit() {
+  util::MutexLock hold_alpha(&alpha_);
+  util::MutexLock hold_beta(&beta_);
+  ++credits_;
+}
+
+void Ledger::Debit() {
+  util::MutexLock hold_beta(&beta_);
+  util::MutexLock hold_alpha(&alpha_);
+  ++debits_;
+}
+
+}  // namespace fix

@@ -1,0 +1,20 @@
+#pragma once
+#include "util/mutex.hpp"
+
+namespace fix {
+
+// Seeded ABBA inversion: Credit locks alpha_ then beta_, Debit locks
+// beta_ then alpha_ — a real two-mutex deadlock cycle.
+class Ledger {
+ public:
+  void Credit();
+  void Debit();
+
+ private:
+  util::Mutex alpha_;
+  util::Mutex beta_;
+  int credits_ = 0;
+  int debits_ = 0;
+};
+
+}  // namespace fix

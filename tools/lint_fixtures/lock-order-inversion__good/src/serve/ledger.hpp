@@ -1,0 +1,20 @@
+#pragma once
+#include "util/mutex.hpp"
+
+namespace fix {
+
+// Clean: both paths acquire alpha_ before beta_ — a consistent global
+// order, so the lock-order graph is acyclic.
+class Ledger {
+ public:
+  void Credit();
+  void Debit();
+
+ private:
+  util::Mutex alpha_;
+  util::Mutex beta_;
+  int credits_ = 0;
+  int debits_ = 0;
+};
+
+}  // namespace fix
