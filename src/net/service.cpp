@@ -76,6 +76,14 @@ HttpResponse ServingService::Handle(const HttpRequest& request) {
       }
       return HandleTopN(request);
     }
+    if (request.path == "/v1/admin/checkpoint") {
+      if (request.method != "POST") {
+        return ErrorResponse(serve::StatusCode::kMalformed,
+                             "use POST for /v1/admin/checkpoint",
+                             TraceIdOf(request));
+      }
+      return HandleAdminCheckpoint(request);
+    }
     if (request.path == "/healthz") {
       return HandleHealthz();
     }
@@ -161,10 +169,65 @@ HttpResponse ServingService::HandleHealthz() {
       .String(log == nullptr       ? "absent"
               : log->available() ? "ok"
                                  : "unavailable");
+  if (options_.folder != nullptr) {
+    // The fold backlog: durable records that can never fold because the
+    // user/item is outside the shadow's dimensions.  Nonzero and
+    // growing = clients are rating unenrolled entities.
+    json.Key("fold_skipped").Uint(options_.folder->skipped_records());
+    json.Key("fold_watermark").Uint(options_.folder->fold_watermark());
+  }
+  if (options_.recovery != nullptr) {
+    const ckpt::RecoveryInfo& info = *options_.recovery;
+    json.Key("recovery").BeginObject();
+    json.Key("source").String(info.source);
+    json.Key("checkpoint_id").Uint(info.checkpoint_id);
+    json.Key("watermark").Uint(info.watermark);
+    json.Key("replayed_records").Uint(info.replayed_records);
+    json.Key("skipped_records").Uint(info.skipped_records);
+    json.Key("fallbacks").Uint(info.fallbacks);
+    json.Key("degraded_history").Bool(info.degraded_history);
+    json.Key("recovery_us").Double(info.recovery_us);
+    json.EndObject();
+  }
+  if (options_.checkpoints != nullptr) {
+    const ckpt::CheckpointStatus status = options_.checkpoints->status();
+    json.Key("checkpoints").BeginObject();
+    json.Key("last_id").Uint(status.last_id);
+    json.Key("last_watermark").Uint(status.last_watermark);
+    json.Key("writes").Uint(status.writes);
+    json.Key("failures").Uint(status.failures);
+    json.Key("compacted_segments").Uint(status.compacted_segments);
+    json.Key("compaction_failed").Bool(status.compaction_failed);
+    json.EndObject();
+  }
   json.EndObject();
 
   HttpResponse response;
   response.status = active != nullptr ? 200 : 503;
+  response.body = json.str();
+  return response;
+}
+
+HttpResponse ServingService::HandleAdminCheckpoint(
+    const HttpRequest& request) {
+  if (options_.checkpoints == nullptr) {
+    return ErrorResponse(serve::StatusCode::kNotFound,
+                         "checkpointing is not enabled (--ckpt-dir)",
+                         TraceIdOf(request));
+  }
+  // CheckpointNow throws util::IoError on write/verify failure; the
+  // outer catch in Handle() turns that into a 500 document, which is
+  // exactly the admin-facing verdict we want.
+  const std::uint64_t id = options_.checkpoints->CheckpointNow();
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("status").String("ok");
+  json.Key("checkpoint_id").Uint(id);
+  // id 0 = the fold watermark has not advanced since the last
+  // checkpoint; nothing was written.
+  json.Key("skipped").Bool(id == 0);
+  json.EndObject();
+  HttpResponse response;
   response.body = json.str();
   return response;
 }
@@ -178,6 +241,12 @@ HttpResponse ServingService::HandleMetrics() {
 HttpResponse ServingService::Dispatch(const HttpRequest& http,
                                       serve::Request request) {
   request.trace_id = TraceIdOf(http);
+
+  if (request.kind == serve::Request::Kind::kRate) {
+    if (const std::string* id = http.FindHeader("x-cfsf-request-id")) {
+      request.request_id = *id;
+    }
+  }
 
   if (const std::string* header = http.FindHeader("x-cfsf-deadline-us")) {
     std::uint64_t budget_us = 0;

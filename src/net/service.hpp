@@ -14,11 +14,20 @@
 //   GET  /v1/top-n?user=U&n=N
 //   GET  /healthz           liveness + active generation / breaker tier
 //   GET  /metrics           obs::MetricsRegistry::Global().ToJson()
+//   POST /v1/admin/checkpoint
+//                           force a checkpoint now (404 when
+//                           checkpointing is not enabled); returns the
+//                           new id, or "skipped" when the fold
+//                           watermark has not advanced
 //
 // Cross-cutting headers:
 //   X-CFSF-Deadline-Us  request budget in microseconds; propagated as
 //                       robust::Deadline::After into the ladder
 //   X-CFSF-Trace-Id     opaque token, echoed on the response
+//   X-CFSF-Request-Id   POST /v1/rate only: client idempotency key; a
+//                       retry carrying the same id returns the original
+//                       record's ack ("deduplicated": true) instead of
+//                       logging a duplicate
 //   Retry-After         attached (seconds) when IsRetryable(code)
 //
 // The service is stateless per request and thread-safe: the HttpServer
@@ -28,7 +37,10 @@
 #include <chrono>
 #include <cstddef>
 
+#include "ckpt/checkpoint_manager.hpp"
+#include "ckpt/recover.hpp"
 #include "net/http.hpp"
+#include "serve/delta_folder.hpp"
 #include "serve/serving_stack.hpp"
 #include "util/attrs.hpp"
 
@@ -42,6 +54,18 @@ struct ServiceOptions {
   std::size_t max_top_n = 1000;
   /// Value of the Retry-After header on retryable refusals.
   std::chrono::seconds retry_after{1};
+  /// Optional observability hooks rendered into /healthz; each may be
+  /// null (the corresponding section is omitted) and, when set, must
+  /// outlive the service.
+  /// How the process last started (ckpt::Recover's report).
+  const ckpt::RecoveryInfo* recovery = nullptr;
+  /// Live checkpoint/compaction state (status() is thread-safe) and
+  /// the /v1/admin/checkpoint trigger (CheckpointNow serializes against
+  /// the cadence thread internally).
+  ckpt::CheckpointManager* checkpoints = nullptr;
+  /// Fold backlog source: surfaces the wal.fold.skipped count so
+  /// out-of-matrix ratings are an operator signal, not a buried metric.
+  const serve::DeltaFolder* folder = nullptr;
 };
 
 class ServingService {
@@ -62,6 +86,7 @@ class ServingService {
   HttpResponse HandleTopN(const HttpRequest& request);
   HttpResponse HandleHealthz();
   HttpResponse HandleMetrics();
+  HttpResponse HandleAdminCheckpoint(const HttpRequest& request);
 
   /// Runs a wire-built Request through the stack and renders it,
   /// folding in the deadline/trace headers.

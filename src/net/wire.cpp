@@ -269,6 +269,7 @@ std::string RenderResponseJson(serve::Request::Kind kind,
   if (response.ok()) {
     if (kind == serve::Request::Kind::kRate) {
       json.Key("lsn").Uint(response.lsn);
+      json.Key("deduplicated").Bool(response.deduplicated);
     } else if (kind == serve::Request::Kind::kTopN) {
       json.Key("ranked").BeginArray();
       for (const serve::RankedItem& entry : response.ranked) {

@@ -83,6 +83,22 @@ inline constexpr const char kWalFoldedRecords[] = "wal.folded_records";
 inline constexpr const char kWalFoldSkipped[] = "wal.fold.skipped";
 inline constexpr const char kWalFoldPublishes[] = "wal.fold.publishes";
 inline constexpr const char kWalStalenessUs[] = "wal.staleness_us";
+inline constexpr const char kWalDedupHits[] = "wal.dedup.hits";
+inline constexpr const char kWalDedupEntries[] = "wal.dedup.entries";
+
+// --- checkpointed recovery (src/ckpt/, src/wal/compact.cpp) ----------------
+inline constexpr const char kCkptWrites[] = "ckpt.writes";
+inline constexpr const char kCkptWriteFailures[] = "ckpt.write.failures";
+inline constexpr const char kCkptLastId[] = "ckpt.last_id";
+inline constexpr const char kCkptWatermark[] = "ckpt.watermark";
+inline constexpr const char kCkptCompactedSegments[] =
+    "ckpt.compacted_segments";
+inline constexpr const char kCkptCompactFailures[] = "ckpt.compact.failures";
+inline constexpr const char kCkptRecoveryReplayedRecords[] =
+    "ckpt.recovery_replayed_records";
+inline constexpr const char kCkptRecoveryUs[] = "ckpt.recovery_us";
+inline constexpr const char kCkptRecoveryFallbacks[] =
+    "ckpt.recovery.fallbacks";
 
 // --- robustness (src/robust/, src/obs/failpoint.cpp, src/core/model_io.cpp)
 inline constexpr const char kRobustFailpointTrips[] = "robust.failpoint_trips";
@@ -169,6 +185,12 @@ inline constexpr FailPointInfo kFailPoints[] = {
      "log fail-stops; serving degrades to read-only"},
     {"wal.replay", "`ReplayLog` scan entry",
      "recovery aborts with `IoError`"},
+    {"wal.compact", "`CompactWal`, before the first unlink",
+     "compaction fail-stops; log and checkpoints intact"},
+    {"ckpt.write", "`CheckpointManager` checkpoint body, before the bundle",
+     "checkpoint skipped; previous checkpoint + `CURRENT` intact"},
+    {"ckpt.manifest", "checkpoint manifest write, after the bundle",
+     "checkpoint unreferenced; recovery uses the previous one"},
 };
 // cfsf-lint: failpoint-inventory-end
 

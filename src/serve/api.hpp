@@ -79,6 +79,11 @@ struct Request {
   /// Opaque caller token, echoed verbatim in the Response (and in the
   /// wire layer's X-CFSF-Trace-Id response header).
   std::string trace_id;
+  /// kRate only: optional client idempotency key (the wire layer's
+  /// X-CFSF-Request-Id header).  Empty = no dedup; a non-empty id that
+  /// matches a recent rating returns the original ack (`deduplicated`)
+  /// instead of logging a duplicate.  See docs/SERVING_API.md.
+  std::string request_id;
   /// Best ladder tier this request may be served from (0 = full fusion
   /// ... 3 = global mean); the effective tier is the worst of this, the
   /// breaker level and the admission watermark.  Top-N requires 0.
@@ -135,6 +140,9 @@ struct Response {
   std::uint64_t generation = 0;
   /// kRate only: the durable log sequence number of the acked record.
   std::uint64_t lsn = 0;
+  /// kRate only: true when Request::request_id matched a recent rating —
+  /// `lsn` is the original record's; nothing new was logged or folded.
+  bool deduplicated = false;
   std::string trace_id;  // echoed from the request
   std::string message;   // human-readable detail for non-kOk statuses
 

@@ -7,6 +7,7 @@
 #include "obs/names.hpp"
 #include "util/backoff.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace cfsf::serve {
 
@@ -39,6 +40,8 @@ DeltaFolder::DeltaFolder(wal::WriteAheadLog& log, ModelGeneration& models,
                          const DeltaFolderOptions& options)
     : log_(log), models_(models), options_(options), shadow_(std::move(shadow)) {
   CFSF_REQUIRE(shadow_ != nullptr, "DeltaFolder: shadow model required");
+  util::MutexLock lock(&mutex_);
+  watermark_ = options_.initial_watermark;
 }
 
 DeltaFolder::~DeltaFolder() { Stop(); }
@@ -75,6 +78,8 @@ std::size_t DeltaFolder::FoldOnce() {
   std::unique_ptr<core::CfsfModel> clone;
   std::size_t folded = 0;
   std::size_t skipped = 0;
+  std::uint64_t skipped_total = 0;
+  bool warn_skipped = false;
   auto oldest_ack = batch.front().acked_at;
   {
     util::MutexLock lock(&mutex_);
@@ -92,13 +97,34 @@ std::size_t DeltaFolder::FoldOnce() {
     }
     folded_ += folded;
     skipped_ += skipped;
+    // Drained is drained: a skipped record is permanently unfoldable
+    // against this shadow, so the watermark advances over it — the
+    // backlog is surfaced below, not replayed forever.
+    watermark_ = std::max(watermark_, batch.back().lsn);
     if (folded > 0) {
       clone = CloneShadowLocked();
       ++publishes_;
     }
+    if (skipped > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (last_skip_warn_.time_since_epoch().count() == 0 ||
+          now - last_skip_warn_ >= options_.skip_warn_interval) {
+        last_skip_warn_ = now;
+        warn_skipped = true;
+        skipped_total = skipped_;
+      }
+    }
   }
   metrics.folded.Increment(folded);
   metrics.skipped.Increment(skipped);
+  if (warn_skipped) {
+    CFSF_LOG_WARN << "delta folder: " << skipped
+                  << " record(s) outside the shadow's dimensions this "
+                     "batch ("
+                  << skipped_total
+                  << " total); they are durable but will never fold — "
+                     "enrol the users/items or expect a stale backlog";
+  }
   if (clone != nullptr) {
     models_.Install(std::move(clone));
     metrics.publishes.Increment();
@@ -145,6 +171,16 @@ void DeltaFolder::Loop() {
     }
     util::SleepFor(options_.poll_interval);
   }
+}
+
+ShadowSnapshot DeltaFolder::SnapshotShadow() {
+  util::MutexLock lock(&mutex_);
+  return ShadowSnapshot{CloneShadowLocked(), watermark_};
+}
+
+std::uint64_t DeltaFolder::fold_watermark() const {
+  util::MutexLock lock(&mutex_);
+  return watermark_;
 }
 
 std::uint64_t DeltaFolder::folded_records() const {

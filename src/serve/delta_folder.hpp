@@ -17,7 +17,16 @@
 // publish latency.  wal.folded_records / wal.fold.skipped /
 // wal.fold.publishes count the traffic (skipped = user or item outside
 // the shadow's dimensions; enrolment is AddUser's job, not the
-// folder's).
+// folder's).  Skipped records are surfaced, not silent: /healthz
+// reports the backlog and the folder logs a rate-limited warning, so an
+// out-of-matrix flood is an operator signal rather than a quiet metric.
+//
+// The folder is also the checkpoint subsystem's snapshot source: it
+// tracks the fold watermark — the highest WAL lsn drained into the
+// shadow (folded *or* skipped; a skipped record is permanently
+// unfoldable, so replaying it after a restart changes nothing) — and
+// SnapshotShadow() returns {clone, watermark} under one lock, the
+// consistent pair ckpt::CheckpointManager persists.
 #pragma once
 
 #include <chrono>
@@ -37,6 +46,20 @@ struct DeltaFolderOptions {
   /// Drain cadence of the background thread (also the Stop() latency
   /// bound).
   std::chrono::milliseconds poll_interval{20};
+  /// WAL lsn already folded into the shadow at construction — the
+  /// checkpoint watermark recovery restored from, so the fold watermark
+  /// never moves backwards across a restart.
+  std::uint64_t initial_watermark = 0;
+  /// Minimum spacing of the skipped-records warning log line.
+  std::chrono::seconds skip_warn_interval{10};
+};
+
+/// A consistent {model, watermark} pair: every WAL record with
+/// lsn <= watermark is folded into (or recorded as unfoldable against)
+/// the clone.  What a checkpoint persists.
+struct ShadowSnapshot {
+  std::unique_ptr<core::CfsfModel> model;
+  std::uint64_t watermark = 0;
 };
 
 class DeltaFolder {
@@ -64,9 +87,15 @@ class DeltaFolder {
   void Start() CFSF_EXCLUDES(mutex_);
   void Stop() CFSF_EXCLUDES(mutex_);
 
+  /// Clones the shadow and its fold watermark under one lock — the
+  /// checkpointable state.  Concurrent folds serialize behind it.
+  ShadowSnapshot SnapshotShadow() CFSF_EXCLUDES(mutex_);
+
   std::uint64_t folded_records() const CFSF_EXCLUDES(mutex_);
   std::uint64_t skipped_records() const CFSF_EXCLUDES(mutex_);
   std::uint64_t publishes() const CFSF_EXCLUDES(mutex_);
+  /// Highest WAL lsn drained into the shadow (folded or skipped).
+  std::uint64_t fold_watermark() const CFSF_EXCLUDES(mutex_);
 
  private:
   std::unique_ptr<core::CfsfModel> CloneShadowLocked() CFSF_REQUIRES(mutex_);
@@ -81,6 +110,9 @@ class DeltaFolder {
   std::uint64_t folded_ CFSF_GUARDED_BY(mutex_) = 0;
   std::uint64_t skipped_ CFSF_GUARDED_BY(mutex_) = 0;
   std::uint64_t publishes_ CFSF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t watermark_ CFSF_GUARDED_BY(mutex_) = 0;
+  std::chrono::steady_clock::time_point last_skip_warn_
+      CFSF_GUARDED_BY(mutex_);
   bool stop_ CFSF_GUARDED_BY(mutex_) = false;
   bool running_ CFSF_GUARDED_BY(mutex_) = false;
 

@@ -10,6 +10,7 @@
 #include "obs/failpoint.hpp"
 #include "util/backoff.hpp"
 #include "util/error.hpp"
+#include "wal/format.hpp"
 #include "wal/log.hpp"
 
 namespace cfsf::serve {
@@ -382,8 +383,9 @@ void ServingStack::ProcessRate(const Request& request, Response& response) {
     const wal::AppendAck ack = options_.rating_log->Append(
         matrix::RatingTriple{request.user, request.item, request.rating,
                              request.rating_timestamp},
-        /*require_durable=*/true);
+        /*require_durable=*/true, wal::HashRequestId(request.request_id));
     response.lsn = ack.lsn;
+    response.deduplicated = ack.deduplicated;
   } catch (const util::IoError& e) {
     // The log refused the record or has fail-stopped: degrade to
     // read-only (retryable 503) instead of taking the stack down.

@@ -1,7 +1,6 @@
 #include "wal/format.hpp"
 
 #include <cstring>
-#include <string_view>
 
 #include "util/crc32.hpp"
 
@@ -37,6 +36,14 @@ std::uint64_t GetU64(const unsigned char* in) {
 
 }  // namespace
 
+std::size_t RecordBytesFor(std::uint32_t version) {
+  switch (version) {
+    case kLegacyFormatVersion: return kRecordBytesV1;
+    case kFormatVersion: return kRecordBytes;
+    default: return 0;
+  }
+}
+
 void EncodeSegmentHeader(const SegmentHeader& header,
                          unsigned char out[kSegmentHeaderBytes]) {
   std::memcpy(out, kMagic, 4);
@@ -53,14 +60,14 @@ bool DecodeSegmentHeader(const unsigned char in[kSegmentHeaderBytes],
     return false;
   }
   header->version = GetU32(in + 4);
-  if (header->version != kFormatVersion) return false;
+  if (RecordBytesFor(header->version) == 0) return false;
   header->seq = GetU64(in + 8);
   header->first_lsn = GetU64(in + 16);
   return true;
 }
 
 void EncodeRecord(const matrix::RatingTriple& record,
-                  unsigned char out[kRecordBytes]) {
+                  std::uint64_t request_id, unsigned char out[kRecordBytes]) {
   PutU32(out, record.user);
   PutU32(out + 4, record.item);
   std::uint32_t rating_bits = 0;
@@ -68,18 +75,43 @@ void EncodeRecord(const matrix::RatingTriple& record,
   std::memcpy(&rating_bits, &record.value, sizeof(rating_bits));
   PutU32(out + 8, rating_bits);
   PutU64(out + 12, static_cast<std::uint64_t>(record.timestamp));
-  PutU32(out + 20, util::Crc32(out, kRecordBytes - 4));
+  PutU64(out + 20, request_id);
+  PutU32(out + 28, util::Crc32(out, kRecordBytes - 4));
 }
 
 bool DecodeRecord(const unsigned char in[kRecordBytes],
-                  matrix::RatingTriple* record) {
-  if (GetU32(in + 20) != util::Crc32(in, kRecordBytes - 4)) return false;
+                  matrix::RatingTriple* record, std::uint64_t* request_id) {
+  if (GetU32(in + 28) != util::Crc32(in, kRecordBytes - 4)) return false;
+  record->user = GetU32(in);
+  record->item = GetU32(in + 4);
+  const std::uint32_t rating_bits = GetU32(in + 8);
+  std::memcpy(&record->value, &rating_bits, sizeof(record->value));
+  record->timestamp = static_cast<matrix::Timestamp>(GetU64(in + 12));
+  *request_id = GetU64(in + 20);
+  return true;
+}
+
+bool DecodeRecordV1(const unsigned char in[kRecordBytesV1],
+                    matrix::RatingTriple* record) {
+  if (GetU32(in + 20) != util::Crc32(in, kRecordBytesV1 - 4)) return false;
   record->user = GetU32(in);
   record->item = GetU32(in + 4);
   const std::uint32_t rating_bits = GetU32(in + 8);
   std::memcpy(&record->value, &rating_bits, sizeof(record->value));
   record->timestamp = static_cast<matrix::Timestamp>(GetU64(in + 12));
   return true;
+}
+
+std::uint64_t HashRequestId(std::string_view token) {
+  if (token.empty()) return 0;
+  // FNV-1a, 64-bit.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : token) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  // 0 means "no id"; remap the (vanishingly rare) real hash of 0.
+  return hash != 0 ? hash : 1;
 }
 
 std::string SegmentFileName(std::uint64_t seq) {

@@ -7,25 +7,33 @@
 // each holding one fixed-size CRC'd header followed by fixed-size
 // CRC-framed rating records.  Everything is little-endian and
 // fixed-width, so a torn tail is detectable by construction: the first
-// frame whose CRC fails (or that is shorter than kRecordBytes) marks
+// frame whose CRC fails (or that is shorter than the frame size) marks
 // the crash point, and every byte before it is exactly the record
 // sequence the writer produced.
 //
 //   segment header (28 bytes):
 //     "CFWL"            magic
-//     u32  version      kFormatVersion
+//     u32  version      kFormatVersion; selects the record frame size
 //     u64  seq          segment sequence number (also in the filename)
 //     u64  first_lsn    lsn of the segment's first record — replay
 //                       checks continuity across segments, so a
 //                       missing or duplicated segment is detected
 //     u32  crc32        of the preceding 24 bytes
 //
-//   record frame (24 bytes):
+//   record frame, version 2 (32 bytes):
 //     u32  user
 //     u32  item
 //     f32  rating       IEEE-754 bits
 //     i64  timestamp    seconds since epoch; 0 = none
-//     u32  crc32        of the preceding 20 bytes
+//     u64  request_id   client idempotency token (0 = none) — the hash
+//                       of the X-CFSF-Request-Id header, persisted so
+//                       the dedup window survives a restart
+//     u32  crc32        of the preceding 28 bytes
+//
+//   record frame, version 1 (24 bytes, read-only back-compat): the same
+//   without request_id, CRC over the first 20 bytes.  New segments are
+//   always written v2; a log may legitimately mix versions across
+//   segments after an upgrade.
 //
 // Segments are created with the bundle-v2 atomic discipline: header
 // written to `<name>.tmp`, fsynced, renamed, directory fsynced.  A
@@ -35,14 +43,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "matrix/types.hpp"
 
 namespace cfsf::wal {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kLegacyFormatVersion = 1;
 inline constexpr std::size_t kSegmentHeaderBytes = 28;
-inline constexpr std::size_t kRecordBytes = 24;
+inline constexpr std::size_t kRecordBytes = 32;
+inline constexpr std::size_t kRecordBytesV1 = 24;
 
 struct SegmentHeader {
   std::uint32_t version = kFormatVersion;
@@ -50,19 +61,33 @@ struct SegmentHeader {
   std::uint64_t first_lsn = 0;
 };
 
+/// Frame size of the records in a segment of `version`; 0 for an
+/// unknown version.
+std::size_t RecordBytesFor(std::uint32_t version);
+
 void EncodeSegmentHeader(const SegmentHeader& header,
                          unsigned char out[kSegmentHeaderBytes]);
 
-/// False on bad magic, unknown version or a CRC mismatch.
+/// False on bad magic, unknown version or a CRC mismatch.  Accepts
+/// every version this reader can replay (1 and 2).
 bool DecodeSegmentHeader(const unsigned char in[kSegmentHeaderBytes],
                          SegmentHeader* header);
 
 void EncodeRecord(const matrix::RatingTriple& record,
-                  unsigned char out[kRecordBytes]);
+                  std::uint64_t request_id, unsigned char out[kRecordBytes]);
 
 /// False on a CRC mismatch (a torn or corrupted frame).
 bool DecodeRecord(const unsigned char in[kRecordBytes],
-                  matrix::RatingTriple* record);
+                  matrix::RatingTriple* record, std::uint64_t* request_id);
+
+/// Decodes a version-1 (24-byte, no request id) frame.
+bool DecodeRecordV1(const unsigned char in[kRecordBytesV1],
+                    matrix::RatingTriple* record);
+
+/// FNV-1a hash of a client request-id token into the u64 the frame
+/// persists.  The empty token hashes to 0 — "no id, no dedup" — so a
+/// caller can pass the header value through unconditionally.
+std::uint64_t HashRequestId(std::string_view token);
 
 /// "wal-0000000042.log" for seq 42.
 std::string SegmentFileName(std::uint64_t seq);

@@ -26,6 +26,8 @@ struct WalMetrics {
   obs::Counter& fsyncs;
   obs::Counter& rotations;
   obs::Counter& unavailable;
+  obs::Counter& dedup_hits;
+  obs::Gauge& dedup_entries;
   obs::Histogram& append_latency_us;
 
   static WalMetrics& Instance() {
@@ -36,6 +38,8 @@ struct WalMetrics {
           registry.GetCounter(obs::names::kWalFsyncs),
           registry.GetCounter(obs::names::kWalRotations),
           registry.GetCounter(obs::names::kWalUnavailable),
+          registry.GetCounter(obs::names::kWalDedupHits),
+          registry.GetGauge(obs::names::kWalDedupEntries),
           registry.GetHistogram(obs::names::kWalAppendLatencyUs,
                                 obs::LatencyBucketsUs()),
       };
@@ -83,7 +87,6 @@ WriteAheadLog::WriteAheadLog(std::string dir, const WalOptions& options,
   }
 
   ReplayResult replay = ReplayLog(dir_, ReplayOptions{/*repair=*/true});
-  if (recovered != nullptr) *recovered = std::move(replay.records);
 
   util::MutexLock lock(&mutex_);
   dir_fd_ = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
@@ -92,6 +95,17 @@ WriteAheadLog::WriteAheadLog(std::string dir, const WalOptions& options,
   }
   next_lsn_ = replay.next_lsn;
   durable_lsn_ = replay.next_lsn - 1;
+  // Rebuild the dedup window from the surviving records, so a client
+  // retry that straddles a restart still hits the original lsn.
+  if (options_.dedup_window > 0) {
+    for (const RecoveredRecord& rec : replay.records) {
+      if (rec.request_id != 0 &&
+          rec.lsn + options_.dedup_window >= next_lsn_) {
+        RememberRequestLocked(rec.request_id, rec.lsn);
+      }
+    }
+  }
+  if (recovered != nullptr) *recovered = std::move(replay.records);
   last_sync_ = std::chrono::steady_clock::now();
   healthy_ = true;
   if (replay.tail_seq != 0) {
@@ -196,6 +210,22 @@ void WriteAheadLog::SyncLocked() {
   }
 }
 
+void WriteAheadLog::RememberRequestLocked(std::uint64_t request_id,
+                                          std::uint64_t lsn) {
+  dedup_[request_id] = lsn;
+  dedup_fifo_.emplace_back(lsn, request_id);
+  while (!dedup_fifo_.empty() &&
+         dedup_fifo_.front().first + options_.dedup_window < next_lsn_) {
+    const auto& [old_lsn, old_id] = dedup_fifo_.front();
+    const auto it = dedup_.find(old_id);
+    // Only evict if the map still points at this lsn — a reused request
+    // id (client bug, but possible) may have refreshed the entry.
+    if (it != dedup_.end() && it->second == old_lsn) dedup_.erase(it);
+    dedup_fifo_.pop_front();
+  }
+  WalMetrics::Instance().dedup_entries.Set(static_cast<double>(dedup_.size()));
+}
+
 void WriteAheadLog::PoisonLocked(const std::string& reason) {
   healthy_ = false;
   unavailable_reason_ = reason;
@@ -209,7 +239,8 @@ void WriteAheadLog::PoisonLocked(const std::string& reason) {
 }
 
 AppendAck WriteAheadLog::Append(const matrix::RatingTriple& record,
-                                bool require_durable) {
+                                bool require_durable,
+                                std::uint64_t request_id) {
   const auto start = std::chrono::steady_clock::now();
   WalMetrics& metrics = WalMetrics::Instance();
   util::MutexLock lock(&mutex_);
@@ -221,12 +252,25 @@ AppendAck WriteAheadLog::Append(const matrix::RatingTriple& record,
   // the log stays serviceable.
   CFSF_FAILPOINT("wal.append");
 
+  if (request_id != 0 && options_.dedup_window > 0) {
+    const auto hit = dedup_.find(request_id);
+    if (hit != dedup_.end()) {
+      // An at-least-once retry: the original record is already in the
+      // log (and possibly folded), so re-ack it instead of writing a
+      // duplicate the folder would double-apply.
+      const std::uint64_t original = hit->second;
+      if (require_durable && original > durable_lsn_) SyncLocked();
+      metrics.dedup_hits.Increment();
+      return AppendAck{original, durable_lsn_ >= original, true};
+    }
+  }
+
   if (segment_bytes_ + kRecordBytes > options_.max_segment_bytes) {
     RotateLocked();
   }
 
   unsigned char frame[kRecordBytes];
-  EncodeRecord(record, frame);
+  EncodeRecord(record, request_id, frame);
   std::size_t written = 0;
   if (!WriteAllFd(fd_, frame, sizeof(frame), &written)) {
     const std::string why = Errno("wal: append write failed");
@@ -245,7 +289,10 @@ AppendAck WriteAheadLog::Append(const matrix::RatingTriple& record,
 
   const std::uint64_t lsn = next_lsn_++;
   segment_bytes_ += kRecordBytes;
-  unsynced_.push_back(AckedRecord{record, lsn, {}});
+  unsynced_.push_back(AckedRecord{record, lsn, request_id, {}});
+  if (request_id != 0 && options_.dedup_window > 0) {
+    RememberRequestLocked(request_id, lsn);
+  }
 
   bool barrier = require_durable;
   switch (options_.fsync_policy) {
@@ -307,6 +354,11 @@ std::uint64_t WriteAheadLog::next_lsn() const {
 std::uint64_t WriteAheadLog::durable_lsn() const {
   util::MutexLock lock(&mutex_);
   return durable_lsn_;
+}
+
+std::size_t WriteAheadLog::dedup_entries() const {
+  util::MutexLock lock(&mutex_);
+  return dedup_.size();
 }
 
 void WriteAheadLog::Close() {

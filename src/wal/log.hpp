@@ -31,15 +31,28 @@
 // write failure rewinds the file to the last frame boundary and only
 // refuses that one record.  Already-acked records stay drainable.
 //
+// Idempotent ingestion: an Append may carry a client request id (the
+// persisted hash of the X-CFSF-Request-Id header).  The log keeps a
+// bounded, lsn-windowed dedup table — request id -> lsn for every
+// identified record within the trailing `dedup_window` lsns — rebuilt
+// from the replayed records at open, so an at-least-once client retry
+// after a timeout (or across a restart) returns the original record's
+// ack (`deduplicated` set) instead of appending a duplicate.  A record
+// the dedup table absorbs is never re-acked to DrainAcked, so it can
+// never double-fold into the model.
+//
 // Failpoints: wal.append (before any bytes), wal.fsync, wal.rotate.
-// Metrics: wal.appends / wal.fsyncs / wal.rotations / wal.unavailable
-// counters, wal.append.latency_us histogram; replay adds
+// Metrics: wal.appends / wal.fsyncs / wal.rotations / wal.unavailable /
+// wal.dedup.hits counters, wal.dedup.entries gauge,
+// wal.append.latency_us histogram; replay adds
 // wal.replay.{recovered,truncated}.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "matrix/types.hpp"
@@ -60,6 +73,11 @@ struct WalOptions {
   std::size_t fsync_every_n = 32;
   /// kTimed: elapsed time since the last barrier that forces the next.
   std::chrono::milliseconds fsync_interval{5};
+  /// How far back (in lsns) the request-id dedup table remembers.  A
+  /// retry arriving more than this many appends after the original is
+  /// applied again — the window bounds memory, it is not a correctness
+  /// proof against arbitrarily stale retries.  0 disables dedup.
+  std::uint64_t dedup_window = 1u << 16;
 };
 
 struct AppendAck {
@@ -67,6 +85,9 @@ struct AppendAck {
   /// True when the record is fsynced; with a batching policy, false
   /// means "written, durable at the next barrier".
   bool durable = false;
+  /// True when the record's request id matched one inside the dedup
+  /// window: `lsn` is the *original* record's, nothing new was written.
+  bool deduplicated = false;
 };
 
 /// One durably acknowledged record, as handed to DrainAcked consumers
@@ -75,6 +96,7 @@ struct AppendAck {
 struct AckedRecord {
   matrix::RatingTriple record;
   std::uint64_t lsn = 0;
+  std::uint64_t request_id = 0;
   std::chrono::steady_clock::time_point acked_at;
 };
 
@@ -95,9 +117,12 @@ class WriteAheadLog {
 
   /// Appends one record.  Throws util::IoError when the log is
   /// unavailable (poisoned or closed) or the record cannot be written;
-  /// a refused record is never partially present on disk.
+  /// a refused record is never partially present on disk.  A nonzero
+  /// `request_id` that matches a record inside the dedup window returns
+  /// that record's ack (`deduplicated` set) without writing anything.
   AppendAck Append(const matrix::RatingTriple& record,
-                   bool require_durable = false)
+                   bool require_durable = false,
+                   std::uint64_t request_id = 0)
       CFSF_BLOCKING CFSF_EXCLUDES(mutex_);
 
   /// Forces the durability barrier for everything appended so far.
@@ -116,6 +141,8 @@ class WriteAheadLog {
   std::uint64_t next_lsn() const CFSF_EXCLUDES(mutex_);
   /// Highest fsynced lsn (0 when none).
   std::uint64_t durable_lsn() const CFSF_EXCLUDES(mutex_);
+  /// Live request-id entries in the dedup window.
+  std::size_t dedup_entries() const CFSF_EXCLUDES(mutex_);
 
   const std::string& dir() const { return dir_; }
   const WalOptions& options() const { return options_; }
@@ -132,6 +159,10 @@ class WriteAheadLog {
   /// acked.  Poisons and rethrows on failure.
   void SyncLocked() CFSF_REQUIRES(mutex_);
   void PoisonLocked(const std::string& reason) CFSF_REQUIRES(mutex_);
+  /// Records request_id -> lsn and evicts entries older than the
+  /// window (amortized O(1): the fifo is pruned from the front).
+  void RememberRequestLocked(std::uint64_t request_id, std::uint64_t lsn)
+      CFSF_REQUIRES(mutex_);
 
   const std::string dir_;
   const WalOptions options_;
@@ -150,6 +181,12 @@ class WriteAheadLog {
   /// Fsynced, awaiting DrainAcked.
   std::vector<AckedRecord> acked_ CFSF_GUARDED_BY(mutex_);
   std::chrono::steady_clock::time_point last_sync_ CFSF_GUARDED_BY(mutex_);
+  /// request id -> lsn of the identified records inside the dedup
+  /// window; the fifo (insertion order == lsn order) drives eviction.
+  std::unordered_map<std::uint64_t, std::uint64_t> dedup_
+      CFSF_GUARDED_BY(mutex_);
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> dedup_fifo_
+      CFSF_GUARDED_BY(mutex_);
 };
 
 }  // namespace cfsf::wal

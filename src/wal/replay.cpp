@@ -103,7 +103,10 @@ ReplayResult ReplayLog(const std::string& dir, const ReplayOptions& options) {
                   " does not match the filename");
     }
     if (i == 0) {
+      // A compacted log starts mid-history: the first surviving
+      // segment's header says where.
       expected_lsn = header.first_lsn;
+      result.first_lsn = header.first_lsn;
     } else if (header.first_lsn != expected_lsn) {
       Corrupt(segment.path, 0,
               "lsn discontinuity: header says first lsn " +
@@ -111,20 +114,34 @@ ReplayResult ReplayLog(const std::string& dir, const ReplayOptions& options) {
                   std::to_string(expected_lsn));
     }
 
+    // The header version selects the frame size, so v1 segments written
+    // before the request-id upgrade replay next to v2 ones.
+    const std::size_t record_bytes = RecordBytesFor(header.version);
+    SegmentInfo info;
+    info.seq = segment.seq;
+    info.version = header.version;
+    info.first_lsn = header.first_lsn;
+
     std::uint64_t offset = kSegmentHeaderBytes;
     std::uint64_t valid_end = offset;
     while (offset < bytes.size()) {
       const std::uint64_t remaining = bytes.size() - offset;
       matrix::RatingTriple record;
-      const bool whole_frame = remaining >= kRecordBytes;
-      if (whole_frame &&
-          DecodeRecord(
-              reinterpret_cast<const unsigned char*>(bytes.data() + offset),
-              &record)) {
-        result.records.push_back(RecoveredRecord{record, expected_lsn});
+      std::uint64_t request_id = 0;
+      const bool whole_frame = remaining >= record_bytes;
+      const unsigned char* frame =
+          reinterpret_cast<const unsigned char*>(bytes.data() + offset);
+      const bool decoded =
+          whole_frame && (header.version == kLegacyFormatVersion
+                              ? DecodeRecordV1(frame, &record)
+                              : DecodeRecord(frame, &record, &request_id));
+      if (decoded) {
+        result.records.push_back(
+            RecoveredRecord{record, expected_lsn, request_id});
         ++expected_lsn;
-        offset += kRecordBytes;
+        offset += record_bytes;
         valid_end = offset;
+        ++info.records;
         continue;
       }
       // First bad or partial frame.  In the tail segment this is the
@@ -135,7 +152,7 @@ ReplayResult ReplayLog(const std::string& dir, const ReplayOptions& options) {
       }
       result.truncated_bytes = bytes.size() - valid_end;
       result.truncated_records =
-          (result.truncated_bytes + kRecordBytes - 1) / kRecordBytes;
+          (result.truncated_bytes + record_bytes - 1) / record_bytes;
       if (options.repair) {
         TruncateFile(segment.path, valid_end);
       }
@@ -143,6 +160,9 @@ ReplayResult ReplayLog(const std::string& dir, const ReplayOptions& options) {
     }
 
     result.segments += 1;
+    info.last_lsn = expected_lsn - 1;
+    info.bytes = valid_end;
+    result.segment_infos.push_back(info);
     if (tail) {
       result.tail_seq = segment.seq;
       result.tail_bytes = valid_end;

@@ -14,6 +14,12 @@
 //     replay rejects the log with an IoError naming the segment and
 //     byte offset rather than guessing.
 //
+// A compacted log (wal/compact.hpp) starts at whatever segment
+// survived: replay takes the lsn sequence from the first segment's
+// header, so records below the compaction watermark are simply absent,
+// not an error.  `first_lsn` reports where the surviving history
+// begins.
+//
 // With `repair` set (the WriteAheadLog constructor's mode) the torn
 // tail is also truncated on disk and orphaned `.tmp` segments are
 // removed, so the reopened log appends from a clean frame boundary.
@@ -36,6 +42,22 @@ struct ReplayOptions {
 struct RecoveredRecord {
   matrix::RatingTriple record;
   std::uint64_t lsn = 0;
+  /// Client idempotency token persisted in the frame (0 = none; always
+  /// 0 for version-1 segments).
+  std::uint64_t request_id = 0;
+};
+
+/// Per-segment summary, in sequence order (`cfsf_cli wal-dump` renders
+/// these as the per-segment lsn ranges).
+struct SegmentInfo {
+  std::uint64_t seq = 0;
+  std::uint32_t version = 0;
+  std::uint64_t first_lsn = 0;
+  /// Lsn of the segment's last surviving record; first_lsn - 1 when the
+  /// segment holds none.
+  std::uint64_t last_lsn = 0;
+  std::size_t records = 0;
+  std::uint64_t bytes = 0;
 };
 
 struct ReplayResult {
@@ -43,11 +65,16 @@ struct ReplayResult {
   std::vector<RecoveredRecord> records;
   /// Lsn the next append gets (1 for an empty log).
   std::uint64_t next_lsn = 1;
+  /// Lsn of the oldest surviving record — 1 until compaction has
+  /// removed whole segments, then the first retained segment's
+  /// first_lsn.  Everything below it is covered by a checkpoint.
+  std::uint64_t first_lsn = 1;
   /// Sequence number of the tail segment (0 when the log is empty).
   std::uint64_t tail_seq = 0;
   /// Byte size of the tail segment after tail truncation.
   std::uint64_t tail_bytes = 0;
   std::size_t segments = 0;
+  std::vector<SegmentInfo> segment_infos;
   /// Frames dropped from the torn tail (partial frames count as one).
   std::size_t truncated_records = 0;
   std::size_t truncated_bytes = 0;

@@ -52,25 +52,36 @@ class WalTest : public ::testing::Test {
 TEST(WalFormatTest, RecordRoundTripsThroughTheFrame) {
   const matrix::RatingTriple record = MakeRecord(42);
   unsigned char frame[wal::kRecordBytes];
-  wal::EncodeRecord(record, frame);
+  wal::EncodeRecord(record, 0xFEEDFACEu, frame);
   matrix::RatingTriple decoded;
-  ASSERT_TRUE(wal::DecodeRecord(frame, &decoded));
+  std::uint64_t request_id = 0;
+  ASSERT_TRUE(wal::DecodeRecord(frame, &decoded, &request_id));
   EXPECT_EQ(decoded, record);
+  EXPECT_EQ(request_id, 0xFEEDFACEu);
 }
 
 TEST(WalFormatTest, AnySingleBitFlipFailsTheRecordCrc) {
   unsigned char frame[wal::kRecordBytes];
-  wal::EncodeRecord(MakeRecord(7), frame);
+  wal::EncodeRecord(MakeRecord(7), 12345, frame);
   for (std::size_t byte = 0; byte < wal::kRecordBytes; ++byte) {
     for (int bit = 0; bit < 8; ++bit) {
       unsigned char bent[wal::kRecordBytes];
       std::copy(frame, frame + wal::kRecordBytes, bent);
       bent[byte] = static_cast<unsigned char>(bent[byte] ^ (1u << bit));
       matrix::RatingTriple decoded;
-      EXPECT_FALSE(wal::DecodeRecord(bent, &decoded))
+      std::uint64_t request_id = 0;
+      EXPECT_FALSE(wal::DecodeRecord(bent, &decoded, &request_id))
           << "bit " << bit << " of byte " << byte << " went undetected";
     }
   }
+}
+
+TEST(WalFormatTest, RequestIdHashIsStableAndNeverZeroForNonEmpty) {
+  EXPECT_EQ(wal::HashRequestId(""), 0u);  // absent id = no dedup
+  const std::uint64_t h = wal::HashRequestId("client-42/retry");
+  EXPECT_NE(h, 0u);
+  EXPECT_EQ(h, wal::HashRequestId("client-42/retry"));  // deterministic
+  EXPECT_NE(h, wal::HashRequestId("client-42/retrz"));
 }
 
 TEST(WalFormatTest, SegmentHeaderRoundTripsAndRejectsDamage) {

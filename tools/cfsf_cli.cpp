@@ -17,7 +17,10 @@
 //   cfsf_cli serve     [--model=model.bin] [--bind=127.0.0.1 --port=0
 //                      --workers=4 --max-connections=32 --capacity=64
 //                      --duration-ms=0] [--wal-dir=DIR]
+//                      [--ckpt-dir=DIR --ckpt-interval-ms=5000
+//                       --ckpt-keep=2]
 //   cfsf_cli wal-dump  --dir=DIR [--limit=N]
+//   cfsf_cli ckpt-ls   --dir=DIR
 //   cfsf_cli list-failpoints [--markdown]
 //
 // Without --data, `fit`/`evaluate` fall back to the synthetic MovieLens
@@ -40,6 +43,9 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint_manager.hpp"
+#include "ckpt/manifest.hpp"
+#include "ckpt/recover.hpp"
 #include "core/cfsf.hpp"
 #include "core/model_io.hpp"
 #include "obs/failpoint.hpp"
@@ -439,14 +445,20 @@ int CmdServeBench(util::ArgParser& args) {
 // after start so scripts can scrape it.  --duration-ms bounds the run
 // (0 = serve until stdin reaches EOF, i.e. Ctrl-D or a closed pipe).
 //
-// --wal-dir=DIR makes ingestion durable: the rating log in DIR is
-// replayed (folding surviving records into the model before the first
-// generation installs), POST /v1/rate acks 202 only after fsync, and a
+// --wal-dir=DIR makes ingestion durable: startup runs ckpt::Recover
+// (newest valid checkpoint, or the seed model, plus the WAL suffix past
+// its watermark), POST /v1/rate acks 202 only after fsync, and a
 // DeltaFolder folds acked records into fresh generations in the
-// background.
+// background.  --ckpt-dir=DIR additionally checkpoints the folded model
+// every --ckpt-interval-ms (keeping --ckpt-keep bundles) and compacts
+// WAL segments below the retained watermarks, so restart replay stays
+// bounded no matter how long the process ingests.
 int CmdServe(util::ArgParser& args) {
   const std::string model_path = args.GetString("model", "");
   const std::string wal_dir = args.GetString("wal-dir", "");
+  const std::string ckpt_dir = args.GetString("ckpt-dir", "");
+  const auto ckpt_interval_ms = args.GetInt("ckpt-interval-ms", 5000);
+  const auto ckpt_keep = args.GetInt("ckpt-keep", 2);
   net::ServerOptions server_options;
   server_options.bind_address = args.GetString("bind", "127.0.0.1");
   server_options.port =
@@ -462,62 +474,104 @@ int CmdServe(util::ArgParser& args) {
   serving_options.degrade_watermark = serving_options.queue_capacity * 3 / 4;
   const auto duration_ms = args.GetInt("duration-ms", 0);
   args.RejectUnknown();
+  if (!ckpt_dir.empty() && wal_dir.empty()) {
+    std::fprintf(stderr, "serve: --ckpt-dir requires --wal-dir\n");
+    return 2;
+  }
 
   serve::ModelGeneration models;
   util::Stopwatch watch;
-  std::unique_ptr<core::CfsfModel> model;
-  if (model_path.empty()) {
-    data::SyntheticConfig dconfig;
-    dconfig.num_users = 200;
-    dconfig.num_items = 400;
-    dconfig.min_ratings_per_user = 15;
-    core::CfsfConfig config;
-    config.num_clusters = 10;
-    config.top_m_items = 40;
-    config.top_k_users = 15;
-    model = std::make_unique<core::CfsfModel>(config);
-    model->Fit(data::GenerateSynthetic(dconfig));
-    std::printf("serve: fitted synthetic generation 1 in %.2fs\n",
-                watch.ElapsedSeconds());
-  } else {
-    model = core::LoadModel(model_path);
-    std::printf("serve: loaded %s in %.2fs\n", model_path.c_str(),
-                watch.ElapsedSeconds());
-  }
-
-  std::unique_ptr<wal::WriteAheadLog> rating_log;
-  if (!wal_dir.empty()) {
-    std::vector<wal::RecoveredRecord> recovered;
-    rating_log = std::make_unique<wal::WriteAheadLog>(wal_dir,
-                                                      wal::WalOptions{},
-                                                      &recovered);
-    std::size_t folded = 0;
-    for (const wal::RecoveredRecord& rec : recovered) {
-      const matrix::RatingTriple& r = rec.record;
-      if (r.user < model->NumUsers() && r.item < model->NumItems()) {
-        model->InsertRating(r.user, r.item, r.value, r.timestamp);
-        ++folded;
-      }
+  auto make_seed = [&]() {
+    std::unique_ptr<core::CfsfModel> model;
+    if (model_path.empty()) {
+      data::SyntheticConfig dconfig;
+      dconfig.num_users = 200;
+      dconfig.num_items = 400;
+      dconfig.min_ratings_per_user = 15;
+      core::CfsfConfig config;
+      config.num_clusters = 10;
+      config.top_m_items = 40;
+      config.top_k_users = 15;
+      model = std::make_unique<core::CfsfModel>(config);
+      model->Fit(data::GenerateSynthetic(dconfig));
+      std::printf("serve: fitted synthetic generation 1 in %.2fs\n",
+                  watch.ElapsedSeconds());
+    } else {
+      model = core::LoadModel(model_path);
+      std::printf("serve: loaded %s in %.2fs\n", model_path.c_str(),
+                  watch.ElapsedSeconds());
     }
+    return model;
+  };
+
+  std::unique_ptr<core::CfsfModel> model;
+  std::unique_ptr<wal::WriteAheadLog> rating_log;
+  ckpt::RecoveryInfo recovery_info;
+  bool have_recovery = false;
+  if (wal_dir.empty()) {
+    model = make_seed();
+  } else {
+    ckpt::RecoverOptions recover_options;
+    recover_options.ckpt_dir = ckpt_dir;
+    recover_options.wal_dir = wal_dir;
+    recover_options.seed_model = make_seed;
+    ckpt::RecoveryResult recovered = ckpt::Recover(recover_options);
+    model = std::move(recovered.model);
+    rating_log = std::move(recovered.log);
+    recovery_info = recovered.info;
+    have_recovery = true;
     serving_options.rating_log = rating_log.get();
-    std::printf("serve: rating log %s — replayed %zu record(s), folded "
-                "%zu, next lsn %llu\n",
-                wal_dir.c_str(), recovered.size(), folded,
-                static_cast<unsigned long long>(rating_log->next_lsn()));
+    std::printf(
+        "serve: recovered from %s (checkpoint %llu, watermark %llu) — "
+        "replayed %zu record(s), skipped %zu, %zu fallback(s), next lsn "
+        "%llu%s\n",
+        recovery_info.source.c_str(),
+        static_cast<unsigned long long>(recovery_info.checkpoint_id),
+        static_cast<unsigned long long>(recovery_info.watermark),
+        recovery_info.replayed_records, recovery_info.skipped_records,
+        recovery_info.fallbacks,
+        static_cast<unsigned long long>(rating_log->next_lsn()),
+        recovery_info.degraded_history ? "  [DEGRADED: compacted history]"
+                                       : "");
   }
 
   std::unique_ptr<serve::DeltaFolder> folder;
+  std::unique_ptr<ckpt::CheckpointManager> checkpoints;
   if (rating_log != nullptr) {
+    serve::DeltaFolderOptions folder_options;
+    // Everything the log replayed is already folded into (or recorded
+    // as unfoldable against) the recovered model.
+    folder_options.initial_watermark = rating_log->next_lsn() - 1;
     folder = std::make_unique<serve::DeltaFolder>(*rating_log, models,
-                                                  std::move(model));
+                                                  std::move(model),
+                                                  folder_options);
     folder->PublishNow();
     folder->Start();
+    if (!ckpt_dir.empty()) {
+      ckpt::CheckpointOptions ckpt_options;
+      ckpt_options.dir = ckpt_dir;
+      ckpt_options.keep_last = static_cast<std::size_t>(
+          ckpt_keep > 0 ? ckpt_keep : 1);
+      ckpt_options.interval = std::chrono::milliseconds(
+          ckpt_interval_ms > 0 ? ckpt_interval_ms : 5000);
+      checkpoints = std::make_unique<ckpt::CheckpointManager>(
+          *folder, *rating_log, ckpt_options);
+      checkpoints->Start();
+      std::printf("serve: checkpointing to %s every %lldms (keep %zu)\n",
+                  ckpt_dir.c_str(),
+                  static_cast<long long>(ckpt_options.interval.count()),
+                  ckpt_options.keep_last);
+    }
   } else {
     models.Install(std::move(model));
   }
 
   serve::ServingStack stack(models, serving_options);
-  net::ServingService service(stack);
+  net::ServiceOptions service_options;
+  if (have_recovery) service_options.recovery = &recovery_info;
+  service_options.checkpoints = checkpoints.get();
+  service_options.folder = folder.get();
+  net::ServingService service(stack, service_options);
   net::HttpServer server(service, server_options);
   std::string error;
   if (!server.Start(&error)) {
@@ -537,6 +591,7 @@ int CmdServe(util::ArgParser& args) {
     }
   }
   server.Stop();
+  if (checkpoints != nullptr) checkpoints->Stop();
   if (folder != nullptr) folder->Stop();
   std::printf("serve: drained and stopped\n");
   return 0;
@@ -570,6 +625,30 @@ int CmdWalDump(util::ArgParser& args) {
   std::printf("%zu record(s) in %zu segment(s); next lsn %llu\n",
               replay.records.size(), replay.segments,
               static_cast<unsigned long long>(replay.next_lsn));
+  for (const wal::SegmentInfo& segment : replay.segment_infos) {
+    if (segment.records > 0) {
+      std::printf("  segment %llu (v%u): lsn %llu..%llu, %zu record(s), "
+                  "%zu byte(s)\n",
+                  static_cast<unsigned long long>(segment.seq),
+                  segment.version,
+                  static_cast<unsigned long long>(segment.first_lsn),
+                  static_cast<unsigned long long>(segment.last_lsn),
+                  segment.records, segment.bytes);
+    } else {
+      std::printf("  segment %llu (v%u): empty (next lsn %llu), "
+                  "%zu byte(s)\n",
+                  static_cast<unsigned long long>(segment.seq),
+                  segment.version,
+                  static_cast<unsigned long long>(segment.first_lsn),
+                  segment.bytes);
+    }
+  }
+  if (replay.first_lsn > 1) {
+    std::printf("compacted below lsn %llu (records 1..%llu folded into a "
+                "checkpoint and removed)\n",
+                static_cast<unsigned long long>(replay.first_lsn),
+                static_cast<unsigned long long>(replay.first_lsn - 1));
+  }
   if (replay.truncated_bytes > 0) {
     std::printf("torn tail: %zu frame(s) / %zu byte(s) beyond the last "
                 "clean frame of segment %llu\n",
@@ -577,6 +656,60 @@ int CmdWalDump(util::ArgParser& args) {
                 static_cast<unsigned long long>(replay.tail_seq));
   }
   return 0;
+}
+
+// `ckpt-ls`: list a checkpoint directory — one line per checkpoint with
+// its manifest watermark and the bundle's verify status (the same full
+// CRC pass recovery runs), plus which id `CURRENT` points at.  Exits 1
+// when any listed checkpoint fails verification, so scripts can alarm.
+int CmdCkptLs(util::ArgParser& args) {
+  const std::string dir = args.GetString("dir", "");
+  args.RejectUnknown();
+  if (dir.empty()) {
+    std::fprintf(stderr, "ckpt-ls requires --dir=PATH\n");
+    return 2;
+  }
+  namespace fs = std::filesystem;
+  std::uint64_t current = 0;
+  const bool have_current = ckpt::ReadCurrentFile(dir, &current);
+  const std::vector<std::uint64_t> ids = ckpt::ListCheckpointIds(dir);
+  bool all_ok = true;
+  for (const std::uint64_t id : ids) {
+    ckpt::Manifest manifest;
+    const bool manifest_ok = ckpt::ReadManifestFile(
+        (fs::path(dir) / ckpt::ManifestFileName(id)).string(), &manifest);
+    std::string verify = "ok";
+    std::uint64_t bytes = 0;
+    if (!manifest_ok) {
+      verify = "manifest corrupt";
+    } else {
+      try {
+        const core::VerifyReport report = core::VerifyModel(
+            (fs::path(dir) / ckpt::ModelFileName(id)).string());
+        bytes = report.file_bytes;
+        if (bytes != manifest.model_bytes) verify = "size mismatch";
+      } catch (const std::exception& e) {
+        verify = e.what();
+      }
+    }
+    if (verify != "ok") all_ok = false;
+    std::printf("ckpt %-8llu watermark %-10llu generation %-6llu "
+                "%8llu byte(s)  %s%s\n",
+                static_cast<unsigned long long>(id),
+                static_cast<unsigned long long>(manifest.watermark_lsn),
+                static_cast<unsigned long long>(manifest.generation),
+                static_cast<unsigned long long>(bytes), verify.c_str(),
+                have_current && id == current ? "  <- CURRENT" : "");
+  }
+  if (have_current &&
+      std::find(ids.begin(), ids.end(), current) == ids.end()) {
+    std::printf("CURRENT points at missing checkpoint %llu\n",
+                static_cast<unsigned long long>(current));
+    all_ok = false;
+  }
+  std::printf("%zu checkpoint(s)%s\n", ids.size(),
+              have_current ? "" : "; no CURRENT pointer");
+  return all_ok ? 0 : 1;
 }
 
 // `list-failpoints`: dump the compiled-in kFailPoints inventory
@@ -617,8 +750,9 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: cfsf_cli <generate|stats|fit|predict|recommend|"
                "add-user|evaluate|verify-model|json-check|serve|"
-               "serve-bench|wal-dump|list-failpoints> [flags]\n(see the "
-               "header of tools/cfsf_cli.cpp for the full flag list)\n");
+               "serve-bench|wal-dump|ckpt-ls|list-failpoints> [flags]\n"
+               "(see the header of tools/cfsf_cli.cpp for the full flag "
+               "list)\n");
 }
 
 int Dispatch(const std::string& command, util::ArgParser& args) {
@@ -634,6 +768,7 @@ int Dispatch(const std::string& command, util::ArgParser& args) {
   if (command == "serve") return CmdServe(args);
   if (command == "serve-bench") return CmdServeBench(args);
   if (command == "wal-dump") return CmdWalDump(args);
+  if (command == "ckpt-ls") return CmdCkptLs(args);
   if (command == "list-failpoints") return CmdListFailpoints(args);
   PrintUsage();
   return 2;

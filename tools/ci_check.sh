@@ -6,7 +6,12 @@
 #      CFSF_FAILPOINTS exported — fault-injection paths under ASan,
 #      including the WAL kill-recover harness (tests/wal_crash_test.cpp:
 #      SIGKILL a forked writer at seeded points mid-append/mid-rotate
-#      and prove no acked rating is ever lost)
+#      and prove no acked rating is ever lost) and the checkpoint
+#      kill-recover harness (tests/ckpt_crash_test.cpp: SIGKILL the
+#      whole ingest+fold+checkpoint+compact loop — a third of the kills
+#      aimed inside CheckpointNow — and prove zero acked loss, replay
+#      bounded by the checkpoint watermark, and idempotent retries
+#      across the crash)
 #   2b. integration (asan build)                   : ctest -L integration —
 #      loopback-socket round-trips over every HTTP route of the net
 #      front end, parser and drain paths under ASan
@@ -85,7 +90,7 @@ run_tier() {
 
 if [[ "${RUN_ASAN}" -eq 1 ]]; then
   run_tier asan
-  echo "=== [asan] ctest -L fault (failpoints armed, WAL kill-recover) ==="
+  echo "=== [asan] ctest -L fault (failpoints armed, WAL + checkpoint kill-recover) ==="
   # The env spec itself is exercised too: ci.noop targets no call site,
   # proving an armed-but-unreferenced failpoint is harmless, while the
   # tests arm their own points on top through the API.

@@ -1,0 +1,2 @@
+#pragma once
+#include "ckpt/checkpoint_manager.hpp"
