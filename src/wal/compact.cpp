@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -59,7 +60,9 @@ CompactResult CompactWal(const std::string& dir,
     SegmentEntry segment;
     segment.seq = seq;
     segment.path = entry.path();
-    segment.bytes = fs::file_size(entry.path(), ec);
+    std::error_code size_ec;
+    const std::uintmax_t bytes = fs::file_size(entry.path(), size_ec);
+    segment.bytes = size_ec ? 0 : bytes;
     segments.push_back(segment);
   }
   std::sort(segments.begin(), segments.end(),

@@ -165,12 +165,17 @@ void RunFlood(std::uint16_t port, std::size_t iters,
               const std::atomic<bool>& swap_done, util::Rng rng,
               FloodTally& tally) {
   FloodClient client(port);
-  // At least `iters` requests, and keep going (bounded) until the
-  // coordinator's hot swap has landed, so the flood always straddles it.
-  for (std::size_t i = 0;
-       i < iters || (!swap_done.load(std::memory_order_acquire) &&
-                     i < iters * 50);
+  // At least `iters` requests, and keep going (bounded) until a few
+  // requests have been issued strictly *after* the coordinator's hot
+  // swap landed: a request sent after swap_done is observed must be
+  // served by the new generation, so the flood straddles the swap
+  // deterministically instead of racing the flag for its last
+  // in-flight response.
+  std::size_t after_swap = 0;
+  for (std::size_t i = 0; (i < iters || after_swap < 4) && i < iters * 50;
        ++i) {
+    const bool swapped = swap_done.load(std::memory_order_acquire);
+    if (swapped) ++after_swap;
     if (!client.EnsureConnected()) {
       ++tally.issued;
       ++tally.dropped;

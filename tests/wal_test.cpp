@@ -7,12 +7,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "matrix/types.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "wal/format.hpp"
 #include "wal/log.hpp"
@@ -22,6 +24,55 @@ namespace cfsf {
 namespace {
 
 namespace fs = std::filesystem;
+
+// --- hand-rolled version-1 segment encoding (upgrade-path fixtures) ---
+//
+// The production writer only emits the current format, so the v1
+// back-compat tests craft their bytes here, straight from the format
+// doc: 28-byte header with version 1, then 24-byte frames (no
+// request_id), CRC over the first 20 bytes.
+
+void PutU32At(std::string* out, std::size_t at, std::uint32_t value) {
+  (*out)[at] = static_cast<char>(value);
+  (*out)[at + 1] = static_cast<char>(value >> 8);
+  (*out)[at + 2] = static_cast<char>(value >> 16);
+  (*out)[at + 3] = static_cast<char>(value >> 24);
+}
+
+void PutU64At(std::string* out, std::size_t at, std::uint64_t value) {
+  PutU32At(out, at, static_cast<std::uint32_t>(value));
+  PutU32At(out, at + 4, static_cast<std::uint32_t>(value >> 32));
+}
+
+void PutCrcAt(std::string* out, std::size_t at, std::size_t payload) {
+  PutU32At(out, at + payload,
+           util::Crc32(reinterpret_cast<const unsigned char*>(out->data() + at),
+                       payload));
+}
+
+std::string EncodeV1Segment(std::uint64_t seq, std::uint64_t first_lsn,
+                            const std::vector<matrix::RatingTriple>& records) {
+  std::string bytes(wal::kSegmentHeaderBytes +
+                        records.size() * wal::kRecordBytesV1,
+                    '\0');
+  bytes.replace(0, 4, "CFWL");
+  PutU32At(&bytes, 4, wal::kLegacyFormatVersion);
+  PutU64At(&bytes, 8, seq);
+  PutU64At(&bytes, 16, first_lsn);
+  PutCrcAt(&bytes, 0, wal::kSegmentHeaderBytes - 4);
+  std::size_t at = wal::kSegmentHeaderBytes;
+  for (const matrix::RatingTriple& record : records) {
+    PutU32At(&bytes, at, record.user);
+    PutU32At(&bytes, at + 4, record.item);
+    std::uint32_t rating_bits = 0;
+    std::memcpy(&rating_bits, &record.value, sizeof(rating_bits));
+    PutU32At(&bytes, at + 8, rating_bits);
+    PutU64At(&bytes, at + 12, static_cast<std::uint64_t>(record.timestamp));
+    PutCrcAt(&bytes, at, wal::kRecordBytesV1 - 4);
+    at += wal::kRecordBytesV1;
+  }
+  return bytes;
+}
 
 matrix::RatingTriple MakeRecord(std::uint32_t i) {
   matrix::RatingTriple record;
@@ -244,6 +295,60 @@ TEST_F(WalTest, ReplayOfAnEmptyLogYieldsLsnOne) {
   EXPECT_TRUE(replay.records.empty());
   EXPECT_EQ(replay.next_lsn, 1u);
   EXPECT_EQ(replay.segments, 1u);
+}
+
+// ----------------------------------------------------------- upgrade ----
+
+TEST_F(WalTest, ReopeningAV1LogSealsTheTailAndAppendsIntoAV2Segment) {
+  // A log written entirely by the v1 code: one segment, three 24-byte
+  // frames.  Appending 32-byte v2 frames into it would make the next
+  // replay decode at the wrong stride and truncate them as a torn tail.
+  std::vector<matrix::RatingTriple> old_records;
+  for (std::uint32_t i = 0; i < 3; ++i) old_records.push_back(MakeRecord(i));
+  fs::create_directories(dir_);
+  {
+    std::ofstream out(dir_ + "/" + wal::SegmentFileName(1), std::ios::binary);
+    const std::string bytes = EncodeV1Segment(1, 1, old_records);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // The v2 writer recovers the v1 history and keeps appending.
+  std::vector<wal::RecoveredRecord> recovered;
+  {
+    wal::WriteAheadLog log(dir_, {}, &recovered);
+    ASSERT_EQ(recovered.size(), 3u);
+    for (std::uint32_t i = 3; i < 6; ++i) {
+      const wal::AppendAck ack = log.Append(MakeRecord(i));
+      EXPECT_EQ(ack.lsn, i + 1);
+      EXPECT_TRUE(ack.durable);
+    }
+  }
+
+  // Restart: the v1 prefix and the v2 suffix both survive replay.
+  const wal::ReplayResult replay = wal::ReplayLog(dir_);
+  ASSERT_EQ(replay.records.size(), 6u);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(replay.records[i].lsn, i + 1);
+    EXPECT_EQ(replay.records[i].record, MakeRecord(i));
+  }
+  // The v1 tail was sealed, never appended to: the new records live in
+  // a fresh v2 segment with a contiguous lsn range.
+  ASSERT_EQ(replay.segment_infos.size(), 2u);
+  EXPECT_EQ(replay.segment_infos[0].version, wal::kLegacyFormatVersion);
+  EXPECT_EQ(replay.segment_infos[0].records, 3u);
+  EXPECT_EQ(replay.segment_infos[1].version, wal::kFormatVersion);
+  EXPECT_EQ(replay.segment_infos[1].first_lsn, 4u);
+  EXPECT_EQ(replay.segment_infos[1].records, 3u);
+
+  // A second reopen finds a current-format tail and appends in place —
+  // sealing happens once per upgrade, not on every restart.
+  {
+    wal::WriteAheadLog log(dir_);
+    EXPECT_EQ(log.Append(MakeRecord(6)).lsn, 7u);
+  }
+  const wal::ReplayResult again = wal::ReplayLog(dir_);
+  EXPECT_EQ(again.records.size(), 7u);
+  EXPECT_EQ(again.segments, 2u);
 }
 
 TEST_F(WalTest, RecoveryRemovesTmpLeftoversOnlyInRepairMode) {
